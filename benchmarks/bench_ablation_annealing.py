@@ -1,0 +1,49 @@
+"""Ablation benchmark: the simulated-annealing extension vs the paper's heuristics.
+
+H4-SA is not part of the paper; this bench quantifies whether Metropolis
+acceptance buys anything over the paper's H2 (accept everything, keep the best)
+and H31 (accept only improvements) on the small setting.  The expected outcome
+— and the reason the paper's simpler heuristics are adequate — is that all
+three land within a few percent of the optimum, with no consistent winner.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.config import AlgorithmSpec, ExperimentPlan
+from repro.experiments.metrics import normalized_cost_series
+from repro.experiments.reporting import render_series
+from repro.experiments.runner import run_plan
+from repro.generators.workload import get_setting
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_simulated_annealing(benchmark, bench_scale):
+    iterations = bench_scale.iterations
+    algorithms = (
+        AlgorithmSpec("ILP", {}),
+        AlgorithmSpec("H1", {}),
+        AlgorithmSpec("H2", {"iterations": iterations}, seed_sensitive=True),
+        AlgorithmSpec("H31", {"iterations": iterations}, seed_sensitive=True),
+        AlgorithmSpec("H4-SA", {"iterations": iterations}, seed_sensitive=True),
+    )
+    plan = ExperimentPlan(
+        name="annealing",
+        setting=get_setting("small"),
+        algorithms=algorithms,
+        num_configurations=max(2, bench_scale.num_configurations // 2),
+        target_throughputs=(50, 100, 200),
+    )
+    sweep = benchmark.pedantic(run_plan, args=(plan,), rounds=1, iterations=1, warmup_rounds=0)
+    series = normalized_cost_series(sweep)
+    print()
+    print(render_series(series, title="Simulated-annealing extension vs paper heuristics"))
+
+    values = {name: np.asarray(vals, dtype=float) for name, vals in series.series.items()}
+    assert np.allclose(values["ILP"], 1.0)
+    # The extension respects the same sandwich as the paper's heuristics.
+    for name in ("H2", "H31", "H4-SA"):
+        assert np.all(values[name] <= 1.0 + 1e-9)
+        assert np.all(values[name] >= values["H1"] - 1e-9)

@@ -1,0 +1,42 @@
+"""Ablation benchmark: iteration budget of the iterative heuristics.
+
+DESIGN.md calls out the iteration budget of H2/H31/H32Jump as a design choice
+the paper leaves unspecified.  This bench sweeps the budget and checks the
+expected monotone trend: more iterations never hurt the mean normalised cost of
+the random-walk heuristic (it keeps the best solution seen), and the gain
+saturates quickly, justifying the default of 1000.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import ablation_iterations
+from repro.experiments.reporting import render_series
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_iteration_budget(benchmark, bench_scale):
+    budgets = (10, 100, 1000)
+    results = benchmark.pedantic(
+        ablation_iterations,
+        kwargs={
+            "budgets": budgets,
+            "num_configurations": max(2, bench_scale.num_configurations // 2),
+            "target_throughputs": (50, 100, 200),
+        },
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    means = {}
+    for budget, result in results.items():
+        print()
+        print(result.description)
+        print(render_series(result.series))
+        means[budget] = float(np.mean(result.series.series["H2"]))
+    # H2's mean normalised cost is non-decreasing in the iteration budget
+    # (tiny tolerance because the random seeds differ between runs).
+    ordered = [means[b] for b in budgets]
+    assert ordered[-1] >= ordered[0] - 0.02

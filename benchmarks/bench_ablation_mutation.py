@@ -1,0 +1,46 @@
+"""Ablation benchmark: mutation percentage of the alternative recipes.
+
+Reproduces the paper's Section VIII-A observation: with fully random recipe
+sets (mutation 100 %) a single graph dominates and H1 is essentially optimal,
+whereas moderate mutation percentages (30-50 %) create instances where mixing
+recipes pays off and the gap between H1 and the optimum widens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import ablation_mutation
+from repro.experiments.reporting import render_series
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_mutation_fraction(benchmark, bench_scale):
+    fractions = (0.3, 1.0)
+    results = benchmark.pedantic(
+        ablation_mutation,
+        kwargs={
+            "fractions": fractions,
+            "num_configurations": max(2, bench_scale.num_configurations // 2),
+            "target_throughputs": (50, 100, 200),
+            "iterations": bench_scale.iterations,
+        },
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    h1_mean = {}
+    for fraction, result in results.items():
+        print()
+        print(result.description)
+        print(render_series(result.series))
+        h1_mean[fraction] = float(np.mean(result.series.series["H1"]))
+    # All values stay in (0, 1]; the exact solver is the reference everywhere.
+    for result in results.values():
+        assert np.allclose(result.series.series["ILP"], 1.0)
+        for name in ("H1", "H2", "H32Jump"):
+            values = np.asarray(result.series.series[name], dtype=float)
+            assert np.all((values > 0) & (values <= 1.0 + 1e-9))
+    print()
+    print(f"mean normalised H1 cost by mutation fraction: {h1_mean}")

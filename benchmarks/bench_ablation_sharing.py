@@ -1,0 +1,40 @@
+"""Ablation benchmark: benefit of sharing machines across recipes.
+
+Compares the general shared-machine optimum (Section V-C ILP) with the cost of
+dimensioning each recipe separately (the Section V-B dynamic program run in its
+no-sharing mode) and with the single-recipe H1, quantifying how much the
+shared-type model saves — the paper's motivation for tackling the harder
+general case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import ablation_sharing
+from repro.experiments.reporting import render_series
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_machine_sharing(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        ablation_sharing,
+        kwargs={
+            "num_configurations": max(2, bench_scale.num_configurations // 2),
+            "target_throughputs": (50, 100, 200),
+        },
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.description)
+    print(render_series(result.series))
+
+    series = {name: np.asarray(vals, dtype=float) for name, vals in result.series.series.items()}
+    # The shared-machine optimum is a lower bound on both alternatives.
+    assert np.all(series["ILP"] <= series["DP"] + 1e-9)
+    assert np.all(series["ILP"] <= series["H1"] + 1e-9)
+    # The unshared DP is still at least as good as committing to one recipe...
+    assert np.all(series["DP"] <= series["H1"] + 1e-9)

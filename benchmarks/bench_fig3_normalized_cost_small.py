@@ -1,0 +1,50 @@
+"""Benchmark: Figure 3 — normalised cost vs the optimum, small application graphs.
+
+Paper setting: 20 alternative graphs of 5-8 tasks (50 % mutation), 5 machine
+types with cost 1-100 and throughput 10-100, 100 configurations, throughput
+20..200.  The benchmark runs a scaled-down sweep by default (see
+``benchmarks/conftest.py``) and asserts the qualitative shape reported in the
+paper: heuristics within a few percent of the optimum, H1 never better than the
+improved heuristics on average, and every heuristic cost at least the optimal
+cost on every instance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure3
+from repro.experiments.reporting import render_series
+
+
+@pytest.mark.benchmark(group="figure3")
+def test_figure3_normalized_cost_small(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        figure3,
+        kwargs={
+            "num_configurations": bench_scale.num_configurations,
+            "target_throughputs": bench_scale.target_throughputs,
+            "iterations": bench_scale.iterations,
+        },
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.description)
+    print(render_series(result.series))
+
+    series = result.series.series
+    # The exact solver is the reference: its normalised value is exactly 1.
+    assert np.allclose(series["ILP"], 1.0)
+    # Paper: every heuristic stays within ~6 % of the optimum on this setting
+    # (we allow 12 % headroom for the much smaller configuration sample).
+    for name in ("H1", "H2", "H31", "H32", "H32Jump"):
+        values = np.asarray(series[name], dtype=float)
+        assert np.all(values <= 1.0 + 1e-9)
+        assert values.mean() >= 0.88
+    # The improved heuristics are never worse than H1 on average (they start
+    # from its solution and only keep improvements).
+    for name in ("H2", "H31", "H32", "H32Jump"):
+        assert np.mean(series[name]) >= np.mean(series["H1"]) - 1e-9

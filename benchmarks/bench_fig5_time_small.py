@@ -1,0 +1,43 @@
+"""Benchmark: Figure 5 — computation time of the algorithms, small graphs.
+
+The paper's observations (absolute values are hardware dependent, only the
+ordering is asserted): H1 is almost instantaneous, the iterative heuristics sit
+in between, and the exact solver is the slowest of the exact/heuristic mix on
+this setting (or at least markedly slower than H1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure5
+from repro.experiments.reporting import render_series
+
+
+@pytest.mark.benchmark(group="figure5")
+def test_figure5_computation_time_small(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        figure5,
+        kwargs={
+            "num_configurations": bench_scale.num_configurations,
+            "target_throughputs": bench_scale.target_throughputs,
+            "iterations": bench_scale.iterations,
+        },
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.description)
+    print(render_series(result.series))
+
+    series = {name: np.asarray(vals, dtype=float) for name, vals in result.series.series.items()}
+    # H1 is by far the fastest algorithm (paper: "almost instantly").
+    for name in ("ILP", "H2", "H31", "H32Jump"):
+        assert series["H1"].mean() < series[name].mean()
+    # The exact solver is slower than the cheapest heuristics.
+    assert series["ILP"].mean() > series["H1"].mean()
+    # All timings are positive and finite.
+    for values in series.values():
+        assert np.all(np.isfinite(values)) and np.all(values >= 0)

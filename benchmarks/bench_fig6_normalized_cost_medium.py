@@ -1,0 +1,41 @@
+"""Benchmark: Figure 6 — normalised cost, medium application graphs.
+
+Paper setting: 20 alternative graphs of 10-20 tasks (30 % mutation), 8 machine
+types, cost 1-100, throughput 10-100.  Expected shape: same hierarchy as the
+small setting, heuristics within ~5 % of the optimum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure6
+from repro.experiments.reporting import render_series
+
+
+@pytest.mark.benchmark(group="figure6")
+def test_figure6_normalized_cost_medium(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        figure6,
+        kwargs={
+            "num_configurations": bench_scale.num_configurations,
+            "target_throughputs": bench_scale.target_throughputs,
+            "iterations": bench_scale.iterations,
+        },
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.description)
+    print(render_series(result.series))
+
+    series = result.series.series
+    assert np.allclose(series["ILP"], 1.0)
+    for name in ("H1", "H2", "H31", "H32", "H32Jump"):
+        values = np.asarray(series[name], dtype=float)
+        assert np.all(values <= 1.0 + 1e-9)
+        assert values.mean() >= 0.88
+    for name in ("H2", "H31", "H32", "H32Jump"):
+        assert np.mean(series[name]) >= np.mean(series["H1"]) - 1e-9

@@ -1,0 +1,44 @@
+"""Benchmark: Figure 7 — normalised cost, large application graphs.
+
+Paper setting: 20 alternative graphs of 50-100 tasks (50 % mutation), 8 machine
+types, cost 1-100, throughput 10-50.  Expected shape: the heuristics become
+asymptotically close to the optimum (paper: > 99 % for throughputs above 50 —
+a single graph is almost enough at high throughput).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure7
+from repro.experiments.reporting import render_series
+
+
+@pytest.mark.benchmark(group="figure7")
+def test_figure7_normalized_cost_large(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        figure7,
+        kwargs={
+            "num_configurations": bench_scale.num_configurations,
+            "target_throughputs": bench_scale.target_throughputs,
+            "iterations": bench_scale.iterations,
+        },
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.description)
+    print(render_series(result.series))
+
+    series = result.series.series
+    throughputs = np.asarray(result.series.throughputs, dtype=float)
+    assert np.allclose(series["ILP"], 1.0)
+    for name in ("H1", "H2", "H31", "H32", "H32Jump"):
+        values = np.asarray(series[name], dtype=float)
+        assert np.all(values <= 1.0 + 1e-9)
+        # Large graphs: heuristics are very close to the optimum, and get even
+        # closer at high throughput (paper: > 99 % beyond rho = 50).
+        high = values[throughputs >= 50]
+        assert high.mean() >= 0.95

@@ -1,0 +1,47 @@
+"""Benchmark: Figure 8 — computation time on the ILP stress setting.
+
+Paper setting: 10 alternative graphs of 100-200 tasks (30 % mutation), 50
+machine types, cost 1-100, throughput 5-25, and a 100 s time limit on the exact
+solver.  The paper observes that beyond a throughput of ~100 the ILP hits its
+time limit while the heuristics stay in the sub-second range; the assertions
+check the ordering (exact solver ≫ heuristics, H1 fastest) without pinning
+absolute values, and the scaled-down default keeps the stress tolerable for a
+laptop run (see ``benchmarks/conftest.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import figure8
+from repro.experiments.reporting import render_series
+
+
+@pytest.mark.benchmark(group="figure8")
+def test_figure8_time_xlarge(benchmark, bench_scale):
+    result = benchmark.pedantic(
+        figure8,
+        kwargs={
+            "num_configurations": bench_scale.stress_configurations,
+            "target_throughputs": bench_scale.stress_throughputs,
+            "iterations": bench_scale.iterations,
+            "ilp_time_limit": bench_scale.ilp_time_limit,
+        },
+        rounds=1,
+        iterations=1,
+        warmup_rounds=0,
+    )
+    print()
+    print(result.description)
+    print(render_series(result.series))
+
+    series = {name: np.asarray(vals, dtype=float) for name, vals in result.series.series.items()}
+    # H1 stays by far the fastest even on 100-200 task graphs.
+    for name in ("ILP", "H2", "H31", "H32Jump"):
+        assert series["H1"].mean() < series[name].mean()
+    # The exact solver dominates the total run time on the stress setting.
+    assert series["ILP"].mean() > series["H1"].mean()
+    assert series["ILP"].mean() > series["H32"].mean()
+    # The time limit bounds every individual exact solve.
+    assert np.all(series["ILP"] <= bench_scale.ilp_time_limit * 1.5)

@@ -1,0 +1,46 @@
+"""Benchmark: reproduce Table III (illustrating example, Section VII).
+
+The measured quantity is the time to regenerate the full table (20 target
+throughputs x 6 algorithms); the table itself and the comparison against the
+paper's optimal-cost column are printed once so the benchmark log records the
+reproduced artefact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.reporting import render_table3, table3_vs_paper
+from repro.experiments.tables import (
+    PAPER_TABLE3_OPTIMAL_COSTS,
+    reproduce_table3,
+)
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_reproduction(benchmark):
+    table = benchmark.pedantic(
+        reproduce_table3, kwargs={"iterations": 1000}, rounds=1, iterations=1, warmup_rounds=0
+    )
+    print()
+    print(render_table3(table))
+    print()
+    print(table3_vs_paper(table))
+    # The exact solver must reproduce every optimal cost of the paper.
+    reproduced = table.costs("ILP")
+    for rho, paper_cost in PAPER_TABLE3_OPTIMAL_COSTS.items():
+        assert reproduced[rho] == pytest.approx(paper_cost)
+    # The heuristics are never better than the optimum and H2/H32Jump match it
+    # on a clear majority of the rows (the paper reports only two misses for H2).
+    for name in ("H1", "H2", "H31", "H32", "H32Jump"):
+        for rho, cost in table.costs(name).items():
+            assert cost >= reproduced[rho] - 1e-9
+    assert table.optimal_match_count("H2") >= 12
+    assert table.optimal_match_count("H32Jump") >= 12
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_exact_solver_only(benchmark):
+    """Time of the exact solver alone over the 20 throughputs of Table III."""
+    table = benchmark(lambda: reproduce_table3(algorithms=("ILP",)))
+    assert table.costs("ILP") == {k: float(v) for k, v in PAPER_TABLE3_OPTIMAL_COSTS.items()}

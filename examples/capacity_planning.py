@@ -1,0 +1,88 @@
+#!/usr/bin/env python
+"""Capacity planning on top of the MinCOST solvers.
+
+Two planner questions built on the paper's model:
+
+1. *Cost / throughput trade-off* — the optimal rental cost is a staircase in
+   the target throughput (the generalisation of the "bucket" behaviour the
+   paper notes for H1).  The trade-off analysis prints the staircase, the
+   marginal cost of each extra throughput step and the "efficient" operating
+   points that waste none of the rented capacity.
+
+2. *Budget dual* — instead of "what does throughput rho cost?", answer "what
+   is the best throughput B dollars per hour can buy?" by bisection over the
+   staircase.
+
+The script also round-trips the chosen instance and its optimal allocation
+through the JSON configuration format (`repro.io`), the hand-off format meant
+for deployment tools (the paper's future-work integration with Pegasus or
+CometCloud).
+
+Run with::
+
+    python examples/capacity_planning.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+from repro import MinCostProblem, create_solver
+from repro.analysis import cost_curve, efficient_throughputs, marginal_costs, max_throughput_for_budget
+from repro.experiments.reporting import format_table
+from repro.experiments.tables import illustrating_application, illustrating_platform
+from repro.io import load_problem, save_allocation, save_problem
+
+
+def tradeoff_analysis(problem: MinCostProblem) -> None:
+    sweep = list(range(10, 201, 10))
+    curve = cost_curve(problem, sweep)
+    marginals = marginal_costs(curve)
+    rows = [["rho", "optimal cost", "marginal cost", "cost per unit"]]
+    for rho, cost, marginal in zip(curve.throughputs, curve.costs, marginals):
+        rows.append([f"{rho:g}", f"{cost:g}", f"{marginal:g}", f"{cost / rho:.3f}"])
+    print("Cost / throughput trade-off (optimal costs, Table III staircase)")
+    print(format_table(rows))
+    print()
+    print("Efficient operating points (right edge of each cost plateau):")
+    print("  " + ", ".join(f"{v:g}" for v in efficient_throughputs(curve)))
+    print()
+
+
+def budget_analysis(problem: MinCostProblem) -> None:
+    rows = [["hourly budget", "best throughput", "cost", "probes"]]
+    for budget in (50, 100, 130, 200, 300, 400):
+        result = max_throughput_for_budget(problem, budget=budget)
+        rows.append(
+            [str(budget), f"{result.throughput:g}", f"{result.cost:g}", str(result.probes)]
+        )
+    print("Budget dual: best throughput affordable per hourly budget")
+    print(format_table(rows))
+    print()
+
+
+def configuration_round_trip(problem: MinCostProblem) -> None:
+    result = create_solver("ILP").solve(problem)
+    with tempfile.TemporaryDirectory() as tmp:
+        problem_path = save_problem(problem, Path(tmp) / "problem.json")
+        allocation_path = save_allocation(result.allocation, Path(tmp) / "allocation.json")
+        reloaded = load_problem(problem_path)
+        print("Configuration-file round trip")
+        print(f"  wrote {problem_path.name} and {allocation_path.name}")
+        print(f"  reloaded instance solves to the same optimal cost: "
+              f"{create_solver('ILP').solve(reloaded).cost:g} (expected {result.cost:g})")
+
+
+def main() -> int:
+    problem = MinCostProblem(
+        illustrating_application(), illustrating_platform(), target_throughput=70
+    )
+    tradeoff_analysis(problem)
+    budget_analysis(problem)
+    configuration_round_trip(problem)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,97 @@
+#!/usr/bin/env python
+"""Multi-cloud dimensioning: recipes that cannot share machines (Section V-B).
+
+When each alternative recipe runs on a *different* cloud (the paper's second
+case in Section V), a machine rented on one cloud cannot serve tasks of a
+recipe deployed on another one, i.e. the recipes share no task type.  For that
+case the paper gives a pseudo-polynomial dynamic program that is provably
+optimal.
+
+This example models an image-analysis service deployable on three providers
+(each with its own instance catalogue and prices) and shows
+
+* that the dynamic program and the MILP agree on the optimal cost,
+* how the optimal throughput split across providers evolves with the target
+  throughput (cheap providers are filled first, expensive ones only absorb the
+  overflow),
+* the cost of the naive alternatives (single provider / random split).
+
+Run with::
+
+    python examples/multi_cloud_dimensioning.py
+"""
+
+from __future__ import annotations
+
+from repro import Application, CloudPlatform, MinCostProblem, RecipeGraph, create_solver
+from repro.experiments.reporting import format_table
+
+
+def build_instance() -> tuple[Application, CloudPlatform]:
+    """Three provider-specific recipes over disjoint type sets."""
+    # Provider A: a 3-stage pipeline on burstable instances (cheap, slow).
+    recipe_a = RecipeGraph.from_type_sequence(
+        ["A-ingest", "A-analyze", "A-publish"], name="provider-A"
+    )
+    # Provider B: a 4-stage pipeline (its analysis stage is split in two).
+    recipe_b = RecipeGraph.from_type_sequence(
+        ["B-ingest", "B-detect", "B-classify", "B-publish"], name="provider-B"
+    )
+    # Provider C: a 2-stage pipeline on large instances (fast, expensive).
+    recipe_c = RecipeGraph.from_type_sequence(["C-ingest", "C-analyze"], name="provider-C")
+    application = Application([recipe_a, recipe_b, recipe_c], name="image-analysis")
+
+    platform = CloudPlatform(name="multi-cloud")
+    # provider A types
+    platform.add("A-ingest", cost=3, throughput=40)
+    platform.add("A-analyze", cost=8, throughput=25)
+    platform.add("A-publish", cost=2, throughput=60)
+    # provider B types
+    platform.add("B-ingest", cost=4, throughput=50)
+    platform.add("B-detect", cost=10, throughput=45)
+    platform.add("B-classify", cost=9, throughput=35)
+    platform.add("B-publish", cost=2, throughput=80)
+    # provider C types
+    platform.add("C-ingest", cost=6, throughput=90)
+    platform.add("C-analyze", cost=22, throughput=120)
+    return application, platform
+
+
+def main() -> int:
+    application, platform = build_instance()
+    dp = create_solver("DP")  # optimal for disjoint type sets (Section V-B)
+    ilp = create_solver("ILP")
+    h1 = create_solver("H1")
+    h0 = create_solver("H0", seed=7)
+
+    assert not application.has_shared_types(), "providers must not share task types"
+
+    rows = [["target rho", "DP cost", "ILP cost", "split across providers (A, B, C)", "H1", "H0"]]
+    for rho in (20, 50, 100, 200, 400, 800):
+        problem = MinCostProblem(application, platform, target_throughput=rho)
+        dp_result = dp.solve(problem)
+        ilp_result = ilp.solve(problem)
+        rows.append(
+            [
+                str(rho),
+                f"{dp_result.cost:g}",
+                f"{ilp_result.cost:g}",
+                str(dp_result.allocation.split),
+                f"{h1.solve(problem).cost:g}",
+                f"{h0.solve(problem).cost:g}",
+            ]
+        )
+
+    print("Multi-cloud dimensioning (recipes without shared task types)")
+    print(format_table(rows))
+    print()
+    print(
+        "The Section V-B dynamic program and the MILP agree on every optimal cost;\n"
+        "the split shows the overflow behaviour across providers as the target grows,\n"
+        "while a single provider (H1) or a random split (H0) can be markedly costlier."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Video transcoding on the cloud: CPU recipes vs GPU recipes.
+
+The paper's motivating scenario (Section I) is a stream application — e.g. a
+video pipeline — whose expensive stages have both CPU and GPU implementations.
+This example models a transcoding service with four stages
+
+    demux  ->  decode  ->  filter  ->  encode
+
+where decode, filter and encode each exist as a CPU task type and a GPU task
+type, giving 2 x 2 x 2 = 8 alternative recipes.  The cloud catalogue offers
+general-purpose instances (cheap, slow) and GPU instances (expensive, fast).
+The script shows how the cheapest platform mixes recipes — renting a few GPU
+instances for the stages where they are cost-effective and filling the rest of
+the throughput with CPU recipes — and how the choice changes with the target
+frame rate.
+
+Run with::
+
+    python examples/video_transcoding_pipeline.py
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro import Application, CloudPlatform, MinCostProblem, RecipeGraph, create_solver
+from repro.experiments.reporting import format_table
+
+# Task types: one per (stage, implementation).
+DEMUX = "demux"
+DECODE_CPU, DECODE_GPU = "decode-cpu", "decode-gpu"
+FILTER_CPU, FILTER_GPU = "filter-cpu", "filter-gpu"
+ENCODE_CPU, ENCODE_GPU = "encode-cpu", "encode-gpu"
+
+
+def build_application() -> Application:
+    """All eight CPU/GPU recipe combinations of the 4-stage pipeline."""
+    recipes = []
+    options = [(DECODE_CPU, DECODE_GPU), (FILTER_CPU, FILTER_GPU), (ENCODE_CPU, ENCODE_GPU)]
+    for index, choice in enumerate(itertools.product(*options), start=1):
+        decode, filt, encode = choice
+        label = "".join("G" if "gpu" in stage else "C" for stage in choice)
+        recipe = RecipeGraph.from_type_sequence([DEMUX, decode, filt, encode], name=f"recipe-{label}")
+        recipes.append(recipe)
+    return Application(recipes, name="video-transcoding")
+
+
+def build_platform() -> CloudPlatform:
+    """A small catalogue: throughput in frames/s per instance, cost in $/hour.
+
+    GPU instances process the heavy stages much faster but cost far more,
+    which is what creates a non-trivial trade-off.
+    """
+    platform = CloudPlatform(name="video-cloud")
+    platform.add(DEMUX, cost=2, throughput=120, name="c5.large (demux)")
+    platform.add(DECODE_CPU, cost=4, throughput=30, name="c5.xlarge (decode)")
+    platform.add(DECODE_GPU, cost=15, throughput=200, name="g4dn.xlarge (decode)")
+    platform.add(FILTER_CPU, cost=4, throughput=20, name="c5.xlarge (filter)")
+    platform.add(FILTER_GPU, cost=15, throughput=240, name="g4dn.xlarge (filter)")
+    platform.add(ENCODE_CPU, cost=6, throughput=15, name="c5.2xlarge (encode)")
+    platform.add(ENCODE_GPU, cost=18, throughput=160, name="g4dn.2xlarge (encode)")
+    return platform
+
+
+def main() -> int:
+    application = build_application()
+    platform = build_platform()
+    ilp = create_solver("ILP")
+    h1 = create_solver("H1")
+
+    rows = [["target fps", "ILP cost", "H1 cost", "saving", "recipes used", "GPU machines"]]
+    for fps in (30, 60, 120, 240, 480, 960):
+        problem = MinCostProblem(application, platform, target_throughput=fps)
+        best = ilp.solve(problem)
+        naive = h1.solve(problem)
+        active = [application[j].name for j in best.allocation.split.active_recipes()]
+        gpu_machines = sum(
+            count for type_id, count in best.allocation.machines.items() if "gpu" in str(type_id)
+        )
+        saving = (naive.cost - best.cost) / naive.cost if naive.cost else 0.0
+        rows.append(
+            [
+                str(fps),
+                f"{best.cost:g}",
+                f"{naive.cost:g}",
+                f"{saving:.1%}",
+                ",".join(active),
+                str(gpu_machines),
+            ]
+        )
+
+    print("Video transcoding: cheapest platform per target frame rate")
+    print(format_table(rows))
+    print()
+    print(
+        "Reading: at low frame rates the all-CPU recipe is cheapest (GPU instances\n"
+        "would sit idle); as the target grows the optimal mix shifts stages to GPU\n"
+        "instances whose higher throughput amortises their price, and mixing several\n"
+        "recipes lets the solver fill each rented machine."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

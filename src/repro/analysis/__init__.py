@@ -1,0 +1,19 @@
+"""Capacity-planning analyses built on top of the MinCOST solvers.
+
+Not part of the paper's evaluation, but natural consumers of its model:
+cost/throughput trade-off curves (the staircase behind the paper's "bucket"
+remark) and the dual budget-constrained throughput maximisation.
+"""
+
+from .budget import BudgetResult, max_throughput_for_budget
+from .tradeoff import CostCurve, cost_curve, cost_per_unit, efficient_throughputs, marginal_costs
+
+__all__ = [
+    "BudgetResult",
+    "max_throughput_for_budget",
+    "CostCurve",
+    "cost_curve",
+    "cost_per_unit",
+    "efficient_throughputs",
+    "marginal_costs",
+]

@@ -1,0 +1,105 @@
+"""The dual problem: maximise throughput under a rental budget.
+
+The paper minimises the hourly cost for a prescribed throughput.  Operators
+often face the mirrored question — "what is the best throughput I can sustain
+for B dollars per hour?" — which reduces to the paper's problem through a
+monotone search: the optimal cost is a non-decreasing staircase in the target
+throughput, so the largest affordable throughput can be found by bisection on
+the integer throughput lattice, calling a MinCOST solver at each probe.
+
+:func:`max_throughput_for_budget` implements that search and returns both the
+throughput and the allocation realising it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.allocation import Allocation
+from ..core.exceptions import ProblemError
+from ..core.problem import MinCostProblem
+from ..solvers.base import Solver
+from ..solvers.milp import MilpSolver
+
+__all__ = ["BudgetResult", "max_throughput_for_budget"]
+
+
+@dataclass
+class BudgetResult:
+    """Outcome of the budget-constrained throughput maximisation."""
+
+    budget: float
+    throughput: float
+    cost: float
+    allocation: Allocation | None
+    probes: int
+
+    @property
+    def feasible(self) -> bool:
+        """True when at least one unit of throughput fits in the budget."""
+        return self.allocation is not None
+
+
+def max_throughput_for_budget(
+    problem: MinCostProblem,
+    budget: float,
+    *,
+    solver: Solver | None = None,
+    max_throughput: float | None = None,
+    step: float = 1.0,
+) -> BudgetResult:
+    """Largest target throughput whose optimal rental cost fits in ``budget``.
+
+    Parameters
+    ----------
+    problem:
+        Template instance (its own target throughput is ignored).
+    budget:
+        Hourly budget (strictly positive).
+    solver:
+        MinCOST algorithm used at each probe (exact MILP by default; a
+        heuristic gives a conservative, still-feasible answer).
+    max_throughput:
+        Upper bound of the search.  Defaults to a bound derived from the
+        budget: with the cheapest recipe ``j*`` the fractional cost of one unit
+        of throughput is ``u_{j*}``, so no throughput above ``budget / u_{j*}``
+        can possibly be affordable.
+    step:
+        Granularity of the answer (1 by default, the paper's integer lattice).
+    """
+    if budget <= 0:
+        raise ProblemError(f"budget must be strictly positive, got {budget}")
+    if step <= 0:
+        raise ProblemError(f"step must be strictly positive, got {step}")
+    solver = solver or MilpSolver()
+
+    unit_cost = float(problem.unit_costs_per_recipe.min())
+    if max_throughput is None:
+        max_throughput = budget / unit_cost if unit_cost > 0 else budget
+    hi_units = max(1, int(max_throughput / step))
+    lo_units = 0  # throughput 0 always fits (cost 0); answer is lo_units * step
+    probes = 0
+    best_allocation: Allocation | None = None
+    best_cost = 0.0
+
+    # Check the smallest positive target first: if even `step` is unaffordable
+    # the budget buys nothing.
+    while lo_units < hi_units:
+        mid = (lo_units + hi_units + 1) // 2
+        rho = mid * step
+        result = solver.solve(problem.with_target(rho))
+        probes += 1
+        if result.cost <= budget + 1e-9:
+            lo_units = mid
+            best_allocation = result.allocation
+            best_cost = result.cost
+        else:
+            hi_units = mid - 1
+
+    return BudgetResult(
+        budget=float(budget),
+        throughput=lo_units * step,
+        cost=best_cost,
+        allocation=best_allocation,
+        probes=probes,
+    )

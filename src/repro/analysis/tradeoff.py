@@ -1,0 +1,112 @@
+"""Cost / throughput trade-off analysis.
+
+The MinCOST cost function is a staircase in the target throughput: renting an
+extra machine unlocks a whole bucket of additional throughput at no extra cost
+(the "bucket behaviour" the paper points out for H1 in Section VII, which also
+exists — with smaller steps — for the optimal cost).  This module computes that
+staircase and the quantities a capacity planner reads off it:
+
+* :func:`cost_curve` — optimal (or heuristic) cost for a sweep of targets;
+* :func:`marginal_costs` — cost increase per extra unit of throughput;
+* :func:`efficient_throughputs` — the right edge of each cost plateau, i.e. the
+  targets that fully use what is being paid for (best cost per data set);
+* :func:`cost_per_unit` — average cost per unit of throughput along the sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.problem import MinCostProblem
+from ..solvers.base import Solver
+from ..solvers.milp import MilpSolver
+
+__all__ = ["CostCurve", "cost_curve", "marginal_costs", "efficient_throughputs", "cost_per_unit"]
+
+
+@dataclass
+class CostCurve:
+    """Optimal (or heuristic) rental cost over a throughput sweep."""
+
+    throughputs: np.ndarray
+    costs: np.ndarray
+    solver_name: str
+
+    def __post_init__(self) -> None:
+        self.throughputs = np.asarray(self.throughputs, dtype=float)
+        self.costs = np.asarray(self.costs, dtype=float)
+        if self.throughputs.shape != self.costs.shape:
+            raise ValueError("throughputs and costs must have the same shape")
+
+    def cost_at(self, rho: float) -> float:
+        """Cost of the smallest swept target that covers ``rho``."""
+        idx = np.searchsorted(self.throughputs, rho, side="left")
+        if idx >= self.throughputs.size:
+            raise ValueError(f"rho={rho} is beyond the swept range (max {self.throughputs.max()})")
+        return float(self.costs[idx])
+
+    def as_rows(self) -> list[list[str]]:
+        rows = [["rho", "cost", "cost/unit"]]
+        for rho, cost in zip(self.throughputs, self.costs):
+            rows.append([f"{rho:g}", f"{cost:g}", f"{cost / rho:.3f}" if rho else "-"])
+        return rows
+
+
+def cost_curve(
+    problem: MinCostProblem,
+    throughputs: Sequence[float],
+    *,
+    solver: Solver | None = None,
+) -> CostCurve:
+    """Compute the cost of the same application/platform over a throughput sweep.
+
+    Parameters
+    ----------
+    problem:
+        Any instance; its target throughput is ignored (each swept value builds
+        a sibling instance via :meth:`MinCostProblem.with_target`).
+    throughputs:
+        Strictly positive sweep values, in increasing order.
+    solver:
+        Algorithm used per point (the exact MILP by default).
+    """
+    values = [float(v) for v in throughputs]
+    if not values:
+        raise ValueError("the throughput sweep must not be empty")
+    if any(v <= 0 for v in values):
+        raise ValueError("swept throughputs must be strictly positive")
+    if sorted(values) != values:
+        raise ValueError("swept throughputs must be increasing")
+    solver = solver or MilpSolver()
+    costs = [solver.solve(problem.with_target(rho)).cost for rho in values]
+    return CostCurve(np.array(values), np.array(costs), solver_name=solver.name)
+
+
+def marginal_costs(curve: CostCurve) -> np.ndarray:
+    """Cost increase between consecutive swept targets (first entry vs zero cost)."""
+    return np.diff(curve.costs, prepend=0.0)
+
+
+def efficient_throughputs(curve: CostCurve) -> list[float]:
+    """Targets sitting at the right edge of a cost plateau.
+
+    These are the throughputs for which the next swept target is strictly more
+    expensive (or which end the sweep): asking for them wastes none of the
+    rented capacity, so they are the natural operating points when the QoS
+    requirement has some slack.
+    """
+    edges: list[float] = []
+    for index in range(curve.throughputs.size):
+        is_last = index == curve.throughputs.size - 1
+        if is_last or curve.costs[index + 1] > curve.costs[index] + 1e-9:
+            edges.append(float(curve.throughputs[index]))
+    return edges
+
+
+def cost_per_unit(curve: CostCurve) -> np.ndarray:
+    """Average cost per unit of throughput at each swept target."""
+    with np.errstate(divide="ignore", invalid="ignore"):
+        return np.where(curve.throughputs > 0, curve.costs / curve.throughputs, np.nan)

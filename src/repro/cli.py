@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro`` / ``repro-cloud``.
+
+Sub-commands
+------------
+
+``table3``
+    Reproduce Table III of the paper (illustrating example, all algorithms)
+    and compare the exact costs against the published column.
+``figure``
+    Regenerate one of Figures 3-8 (scaled down by default; pass
+    ``--configurations 100`` for the paper-scale run) and print the series.
+``solve``
+    Solve the illustrating example (or a randomly generated instance) at a
+    given throughput with a chosen algorithm and print the allocation.
+``settings``
+    List the paper's workload settings and the registered algorithms.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import available_solvers, create_solver
+from .experiments.figures import FIGURES
+from .experiments.reporting import render_series, render_table3, table3_vs_paper
+from .experiments.tables import illustrating_problem, reproduce_table3
+from .generators.workload import PAPER_SETTINGS, generate_configuration, get_setting
+from .simulation.validate import validate_allocation
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-cloud",
+        description="Reproduction of 'Minimizing Rental Cost for Multiple Recipe "
+        "Applications in the Cloud' (Hanna et al., IPDPSW 2016)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_table = sub.add_parser("table3", help="reproduce Table III (illustrating example)")
+    p_table.add_argument("--iterations", type=int, default=2000, help="heuristic iteration budget")
+    p_table.add_argument("--seed", type=int, default=2016, help="base random seed")
+
+    p_fig = sub.add_parser("figure", help="regenerate one of the paper's figures")
+    p_fig.add_argument("name", choices=sorted(FIGURES), help="figure to regenerate")
+    p_fig.add_argument("--configurations", type=int, default=5,
+                       help="number of random configurations (paper: 100)")
+    p_fig.add_argument("--iterations", type=int, default=1000, help="heuristic iteration budget")
+    p_fig.add_argument("--throughputs", type=int, nargs="*", default=None,
+                       help="target throughputs (paper: 20..200 step 10)")
+    p_fig.add_argument("--quiet", action="store_true", help="suppress progress messages")
+
+    p_solve = sub.add_parser("solve", help="solve one MinCOST instance and print the allocation")
+    p_solve.add_argument("--algorithm", default="ILP", help="algorithm name (see 'settings')")
+    p_solve.add_argument("--rho", type=float, default=70.0, help="target throughput")
+    p_solve.add_argument("--setting", default=None,
+                         help="generate a random instance from this paper setting "
+                              "instead of using the illustrating example")
+    p_solve.add_argument("--seed", type=int, default=0, help="random seed for generated instances")
+    p_solve.add_argument("--simulate", action="store_true",
+                         help="validate the allocation with the stream simulator")
+
+    sub.add_parser("settings", help="list workload settings and registered algorithms")
+    return parser
+
+
+def _cmd_table3(args: argparse.Namespace) -> int:
+    table = reproduce_table3(iterations=args.iterations, base_seed=args.seed)
+    print(render_table3(table))
+    print()
+    print("Exact-cost comparison with the paper's Table III:")
+    print(table3_vs_paper(table))
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    progress = None if args.quiet else (lambda msg: print(msg, file=sys.stderr))
+    kwargs: dict = {
+        "num_configurations": args.configurations,
+        "iterations": args.iterations,
+        "progress": progress,
+    }
+    if args.throughputs:
+        kwargs["target_throughputs"] = tuple(args.throughputs)
+    result = FIGURES[args.name](**kwargs)
+    print(result.description)
+    print(render_series(result.series))
+    return 0
+
+
+def _cmd_solve(args: argparse.Namespace) -> int:
+    if args.setting:
+        configuration = generate_configuration(get_setting(args.setting), seed=args.seed)
+        problem = configuration.problem(args.rho)
+    else:
+        problem = illustrating_problem(args.rho)
+    solver = create_solver(args.algorithm)
+    result = solver.solve(problem)
+    print(problem.describe())
+    print(result.summary())
+    print(result.allocation.summary())
+    if args.simulate:
+        validation = validate_allocation(problem, result.allocation)
+        print()
+        print("Stream-simulation validation:")
+        if validation.report is not None:
+            print(validation.report.summary())
+        print(f"allocation sustains the target throughput: {validation.sustains_target}")
+    return 0
+
+
+def _cmd_settings(_args: argparse.Namespace) -> int:
+    print("Workload settings (Section VIII):")
+    for name, setting in PAPER_SETTINGS.items():
+        print(
+            f"  {name:<7} {setting.num_recipes} recipes, "
+            f"{setting.min_tasks}-{setting.max_tasks} tasks, "
+            f"{setting.num_types} types, mutation {setting.mutation_fraction:.0%}, "
+            f"throughput {setting.throughput_range}"
+        )
+    print()
+    print("Registered algorithms:", ", ".join(available_solvers()))
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point of ``repro-cloud`` and ``python -m repro``."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "table3": _cmd_table3,
+        "figure": _cmd_figure,
+        "solve": _cmd_solve,
+        "settings": _cmd_settings,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,85 @@
+"""Core model objects for the MinCOST reproduction.
+
+This subpackage implements the framework of Section III of the paper: typed
+tasks, recipe DAGs, multi-recipe applications, the cloud platform catalogue,
+the cost formulas of Sections IV and V, throughput splits, allocations and the
+MinCOST problem object itself.
+"""
+
+from .allocation import Allocation, ThroughputSplit
+from .application import Application
+from .cost import (
+    cost_for_split,
+    cost_for_split_unshared,
+    cost_per_recipe_unshared,
+    cost_scalar_for_split,
+    cost_single_graph,
+    loads_for_split,
+    lower_bound_cost,
+    machines_for_load,
+    machines_for_split,
+    machines_single_graph,
+    machines_vector,
+)
+from .exceptions import (
+    AllocationError,
+    ConfigurationError,
+    CycleError,
+    GenerationError,
+    GraphError,
+    InfeasibleProblemError,
+    ModelError,
+    PlatformError,
+    ProblemError,
+    ReproError,
+    SimulationError,
+    SolverError,
+    SolverTimeoutError,
+    UnknownTaskError,
+    UnknownTypeError,
+)
+from .graph import RecipeGraph
+from .platform import CloudPlatform, ProcessorType
+from .problem import MinCostProblem, ProblemClass
+from .task import Task, TaskType
+
+__all__ = [
+    "Allocation",
+    "ThroughputSplit",
+    "Application",
+    "RecipeGraph",
+    "CloudPlatform",
+    "ProcessorType",
+    "MinCostProblem",
+    "ProblemClass",
+    "Task",
+    "TaskType",
+    # cost functions
+    "cost_for_split",
+    "cost_for_split_unshared",
+    "cost_per_recipe_unshared",
+    "cost_scalar_for_split",
+    "cost_single_graph",
+    "loads_for_split",
+    "lower_bound_cost",
+    "machines_for_load",
+    "machines_for_split",
+    "machines_single_graph",
+    "machines_vector",
+    # exceptions
+    "ReproError",
+    "ModelError",
+    "GraphError",
+    "CycleError",
+    "UnknownTaskError",
+    "PlatformError",
+    "UnknownTypeError",
+    "ProblemError",
+    "InfeasibleProblemError",
+    "SolverError",
+    "SolverTimeoutError",
+    "AllocationError",
+    "GenerationError",
+    "SimulationError",
+    "ConfigurationError",
+]

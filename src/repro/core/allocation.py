@@ -1,0 +1,221 @@
+"""Throughput splits and allocations (the decision variables of MinCOST).
+
+A :class:`ThroughputSplit` stores the per-recipe throughputs ``rho_j`` and an
+:class:`Allocation` additionally stores the number of rented machines ``x_q``
+per processor type.  Both are immutable value objects; the solvers and
+heuristics build them and the experiment harness and simulator consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .application import Application
+from .allocation_helpers import format_machine_table
+from .cost import cost_for_split, machines_for_split
+from .exceptions import AllocationError
+from .platform import CloudPlatform
+from .task import TaskType
+
+__all__ = ["ThroughputSplit", "Allocation"]
+
+
+@dataclass(frozen=True)
+class ThroughputSplit:
+    """Per-recipe throughputs ``(rho_1, ..., rho_J)``.
+
+    Parameters
+    ----------
+    values:
+        Tuple of non-negative throughputs, one per recipe of the application,
+        in recipe order.
+    """
+
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if any(v < 0 for v in self.values):
+            raise AllocationError(f"negative throughput in split {self.values}")
+
+    # -- constructors ---------------------------------------------------- #
+    @classmethod
+    def from_sequence(cls, values: Sequence[float]) -> "ThroughputSplit":
+        return cls(tuple(float(v) for v in values))
+
+    @classmethod
+    def single_recipe(cls, num_recipes: int, index: int, rho: float) -> "ThroughputSplit":
+        """A split that gives the whole throughput ``rho`` to one recipe."""
+        if not (0 <= index < num_recipes):
+            raise AllocationError(f"recipe index {index} out of range [0, {num_recipes})")
+        values = [0.0] * num_recipes
+        values[index] = float(rho)
+        return cls(tuple(values))
+
+    @classmethod
+    def zeros(cls, num_recipes: int) -> "ThroughputSplit":
+        return cls((0.0,) * num_recipes)
+
+    # -- queries ---------------------------------------------------------- #
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __getitem__(self, index: int) -> float:
+        return self.values[index]
+
+    def __iter__(self):
+        return iter(self.values)
+
+    @property
+    def total(self) -> float:
+        """Aggregate throughput ``sum_j rho_j``."""
+        return float(sum(self.values))
+
+    def active_recipes(self) -> list[int]:
+        """Indices of recipes with a strictly positive throughput."""
+        return [j for j, v in enumerate(self.values) if v > 0]
+
+    def num_active(self) -> int:
+        return len(self.active_recipes())
+
+    def as_array(self) -> np.ndarray:
+        return np.asarray(self.values, dtype=float)
+
+    def as_tuple(self) -> tuple[float, ...]:
+        return self.values
+
+    # -- transformations -------------------------------------------------- #
+    def with_value(self, index: int, value: float) -> "ThroughputSplit":
+        values = list(self.values)
+        values[index] = float(value)
+        return ThroughputSplit(tuple(values))
+
+    def transfer(self, src: int, dst: int, delta: float) -> "ThroughputSplit":
+        """Move ``delta`` units of throughput from recipe ``src`` to ``dst``.
+
+        Following the paper's description of H2 (Section VI): when the source
+        holds less than ``delta``, everything it holds is moved instead, so the
+        total throughput is preserved and no value becomes negative.
+        """
+        if delta < 0:
+            raise AllocationError(f"delta must be non-negative, got {delta}")
+        if src == dst:
+            return self
+        moved = min(delta, self.values[src])
+        values = list(self.values)
+        values[src] -= moved
+        values[dst] += moved
+        return ThroughputSplit(tuple(values))
+
+    def rounded(self, ndigits: int = 9) -> "ThroughputSplit":
+        return ThroughputSplit(tuple(round(v, ndigits) for v in self.values))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{v:g}" for v in self.values)
+        return f"({inner})"
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A complete solution: a throughput split plus rented machine counts.
+
+    Attributes
+    ----------
+    split:
+        The per-recipe throughput split.
+    machines:
+        ``{type: x_q}`` number of rented machines per processor type (types
+        with zero machines may be omitted).
+    cost:
+        Total hourly rental cost ``sum_q x_q c_q``.
+    """
+
+    split: ThroughputSplit
+    machines: Mapping[TaskType, int]
+    cost: float
+    metadata: dict = field(default_factory=dict, compare=False)
+
+    def __post_init__(self) -> None:
+        for type_id, count in self.machines.items():
+            if count < 0:
+                raise AllocationError(f"negative machine count {count} for type {type_id!r}")
+            if int(count) != count:
+                raise AllocationError(f"non-integral machine count {count} for type {type_id!r}")
+        if self.cost < 0:
+            raise AllocationError(f"negative cost {self.cost}")
+
+    # -- constructors ---------------------------------------------------- #
+    @classmethod
+    def from_split(
+        cls,
+        application: Application,
+        platform: CloudPlatform,
+        split: ThroughputSplit | Sequence[float],
+        metadata: dict | None = None,
+    ) -> "Allocation":
+        """Build the cheapest allocation realising a given split.
+
+        The machine counts are the ceilings of Section V-C constraint (2) and
+        the cost follows; this is how every heuristic turns its split into a
+        full solution.
+        """
+        if not isinstance(split, ThroughputSplit):
+            split = ThroughputSplit.from_sequence(split)
+        machines = machines_for_split(application, platform, split.values)
+        cost = float(sum(count * platform.cost_of(q) for q, count in machines.items()))
+        return cls(split=split, machines=dict(machines), cost=cost, metadata=metadata or {})
+
+    # -- queries ---------------------------------------------------------- #
+    @property
+    def total_throughput(self) -> float:
+        return self.split.total
+
+    @property
+    def total_machines(self) -> int:
+        return int(sum(self.machines.values()))
+
+    def machines_of(self, type_id: TaskType) -> int:
+        return int(self.machines.get(type_id, 0))
+
+    def machine_types(self) -> list[TaskType]:
+        return [t for t, x in self.machines.items() if x > 0]
+
+    def is_feasible(
+        self,
+        application: Application,
+        platform: CloudPlatform,
+        rho: float,
+        *,
+        tolerance: float = 1e-9,
+    ) -> bool:
+        """Check the two constraints of the MinCOST MIP (Section V-C).
+
+        1. the split reaches the target throughput: ``sum_j rho_j >= rho``;
+        2. every type has enough machines: ``x_q r_q >= sum_j n^j_q rho_j``.
+        """
+        if self.split.total + tolerance < rho:
+            return False
+        required = machines_for_split(application, platform, self.split.values)
+        for type_id, needed in required.items():
+            if self.machines_of(type_id) < needed:
+                return False
+        return True
+
+    def cost_recomputed(self, platform: CloudPlatform) -> float:
+        """Recompute the cost from the machine counts (consistency check)."""
+        return float(sum(count * platform.cost_of(q) for q, count in self.machines.items()))
+
+    def summary(self) -> str:
+        """Human readable multi-line description of the allocation."""
+        lines = [
+            f"throughput split : {self.split}",
+            f"total throughput : {self.split.total:g}",
+            f"rented machines  : {format_machine_table(self.machines)}",
+            f"hourly cost      : {self.cost:g}",
+        ]
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Allocation(split={self.split}, cost={self.cost:g})"

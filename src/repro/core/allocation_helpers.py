@@ -1,0 +1,24 @@
+"""Small formatting helpers shared by allocation and reporting code."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from .task import TaskType
+
+__all__ = ["format_machine_table"]
+
+
+def format_machine_table(machines: Mapping[TaskType, int]) -> str:
+    """Render ``{type: count}`` as a compact single-line table.
+
+    Types with zero machines are omitted; types are sorted by their string
+    representation so the output is deterministic regardless of insertion
+    order.
+    """
+    parts = [
+        f"{type_id}:{int(count)}"
+        for type_id, count in sorted(machines.items(), key=lambda kv: str(kv[0]))
+        if count > 0
+    ]
+    return "{" + ", ".join(parts) + "}"

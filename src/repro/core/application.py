@@ -1,0 +1,165 @@
+"""Global application: a set of alternative recipe graphs.
+
+The paper's *global application* ``phi`` groups ``J`` workflow graphs
+``phi^1 ... phi^J`` that all compute the same result (Section III).  Any mix of
+recipes can be used concurrently; the output throughput of the application is
+the sum of the per-recipe throughputs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .exceptions import ModelError
+from .graph import RecipeGraph
+from .platform import CloudPlatform
+from .task import TaskType
+
+__all__ = ["Application"]
+
+
+class Application:
+    """A multi-recipe application (the paper's global application ``phi``)."""
+
+    def __init__(self, recipes: Iterable[RecipeGraph] = (), name: str = "application") -> None:
+        self.name = name
+        self._recipes: list[RecipeGraph] = []
+        for recipe in recipes:
+            self.add_recipe(recipe)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_recipe(self, recipe: RecipeGraph) -> RecipeGraph:
+        if not isinstance(recipe, RecipeGraph):
+            raise ModelError(f"expected a RecipeGraph, got {type(recipe).__name__}")
+        if recipe.num_tasks == 0:
+            raise ModelError(f"recipe {recipe.name!r} has no task")
+        if not recipe.name:
+            recipe.name = f"phi{len(self._recipes) + 1}"
+        self._recipes.append(recipe)
+        return recipe
+
+    @classmethod
+    def from_type_sequences(
+        cls,
+        sequences: Sequence[Sequence[TaskType]],
+        name: str = "application",
+    ) -> "Application":
+        """Build an application whose recipe ``j`` is a chain with the given types.
+
+        Convenient for writing down the paper's illustrating examples
+        (Figures 1 and 2) in one line per recipe.
+        """
+        app = cls(name=name)
+        for j, types in enumerate(sequences, start=1):
+            app.add_recipe(RecipeGraph.from_type_sequence(types, name=f"phi{j}"))
+        return app
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._recipes)
+
+    def __iter__(self) -> Iterator[RecipeGraph]:
+        return iter(self._recipes)
+
+    def __getitem__(self, index: int) -> RecipeGraph:
+        return self._recipes[index]
+
+    @property
+    def num_recipes(self) -> int:
+        """``J``: number of alternative graphs."""
+        return len(self._recipes)
+
+    def recipes(self) -> list[RecipeGraph]:
+        return list(self._recipes)
+
+    def recipe_names(self) -> list[str]:
+        return [recipe.name for recipe in self._recipes]
+
+    def types_used(self) -> set[TaskType]:
+        """Union of the task types of all recipes."""
+        types: set[TaskType] = set()
+        for recipe in self._recipes:
+            types |= recipe.types_used()
+        return types
+
+    def shared_types(self) -> set[TaskType]:
+        """Types used by at least two different recipes.
+
+        The general (hardest) variant of the problem is precisely the one where
+        this set is non empty (Section V-C); when it is empty the pseudo-
+        polynomial dynamic program of Section V-B is optimal.
+        """
+        seen: set[TaskType] = set()
+        shared: set[TaskType] = set()
+        for recipe in self._recipes:
+            for task_type in recipe.types_used():
+                if task_type in seen:
+                    shared.add(task_type)
+                else:
+                    seen.add(task_type)
+        return shared
+
+    def has_shared_types(self) -> bool:
+        return bool(self.shared_types())
+
+    def type_counts(self) -> list[dict[TaskType, int]]:
+        """Per-recipe ``n^j_q`` dictionaries."""
+        return [recipe.type_counts() for recipe in self._recipes]
+
+    def type_count_matrix(self, platform: CloudPlatform | Sequence[TaskType]) -> np.ndarray:
+        """``N[j, k] = n^j_q`` for the type at position ``k`` of the platform order.
+
+        Parameters
+        ----------
+        platform:
+            Either a :class:`~repro.core.platform.CloudPlatform` (its canonical
+            type order is used) or an explicit sequence of type ids.
+        """
+        if isinstance(platform, CloudPlatform):
+            order = platform.types()
+        else:
+            order = list(platform)
+        index = {type_id: k for k, type_id in enumerate(order)}
+        matrix = np.zeros((self.num_recipes, len(order)), dtype=np.int64)
+        for j, recipe in enumerate(self._recipes):
+            for task_type, count in recipe.type_counts().items():
+                if task_type in index:
+                    matrix[j, index[task_type]] = count
+        return matrix
+
+    def validate(self) -> None:
+        """Check that the application is well formed (non-empty valid recipes)."""
+        if not self._recipes:
+            raise ModelError(f"application {self.name!r} has no recipe")
+        names = [recipe.name for recipe in self._recipes]
+        if len(set(names)) != len(names):
+            raise ModelError(f"application {self.name!r} has recipes with duplicate names")
+        for recipe in self._recipes:
+            recipe.validate()
+
+    # ------------------------------------------------------------------ #
+    # statistics (used in experiment reporting)
+    # ------------------------------------------------------------------ #
+    def size_summary(self) -> dict[str, float]:
+        """Summary statistics of recipe sizes (min/max/mean number of tasks)."""
+        sizes = [recipe.num_tasks for recipe in self._recipes]
+        if not sizes:
+            return {"min": 0, "max": 0, "mean": 0.0, "total": 0}
+        return {
+            "min": int(min(sizes)),
+            "max": int(max(sizes)),
+            "mean": float(np.mean(sizes)),
+            "total": int(sum(sizes)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Application(name={self.name!r}, recipes={self.num_recipes}, "
+            f"types={len(self.types_used())}, shared={len(self.shared_types())})"
+        )

@@ -1,0 +1,248 @@
+"""Cost model: the closed-form formulas of Sections IV and V-C of the paper.
+
+Three levels of formulas are provided:
+
+* single recipe at throughput ``rho`` (Section IV-A),
+* several recipes with *fixed* throughputs and shared machines
+  (Sections IV-B and V-C constraint (2)),
+* per-recipe cost *without* machine sharing (used by the Section V-B dynamic
+  program where recipes cannot share types by assumption).
+
+All functions exist in two flavours: a readable dictionary-based one working on
+model objects, and a vectorised one working on numpy arrays (``n`` matrix,
+``r`` and ``c`` vectors) used in the hot loops of the heuristics.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .application import Application
+from .exceptions import UnknownTypeError
+from .graph import RecipeGraph
+from .platform import CloudPlatform
+from .task import TaskType
+
+__all__ = [
+    "machines_for_load",
+    "machines_single_graph",
+    "cost_single_graph",
+    "loads_for_split",
+    "machines_for_split",
+    "cost_for_split",
+    "cost_per_recipe_unshared",
+    "cost_for_split_unshared",
+    "machines_vector",
+    "cost_vector_for_split",
+    "cost_scalar_for_split",
+    "lower_bound_cost",
+]
+
+# --------------------------------------------------------------------------- #
+# scalar helpers
+# --------------------------------------------------------------------------- #
+
+
+def _ceil_div_exact(load: float, rate: float) -> int:
+    """``ceil(load / rate)`` robust to floating point noise.
+
+    The paper's quantities are integers, but throughput splits may be floats
+    (heuristics with fractional ``delta``); values within ``1e-9`` of an
+    integer are snapped before applying the ceiling so that e.g. a load of
+    ``29.999999999999996`` on a rate of 10 still needs 3 machines, not 4.
+    """
+    if load <= 0:
+        return 0
+    ratio = load / rate
+    nearest = round(ratio)
+    if abs(ratio - nearest) <= 1e-9 * max(1.0, abs(nearest)):
+        return int(nearest)
+    return int(math.ceil(ratio))
+
+
+def machines_for_load(load: float, throughput: float) -> int:
+    """Number of machines of a type needed to sustain ``load`` tasks/t.u."""
+    if throughput <= 0:
+        raise ValueError(f"throughput must be positive, got {throughput}")
+    return _ceil_div_exact(load, throughput)
+
+
+# --------------------------------------------------------------------------- #
+# Section IV-A: single application graph
+# --------------------------------------------------------------------------- #
+
+
+def machines_single_graph(
+    recipe: RecipeGraph, platform: CloudPlatform, rho: float
+) -> dict[TaskType, int]:
+    """``x_q = ceil(n_q / r_q * rho)`` for every type used by the recipe."""
+    machines: dict[TaskType, int] = {}
+    for task_type, count in recipe.type_counts().items():
+        if task_type not in platform:
+            raise UnknownTypeError(
+                f"recipe {recipe.name!r} uses type {task_type!r} not offered by the platform"
+            )
+        machines[task_type] = machines_for_load(count * rho, platform.throughput_of(task_type))
+    return machines
+
+
+def cost_single_graph(recipe: RecipeGraph, platform: CloudPlatform, rho: float) -> float:
+    """``C(rho) = sum_q ceil(n_q / r_q * rho) * c_q`` (Section IV-A)."""
+    machines = machines_single_graph(recipe, platform, rho)
+    return float(sum(count * platform.cost_of(q) for q, count in machines.items()))
+
+
+# --------------------------------------------------------------------------- #
+# Sections IV-B and V-C: several recipes sharing machines
+# --------------------------------------------------------------------------- #
+
+
+def loads_for_split(
+    application: Application, split: Sequence[float]
+) -> dict[TaskType, float]:
+    """Aggregate load per type: ``L_q = sum_j n^j_q * rho_j``."""
+    if len(split) != application.num_recipes:
+        raise ValueError(
+            f"split has {len(split)} entries for {application.num_recipes} recipes"
+        )
+    loads: dict[TaskType, float] = {}
+    for recipe, rho_j in zip(application.recipes(), split):
+        if rho_j < 0:
+            raise ValueError(f"negative throughput {rho_j} for recipe {recipe.name!r}")
+        if rho_j == 0:
+            continue
+        for task_type, count in recipe.type_counts().items():
+            loads[task_type] = loads.get(task_type, 0.0) + count * rho_j
+    return loads
+
+
+def machines_for_split(
+    application: Application, platform: CloudPlatform, split: Sequence[float]
+) -> dict[TaskType, int]:
+    """``x_q = ceil(sum_j n^j_q rho_j / r_q)`` (Section IV-B / constraint (2))."""
+    machines: dict[TaskType, int] = {}
+    for task_type, load in loads_for_split(application, split).items():
+        if task_type not in platform:
+            raise UnknownTypeError(
+                f"application {application.name!r} uses type {task_type!r} "
+                "not offered by the platform"
+            )
+        machines[task_type] = machines_for_load(load, platform.throughput_of(task_type))
+    return machines
+
+
+def cost_for_split(
+    application: Application, platform: CloudPlatform, split: Sequence[float]
+) -> float:
+    """Total rental cost of a throughput split with machine sharing.
+
+    This is the objective evaluated by every heuristic of Section VI and the
+    value the ILP of Section V-C minimises.
+    """
+    machines = machines_for_split(application, platform, split)
+    return float(sum(count * platform.cost_of(q) for q, count in machines.items()))
+
+
+# --------------------------------------------------------------------------- #
+# Section V-B: recipes that do not share task types (no machine sharing)
+# --------------------------------------------------------------------------- #
+
+
+def cost_per_recipe_unshared(
+    recipe: RecipeGraph, platform: CloudPlatform, rho_j: float
+) -> float:
+    """Cost of running one recipe alone at throughput ``rho_j``.
+
+    When recipes share no type (Section V-B) the global cost is simply the sum
+    of these per-recipe costs; this is the quantity the dynamic program sums.
+    """
+    if rho_j <= 0:
+        return 0.0
+    return cost_single_graph(recipe, platform, rho_j)
+
+
+def cost_for_split_unshared(
+    application: Application, platform: CloudPlatform, split: Sequence[float]
+) -> float:
+    """Total cost when machines are *not* shared across recipes."""
+    if len(split) != application.num_recipes:
+        raise ValueError(
+            f"split has {len(split)} entries for {application.num_recipes} recipes"
+        )
+    return float(
+        sum(
+            cost_per_recipe_unshared(recipe, platform, rho_j)
+            for recipe, rho_j in zip(application.recipes(), split)
+        )
+    )
+
+
+# --------------------------------------------------------------------------- #
+# vectorised flavour (hot path of the heuristics)
+# --------------------------------------------------------------------------- #
+
+
+def machines_vector(
+    counts: np.ndarray, rates: np.ndarray, split: np.ndarray
+) -> np.ndarray:
+    """Vectorised ``x = ceil(N^T rho / r)``.
+
+    Parameters
+    ----------
+    counts:
+        ``(J, Q)`` integer matrix of ``n^j_q``.
+    rates:
+        ``(Q,)`` throughput vector ``r_q``.
+    split:
+        ``(J,)`` throughput split ``rho_j``.
+    """
+    loads = split @ counts  # (Q,)
+    ratio = loads / rates
+    nearest = np.rint(ratio)
+    snapped = np.where(np.abs(ratio - nearest) <= 1e-9 * np.maximum(1.0, np.abs(nearest)), nearest, np.ceil(ratio))
+    return snapped.astype(np.int64)
+
+
+def cost_vector_for_split(
+    counts: np.ndarray, rates: np.ndarray, costs: np.ndarray, split: np.ndarray
+) -> np.ndarray:
+    """Per-type cost vector ``x_q * c_q`` for a split (vectorised)."""
+    return machines_vector(counts, rates, split) * costs
+
+
+def cost_scalar_for_split(
+    counts: np.ndarray, rates: np.ndarray, costs: np.ndarray, split: np.ndarray
+) -> float:
+    """Total cost ``sum_q x_q c_q`` for a split (vectorised)."""
+    return float(cost_vector_for_split(counts, rates, costs, split).sum())
+
+
+# --------------------------------------------------------------------------- #
+# bounds
+# --------------------------------------------------------------------------- #
+
+
+def lower_bound_cost(
+    application: Application, platform: CloudPlatform, rho: float
+) -> float:
+    """A valid lower bound on the optimal cost for target throughput ``rho``.
+
+    Relaxing the machine counts to fractional values, the cost of giving the
+    whole throughput to recipe ``j`` is ``rho * sum_q n^j_q c_q / r_q`` and the
+    relaxed objective is linear in the split, so the relaxed optimum is reached
+    by putting all the throughput on the cheapest recipe per unit of
+    throughput.  Machine sharing cannot beat this fractional bound.
+    """
+    if rho <= 0:
+        return 0.0
+    best = math.inf
+    for recipe in application.recipes():
+        unit = 0.0
+        for task_type, count in recipe.type_counts().items():
+            proc = platform.processor(task_type)
+            unit += count * proc.cost / proc.throughput
+        best = min(best, unit)
+    return float(best * rho)

@@ -1,0 +1,92 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish model errors (bad input data) from solver errors
+(infeasible instances, time-outs, ...).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ModelError",
+    "GraphError",
+    "CycleError",
+    "UnknownTaskError",
+    "PlatformError",
+    "UnknownTypeError",
+    "ProblemError",
+    "InfeasibleProblemError",
+    "SolverError",
+    "SolverTimeoutError",
+    "AllocationError",
+    "GenerationError",
+    "SimulationError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by the library."""
+
+
+class ModelError(ReproError):
+    """Invalid model data (tasks, graphs, platforms, applications)."""
+
+
+class GraphError(ModelError):
+    """Invalid recipe graph (bad edge, duplicate task, ...)."""
+
+
+class CycleError(GraphError):
+    """The recipe graph contains a cycle and therefore is not a DAG."""
+
+
+class UnknownTaskError(GraphError):
+    """An edge or query references a task id that is not in the graph."""
+
+
+class PlatformError(ModelError):
+    """Invalid cloud platform description."""
+
+
+class UnknownTypeError(PlatformError):
+    """A task references a processor type the platform does not provide."""
+
+
+class ProblemError(ReproError):
+    """Invalid MinCOST problem instance."""
+
+
+class InfeasibleProblemError(ProblemError):
+    """The problem admits no feasible solution (e.g. missing processor type)."""
+
+
+class SolverError(ReproError):
+    """A solver failed to produce a solution."""
+
+
+class SolverTimeoutError(SolverError):
+    """A solver hit its time limit before proving optimality."""
+
+    def __init__(self, message: str, best_cost: float | None = None) -> None:
+        super().__init__(message)
+        #: Best incumbent cost found before the time limit, if any.
+        self.best_cost = best_cost
+
+
+class AllocationError(ReproError):
+    """An allocation is inconsistent with its problem (infeasible, negative counts...)."""
+
+
+class GenerationError(ReproError):
+    """Random instance generation received inconsistent parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event stream simulator was driven into an invalid state."""
+
+
+class ConfigurationError(ReproError):
+    """An experiment configuration is inconsistent."""

@@ -1,0 +1,194 @@
+"""Cloud platform model: processor types with rental cost and throughput.
+
+The paper (Section III) models the cloud as a catalogue of *processor types*.
+A processor of type ``q`` costs ``c_q`` per hour and sustains a throughput of
+``r_q`` tasks of type ``q`` per time unit.  All processors of the same type are
+identical, and an unbounded number of them can be rented (on-demand instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from .exceptions import PlatformError, UnknownTypeError
+from .task import TaskType
+
+__all__ = ["ProcessorType", "CloudPlatform"]
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessorType:
+    """One entry of the cloud catalogue.
+
+    Parameters
+    ----------
+    type_id:
+        The processor (= task) type ``q``.
+    cost:
+        Hourly rental cost ``c_q`` (strictly positive).
+    throughput:
+        Steady-state throughput ``r_q`` in tasks per time unit (strictly
+        positive).  The paper assumes integer throughputs; floats are accepted
+        by the model but the random generators only produce integers.
+    name:
+        Optional human readable label ("m4.large", "gpu-p2", ...).
+    """
+
+    type_id: TaskType
+    cost: float
+    throughput: float
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.type_id is None:
+            raise PlatformError("type_id must not be None")
+        if not (self.cost > 0):
+            raise PlatformError(f"cost must be positive, got {self.cost}")
+        if not (self.throughput > 0):
+            raise PlatformError(f"throughput must be positive, got {self.throughput}")
+
+    @property
+    def cost_per_unit_throughput(self) -> float:
+        """``c_q / r_q``: the price of one unit of throughput of this type."""
+        return self.cost / self.throughput
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or f"P{self.type_id}"
+        return f"{label}(type={self.type_id}, r={self.throughput}, c={self.cost})"
+
+
+class CloudPlatform:
+    """The set of processor types offered by the cloud provider(s).
+
+    The platform fixes a canonical ordering of the types which is used by the
+    vectorised cost computations (numpy arrays indexed by type position).
+    """
+
+    def __init__(self, processors: Iterable[ProcessorType] = (), name: str = "cloud") -> None:
+        self.name = name
+        self._processors: dict[TaskType, ProcessorType] = {}
+        for proc in processors:
+            self.add_processor(proc)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def add_processor(self, processor: ProcessorType) -> ProcessorType:
+        if not isinstance(processor, ProcessorType):
+            raise PlatformError(f"expected a ProcessorType, got {type(processor).__name__}")
+        if processor.type_id in self._processors:
+            raise PlatformError(f"duplicate processor type {processor.type_id!r}")
+        self._processors[processor.type_id] = processor
+        return processor
+
+    def add(self, type_id: TaskType, cost: float, throughput: float, name: str = "") -> ProcessorType:
+        """Shorthand for :meth:`add_processor`."""
+        return self.add_processor(ProcessorType(type_id, cost, throughput, name))
+
+    @classmethod
+    def from_mappings(
+        cls,
+        costs: Mapping[TaskType, float],
+        throughputs: Mapping[TaskType, float],
+        name: str = "cloud",
+    ) -> "CloudPlatform":
+        """Build a platform from ``{type: cost}`` and ``{type: throughput}`` maps."""
+        if set(costs) != set(throughputs):
+            raise PlatformError("costs and throughputs must cover the same types")
+        platform = cls(name=name)
+        for type_id in costs:
+            platform.add(type_id, costs[type_id], throughputs[type_id])
+        return platform
+
+    @classmethod
+    def from_table(
+        cls,
+        rows: Sequence[tuple[TaskType, float, float]],
+        name: str = "cloud",
+    ) -> "CloudPlatform":
+        """Build a platform from ``(type, throughput, cost)`` rows.
+
+        The column order mirrors Table II of the paper (throughput then cost).
+        """
+        platform = cls(name=name)
+        for type_id, throughput, cost in rows:
+            platform.add(type_id, cost=cost, throughput=throughput)
+        return platform
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._processors)
+
+    def __iter__(self) -> Iterator[ProcessorType]:
+        return iter(self._processors.values())
+
+    def __contains__(self, type_id: TaskType) -> bool:
+        return type_id in self._processors
+
+    @property
+    def num_types(self) -> int:
+        """``Q``: number of processor (= task) types."""
+        return len(self._processors)
+
+    def types(self) -> list[TaskType]:
+        """All type ids, in canonical (insertion) order."""
+        return list(self._processors)
+
+    def processor(self, type_id: TaskType) -> ProcessorType:
+        try:
+            return self._processors[type_id]
+        except KeyError:
+            raise UnknownTypeError(f"platform {self.name!r} has no processor of type {type_id!r}") from None
+
+    def cost_of(self, type_id: TaskType) -> float:
+        """Hourly cost ``c_q``."""
+        return self.processor(type_id).cost
+
+    def throughput_of(self, type_id: TaskType) -> float:
+        """Throughput ``r_q``."""
+        return self.processor(type_id).throughput
+
+    def supports(self, types: Iterable[TaskType]) -> bool:
+        """True when every listed type is available on the platform."""
+        return all(t in self._processors for t in types)
+
+    def missing_types(self, types: Iterable[TaskType]) -> set[TaskType]:
+        return {t for t in types if t not in self._processors}
+
+    # ------------------------------------------------------------------ #
+    # vectorised views
+    # ------------------------------------------------------------------ #
+    def type_index(self) -> dict[TaskType, int]:
+        """Map each type id to its position in the canonical ordering."""
+        return {type_id: idx for idx, type_id in enumerate(self._processors)}
+
+    def cost_vector(self) -> np.ndarray:
+        """``c`` as a float vector in canonical type order."""
+        return np.array([p.cost for p in self._processors.values()], dtype=float)
+
+    def throughput_vector(self) -> np.ndarray:
+        """``r`` as a float vector in canonical type order."""
+        return np.array([p.throughput for p in self._processors.values()], dtype=float)
+
+    def validate(self) -> None:
+        if not self._processors:
+            raise PlatformError(f"platform {self.name!r} offers no processor type")
+
+    def restrict(self, types: Iterable[TaskType], name: str | None = None) -> "CloudPlatform":
+        """Return a sub-platform restricted to the given types."""
+        wanted = set(types)
+        missing = wanted - set(self._processors)
+        if missing:
+            raise UnknownTypeError(f"cannot restrict to unknown types {sorted(map(str, missing))}")
+        return CloudPlatform(
+            (p for t, p in self._processors.items() if t in wanted),
+            name=self.name if name is None else name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CloudPlatform(name={self.name!r}, types={self.num_types})"

@@ -1,0 +1,79 @@
+"""Typed tasks, the atoms of a recipe graph.
+
+The paper (Section III) associates a *type* with every task: the type both
+identifies which algorithmic variant the task uses (CPU vs GPU matrix product,
+32-bit vs 64-bit codec, ...) and which cloud instance type is able to execute
+it.  A processor of type ``q`` can only run tasks of type ``q`` and vice versa.
+
+Types are plain hashable identifiers.  The paper uses integers ``1..Q`` and the
+random generators in :mod:`repro.generators` follow that convention, but any
+hashable (e.g. ``"gpu-large"``) is accepted by the model layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable
+
+from .exceptions import ModelError
+
+__all__ = ["TaskType", "Task"]
+
+#: A task / processor type identifier.  The paper uses integers ``1..Q``.
+TaskType = Hashable
+
+
+@dataclass(frozen=True, slots=True)
+class Task:
+    """A single typed task inside a recipe graph.
+
+    Parameters
+    ----------
+    task_id:
+        Identifier of the task, unique *within its recipe graph* (the paper's
+        index ``i`` of task ``phi^j_i``).
+    task_type:
+        Processor type ``q = t(i, j)`` required to execute the task.
+    name:
+        Optional human readable label ("convolution", "decode", ...).
+    work:
+        Optional relative amount of work.  The paper's model folds the work of
+        a task into the throughput ``r_q`` of its processor type, so ``work``
+        defaults to ``1.0`` and is only used by the stream simulator to scale
+        service times.
+    """
+
+    task_id: int
+    task_type: TaskType
+    name: str = ""
+    work: float = 1.0
+    metadata: dict = field(default_factory=dict, compare=False, hash=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.task_id, int) or isinstance(self.task_id, bool):
+            raise ModelError(f"task_id must be an int, got {self.task_id!r}")
+        if self.task_id < 0:
+            raise ModelError(f"task_id must be non-negative, got {self.task_id}")
+        if self.task_type is None:
+            raise ModelError("task_type must not be None")
+        if not (self.work > 0):
+            raise ModelError(f"work must be positive, got {self.work}")
+
+    def with_type(self, task_type: TaskType) -> "Task":
+        """Return a copy of this task with a different type.
+
+        Used by the alternative-recipe generator which builds alternative
+        graphs by *mutating* the type of a fraction of the tasks of an initial
+        graph (paper, Section VIII-A).
+        """
+        return Task(
+            task_id=self.task_id,
+            task_type=task_type,
+            name=self.name,
+            work=self.work,
+            metadata=dict(self.metadata),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        label = self.name or f"task{self.task_id}"
+        return f"{label}[type={self.task_type}]"

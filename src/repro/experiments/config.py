@@ -1,0 +1,150 @@
+"""Experiment configuration: which algorithms, which sweep, which setting.
+
+The paper compares the ILP against the heuristics H1, H2, H31, H32 and H32Jump
+(H0 only appears in the heuristic list of Section VI).  An
+:class:`ExperimentPlan` captures one figure-generating sweep: a workload
+setting, the list of algorithms, the number of random configurations and the
+target-throughput range.  Presets are provided for the paper's experiments and
+for fast CI-sized versions of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from ..core.exceptions import ConfigurationError
+from ..generators.workload import WorkloadSetting, get_setting
+from ..solvers.base import Solver
+from ..solvers.registry import create_solver
+
+__all__ = ["AlgorithmSpec", "ExperimentPlan", "paper_algorithms", "default_plan"]
+
+#: Algorithm names used in the paper's figures, in display order.
+PAPER_ALGORITHM_NAMES: tuple[str, ...] = ("ILP", "H1", "H2", "H31", "H32", "H32Jump")
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """A named algorithm plus its construction parameters.
+
+    ``seed_sensitive`` marks stochastic algorithms: the runner re-seeds them
+    per (configuration, throughput) so that results are reproducible yet not
+    artificially correlated across sweep points.
+    """
+
+    name: str
+    params: dict = field(default_factory=dict)
+    seed_sensitive: bool = False
+
+    def build(self, seed: int | None = None) -> Solver:
+        params = dict(self.params)
+        if self.seed_sensitive and seed is not None:
+            params.setdefault("seed", seed)
+        return create_solver(self.name, **params)
+
+
+def paper_algorithms(
+    *,
+    ilp_time_limit: float | None = None,
+    iterations: int = 1000,
+    include_ilp: bool = True,
+    include_h0: bool = False,
+) -> list[AlgorithmSpec]:
+    """The algorithm line-up of the paper's figures.
+
+    Parameters
+    ----------
+    ilp_time_limit:
+        Time limit (seconds) for the exact solver; the paper uses 100 s for the
+        Figure 8 stress experiment and no limit elsewhere.
+    iterations:
+        Iteration budget of the iterative heuristics.
+    include_ilp / include_h0:
+        Toggle the exact solver and the H0 baseline.
+    """
+    specs: list[AlgorithmSpec] = []
+    if include_ilp:
+        params: dict = {}
+        if ilp_time_limit is not None:
+            params["time_limit"] = ilp_time_limit
+        specs.append(AlgorithmSpec("ILP", params))
+    if include_h0:
+        specs.append(AlgorithmSpec("H0", {}, seed_sensitive=True))
+    specs.append(AlgorithmSpec("H1", {}))
+    specs.append(AlgorithmSpec("H2", {"iterations": iterations}, seed_sensitive=True))
+    specs.append(AlgorithmSpec("H31", {"iterations": iterations}, seed_sensitive=True))
+    specs.append(AlgorithmSpec("H32", {"iterations": iterations}))
+    specs.append(AlgorithmSpec("H32Jump", {"iterations": iterations}, seed_sensitive=True))
+    return specs
+
+
+@dataclass(frozen=True)
+class ExperimentPlan:
+    """One sweep: a setting, algorithms, configuration count and throughputs."""
+
+    name: str
+    setting: WorkloadSetting
+    algorithms: tuple[AlgorithmSpec, ...]
+    num_configurations: int
+    target_throughputs: tuple[int, ...]
+    base_seed: int = 2016  # the paper's publication year, for determinism
+
+    def __post_init__(self) -> None:
+        if self.num_configurations <= 0:
+            raise ConfigurationError("num_configurations must be positive")
+        if not self.target_throughputs:
+            raise ConfigurationError("target_throughputs must not be empty")
+        if not self.algorithms:
+            raise ConfigurationError("at least one algorithm is required")
+
+    def scaled(
+        self,
+        *,
+        num_configurations: int | None = None,
+        target_throughputs: Sequence[int] | None = None,
+    ) -> "ExperimentPlan":
+        """A smaller copy of the plan (for tests and quick benchmarks)."""
+        return replace(
+            self,
+            num_configurations=self.num_configurations
+            if num_configurations is None
+            else num_configurations,
+            target_throughputs=self.target_throughputs
+            if target_throughputs is None
+            else tuple(target_throughputs),
+        )
+
+
+def default_plan(
+    setting_name: str,
+    *,
+    num_configurations: int | None = None,
+    target_throughputs: Sequence[int] | None = None,
+    ilp_time_limit: float | None = None,
+    iterations: int = 1000,
+    include_ilp: bool = True,
+    include_h0: bool = False,
+    base_seed: int = 2016,
+) -> ExperimentPlan:
+    """Build the paper's plan for a named setting, optionally scaled down."""
+    setting = get_setting(setting_name)
+    return ExperimentPlan(
+        name=setting_name,
+        setting=setting,
+        algorithms=tuple(
+            paper_algorithms(
+                ilp_time_limit=ilp_time_limit,
+                iterations=iterations,
+                include_ilp=include_ilp,
+                include_h0=include_h0,
+            )
+        ),
+        num_configurations=setting.num_configurations
+        if num_configurations is None
+        else num_configurations,
+        target_throughputs=tuple(setting.target_throughputs)
+        if target_throughputs is None
+        else tuple(target_throughputs),
+        base_seed=base_seed,
+    )

@@ -1,0 +1,383 @@
+"""Regeneration of the paper's evaluation figures (Figures 3 to 8) plus ablations.
+
+Every ``figureN`` function runs the corresponding sweep and returns a
+:class:`FigureResult` holding the plotted series (one curve per algorithm over
+the throughput axis) together with the raw sweep records.  The benchmark
+harness calls these functions with a reduced number of configurations so a full
+``pytest benchmarks/ --benchmark-only`` stays laptop-friendly; passing
+``num_configurations=100`` reproduces the paper-scale experiment.
+
+Figure-to-setting mapping (see DESIGN.md):
+
+* Figure 3 / 4 / 5 — "small" setting (20 recipes of 5-8 tasks, 5 types);
+* Figure 6 — "medium" setting (10-20 tasks, 8 types);
+* Figure 7 — "large" setting (50-100 tasks, 8 types);
+* Figure 8 — "xlarge" ILP stress setting (100-200 tasks, 50 types, 100 s limit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from .config import ExperimentPlan, default_plan
+from .metrics import (
+    SeriesByAlgorithm,
+    best_count_series,
+    mean_cost_series,
+    mean_time_series,
+    normalized_cost_series,
+)
+from .runner import SweepResult, run_plan
+
+__all__ = [
+    "FigureResult",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "ablation_iterations",
+    "ablation_delta",
+    "ablation_mutation",
+    "ablation_sharing",
+    "FIGURES",
+]
+
+
+@dataclass
+class FigureResult:
+    """A regenerated figure: its plotted series plus the underlying sweep."""
+
+    figure: str
+    series: SeriesByAlgorithm
+    sweep: SweepResult
+    description: str = ""
+
+
+def _run(plan: ExperimentPlan, progress: Callable[[str], None] | None) -> SweepResult:
+    return run_plan(plan, progress=progress)
+
+
+# --------------------------------------------------------------------------- #
+# paper figures
+# --------------------------------------------------------------------------- #
+
+
+def figure3(
+    *,
+    num_configurations: int = 100,
+    target_throughputs: Sequence[int] | None = None,
+    iterations: int = 1000,
+    progress: Callable[[str], None] | None = None,
+) -> FigureResult:
+    """Figure 3: normalised cost vs optimal, small application graphs."""
+    plan = default_plan(
+        "small",
+        num_configurations=num_configurations,
+        target_throughputs=target_throughputs,
+        iterations=iterations,
+    )
+    sweep = _run(plan, progress)
+    return FigureResult(
+        figure="figure3",
+        series=normalized_cost_series(sweep),
+        sweep=sweep,
+        description="Normalisation of cost with the optimal solution "
+        "(20 alternative graphs, 5-8 tasks per graph)",
+    )
+
+
+def figure4(
+    *,
+    num_configurations: int = 100,
+    target_throughputs: Sequence[int] | None = None,
+    iterations: int = 1000,
+    progress: Callable[[str], None] | None = None,
+    sweep: SweepResult | None = None,
+) -> FigureResult:
+    """Figure 4: number of times each algorithm finds the best solution (small graphs).
+
+    Accepts a pre-computed sweep (e.g. the one from :func:`figure3`, which uses
+    the same setting) to avoid running the experiment twice.
+    """
+    if sweep is None:
+        plan = default_plan(
+            "small",
+            num_configurations=num_configurations,
+            target_throughputs=target_throughputs,
+            iterations=iterations,
+        )
+        sweep = _run(plan, progress)
+    return FigureResult(
+        figure="figure4",
+        series=best_count_series(sweep),
+        sweep=sweep,
+        description="Number of times each algorithm finds the best solution "
+        "(20 alternative graphs, 5-8 tasks per graph)",
+    )
+
+
+def figure5(
+    *,
+    num_configurations: int = 100,
+    target_throughputs: Sequence[int] | None = None,
+    iterations: int = 1000,
+    progress: Callable[[str], None] | None = None,
+    sweep: SweepResult | None = None,
+) -> FigureResult:
+    """Figure 5: computation time of the algorithms (small graphs)."""
+    if sweep is None:
+        plan = default_plan(
+            "small",
+            num_configurations=num_configurations,
+            target_throughputs=target_throughputs,
+            iterations=iterations,
+        )
+        sweep = _run(plan, progress)
+    return FigureResult(
+        figure="figure5",
+        series=mean_time_series(sweep),
+        sweep=sweep,
+        description="Computation time for the heuristics "
+        "(20 alternative graphs, 5-8 tasks per graph)",
+    )
+
+
+def figure6(
+    *,
+    num_configurations: int = 100,
+    target_throughputs: Sequence[int] | None = None,
+    iterations: int = 1000,
+    progress: Callable[[str], None] | None = None,
+) -> FigureResult:
+    """Figure 6: normalised cost, medium application graphs (10-20 tasks, 8 types)."""
+    plan = default_plan(
+        "medium",
+        num_configurations=num_configurations,
+        target_throughputs=target_throughputs,
+        iterations=iterations,
+    )
+    sweep = _run(plan, progress)
+    return FigureResult(
+        figure="figure6",
+        series=normalized_cost_series(sweep),
+        sweep=sweep,
+        description="Normalisation of cost with the optimal solution "
+        "(20 alternative graphs, 10-20 tasks per graph)",
+    )
+
+
+def figure7(
+    *,
+    num_configurations: int = 100,
+    target_throughputs: Sequence[int] | None = None,
+    iterations: int = 1000,
+    progress: Callable[[str], None] | None = None,
+) -> FigureResult:
+    """Figure 7: normalised cost, large application graphs (50-100 tasks)."""
+    plan = default_plan(
+        "large",
+        num_configurations=num_configurations,
+        target_throughputs=target_throughputs,
+        iterations=iterations,
+    )
+    sweep = _run(plan, progress)
+    return FigureResult(
+        figure="figure7",
+        series=normalized_cost_series(sweep),
+        sweep=sweep,
+        description="Normalisation of cost with the optimal solution "
+        "(20 alternative graphs, 50-100 tasks per graph)",
+    )
+
+
+def figure8(
+    *,
+    num_configurations: int = 10,
+    target_throughputs: Sequence[int] | None = None,
+    iterations: int = 1000,
+    ilp_time_limit: float = 100.0,
+    progress: Callable[[str], None] | None = None,
+) -> FigureResult:
+    """Figure 8: computation time on the ILP stress setting (100-200 tasks, 50 types).
+
+    The exact solver runs with the paper's 100 s time limit; on throughputs
+    where the limit is hit it returns its incumbent, exactly as the paper
+    describes.
+    """
+    plan = default_plan(
+        "xlarge",
+        num_configurations=num_configurations,
+        target_throughputs=target_throughputs,
+        iterations=iterations,
+        ilp_time_limit=ilp_time_limit,
+    )
+    sweep = _run(plan, progress)
+    return FigureResult(
+        figure="figure8",
+        series=mean_time_series(sweep),
+        sweep=sweep,
+        description="Computation time for the heuristics and the time-limited ILP "
+        "(10 alternative graphs, 100-200 tasks per graph, 50 machine types)",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# ablations (design choices called out in DESIGN.md, not in the paper)
+# --------------------------------------------------------------------------- #
+
+
+def ablation_iterations(
+    budgets: Sequence[int] = (10, 100, 1000, 5000),
+    *,
+    num_configurations: int = 10,
+    target_throughputs: Sequence[int] = (50, 100, 150, 200),
+    progress: Callable[[str], None] | None = None,
+) -> dict[int, FigureResult]:
+    """Effect of the iteration budget on the iterative heuristics (H2/H31/H32Jump)."""
+    results: dict[int, FigureResult] = {}
+    for budget in budgets:
+        plan = default_plan(
+            "small",
+            num_configurations=num_configurations,
+            target_throughputs=target_throughputs,
+            iterations=int(budget),
+        )
+        sweep = _run(plan, progress)
+        results[int(budget)] = FigureResult(
+            figure=f"ablation_iterations[{budget}]",
+            series=normalized_cost_series(sweep),
+            sweep=sweep,
+            description=f"Iteration budget ablation (budget={budget})",
+        )
+    return results
+
+
+def ablation_delta(
+    deltas: Sequence[float] = (1.0, 5.0, 10.0),
+    *,
+    num_configurations: int = 10,
+    target_throughputs: Sequence[int] = (50, 100, 150, 200),
+    iterations: int = 1000,
+    progress: Callable[[str], None] | None = None,
+) -> dict[float, FigureResult]:
+    """Effect of the throughput-exchange granularity ``delta`` on the heuristics."""
+    from .config import AlgorithmSpec, ExperimentPlan
+    from ..generators.workload import get_setting
+
+    results: dict[float, FigureResult] = {}
+    for delta in deltas:
+        algorithms = (
+            AlgorithmSpec("ILP", {}),
+            AlgorithmSpec("H1", {}),
+            AlgorithmSpec("H2", {"iterations": iterations, "delta": float(delta)}, seed_sensitive=True),
+            AlgorithmSpec("H31", {"iterations": iterations, "delta": float(delta)}, seed_sensitive=True),
+            AlgorithmSpec("H32", {"iterations": iterations, "delta": float(delta)}),
+            AlgorithmSpec("H32Jump", {"iterations": iterations, "delta": float(delta)}, seed_sensitive=True),
+        )
+        plan = ExperimentPlan(
+            name=f"delta={delta:g}",
+            setting=get_setting("small"),
+            algorithms=algorithms,
+            num_configurations=num_configurations,
+            target_throughputs=tuple(target_throughputs),
+        )
+        sweep = _run(plan, progress)
+        results[float(delta)] = FigureResult(
+            figure=f"ablation_delta[{delta:g}]",
+            series=normalized_cost_series(sweep),
+            sweep=sweep,
+            description=f"Exchange granularity ablation (delta={delta:g})",
+        )
+    return results
+
+
+def ablation_mutation(
+    fractions: Sequence[float] = (0.1, 0.3, 0.5, 1.0),
+    *,
+    num_configurations: int = 10,
+    target_throughputs: Sequence[int] = (50, 100, 150, 200),
+    iterations: int = 1000,
+    progress: Callable[[str], None] | None = None,
+) -> dict[float, FigureResult]:
+    """Effect of the alternative-graph mutation percentage (Section VIII-A remark).
+
+    A fraction of 1.0 approximates the paper's first, fully random generation
+    attempt where H1 alone is nearly optimal; smaller fractions create recipe
+    sets where mixing graphs pays off.
+    """
+    from dataclasses import replace
+
+    from ..generators.workload import get_setting
+    from .config import ExperimentPlan, paper_algorithms
+
+    base = get_setting("small")
+    results: dict[float, FigureResult] = {}
+    for fraction in fractions:
+        setting = replace(base, name=f"small-mut{fraction:g}", mutation_fraction=float(fraction))
+        plan = ExperimentPlan(
+            name=setting.name,
+            setting=setting,
+            algorithms=tuple(paper_algorithms(iterations=iterations)),
+            num_configurations=num_configurations,
+            target_throughputs=tuple(target_throughputs),
+        )
+        sweep = _run(plan, progress)
+        results[float(fraction)] = FigureResult(
+            figure=f"ablation_mutation[{fraction:g}]",
+            series=normalized_cost_series(sweep),
+            sweep=sweep,
+            description=f"Mutation percentage ablation (fraction={fraction:g})",
+        )
+    return results
+
+
+def ablation_sharing(
+    *,
+    num_configurations: int = 10,
+    target_throughputs: Sequence[int] = (50, 100, 150, 200),
+    progress: Callable[[str], None] | None = None,
+) -> FigureResult:
+    """Benefit of sharing machines across recipes.
+
+    Compares the exact shared-machine optimum (ILP) with the best achievable
+    when each recipe must use its own machines (the Section V-B DP run in its
+    heuristic mode), quantifying how much the general model of Section V-C
+    saves.
+    """
+    from ..generators.workload import get_setting
+    from .config import AlgorithmSpec, ExperimentPlan
+
+    algorithms = (
+        AlgorithmSpec("ILP", {}),
+        AlgorithmSpec("DP", {"allow_shared_types": True}),
+        AlgorithmSpec("H1", {}),
+    )
+    plan = ExperimentPlan(
+        name="sharing",
+        setting=get_setting("small"),
+        algorithms=algorithms,
+        num_configurations=num_configurations,
+        target_throughputs=tuple(target_throughputs),
+    )
+    sweep = _run(plan, progress)
+    return FigureResult(
+        figure="ablation_sharing",
+        series=mean_cost_series(sweep),
+        sweep=sweep,
+        description="Machine sharing ablation: shared-type optimum (ILP) vs "
+        "per-recipe dimensioning (DP without sharing) vs single recipe (H1)",
+    )
+
+
+#: Registry used by the CLI (figure name -> callable).
+FIGURES: dict[str, Callable[..., FigureResult]] = {
+    "figure3": figure3,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+}

@@ -1,0 +1,83 @@
+"""Plain-text rendering of tables and figure series.
+
+The paper's artefacts are a table (Table III) and line plots (Figures 3-8).
+Without a plotting dependency the library renders both as aligned text tables,
+which is what the benchmark harness writes next to its timing output and what
+EXPERIMENTS.md embeds.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from .metrics import SeriesByAlgorithm
+from .tables import PAPER_TABLE3_OPTIMAL_COSTS, Table3
+
+__all__ = [
+    "format_table",
+    "render_series",
+    "render_table3",
+    "table3_vs_paper",
+]
+
+
+def format_table(rows: Sequence[Sequence[str]], *, min_width: int = 4) -> str:
+    """Align a list of string rows into a fixed-width text table."""
+    if not rows:
+        return ""
+    columns = max(len(row) for row in rows)
+    widths = [min_width] * columns
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    for index, row in enumerate(rows):
+        padded = [str(cell).rjust(widths[i]) for i, cell in enumerate(row)]
+        lines.append("  ".join(padded))
+        if index == 0:
+            lines.append("  ".join("-" * widths[i] for i in range(len(row))))
+    return "\n".join(lines)
+
+
+def render_series(series: SeriesByAlgorithm, *, title: str | None = None) -> str:
+    """Render a figure's per-algorithm series as a text table."""
+    header = title if title is not None else series.title
+    body = format_table(series.as_rows())
+    label = f"[y-axis: {series.ylabel}]"
+    return "\n".join(filter(None, [header, label, body]))
+
+
+def render_table3(table: Table3) -> str:
+    """Render the reproduced Table III (cost and split of every algorithm)."""
+    header = ["rho"]
+    for name in table.algorithms:
+        header.extend([f"{name} split", f"{name} cost"])
+    rows: list[list[str]] = [header]
+    for row in table.rows:
+        cells = [str(row.rho)]
+        for name in table.algorithms:
+            split, cost = row.entries[name]
+            cells.append("(" + ",".join(f"{v:g}" for v in split) + ")")
+            cells.append(f"{cost:g}")
+        rows.append(cells)
+    return format_table(rows)
+
+
+def table3_vs_paper(table: Table3, *, exact_algorithm: str = "ILP") -> str:
+    """Compare the reproduced exact costs with the paper's Table III column.
+
+    Returns a text table with one row per throughput: paper optimal cost,
+    reproduced optimal cost and the match flag — the headline correctness
+    check of the reproduction.
+    """
+    rows: list[list[str]] = [["rho", "paper optimal", f"reproduced {exact_algorithm}", "match"]]
+    reproduced = table.costs(exact_algorithm)
+    matches = 0
+    for rho, paper_cost in sorted(PAPER_TABLE3_OPTIMAL_COSTS.items()):
+        ours = reproduced.get(rho, math.nan)
+        match = not math.isnan(ours) and abs(ours - paper_cost) < 1e-9
+        matches += int(match)
+        rows.append([str(rho), str(paper_cost), f"{ours:g}", "yes" if match else "NO"])
+    rows.append(["total", str(len(PAPER_TABLE3_OPTIMAL_COSTS)), f"{matches} matches", ""])
+    return format_table(rows)

@@ -1,0 +1,46 @@
+"""Random instance generators reproducing the paper's experimental protocol."""
+
+from .graph_gen import RecipeSetSpec, generate_application, generate_initial_recipe, mutate_recipe
+from .platform_gen import PlatformSpec, generate_matched_platform, generate_platform
+from .topology import (
+    TOPOLOGY_BUILDERS,
+    build_edges,
+    chain_edges,
+    fork_join_edges,
+    in_tree_edges,
+    layered_edges,
+    out_tree_edges,
+    random_dag_edges,
+)
+from .workload import (
+    PAPER_SETTINGS,
+    Configuration,
+    WorkloadSetting,
+    generate_configuration,
+    generate_configurations,
+    get_setting,
+)
+
+__all__ = [
+    "RecipeSetSpec",
+    "generate_application",
+    "generate_initial_recipe",
+    "mutate_recipe",
+    "PlatformSpec",
+    "generate_matched_platform",
+    "generate_platform",
+    "TOPOLOGY_BUILDERS",
+    "build_edges",
+    "chain_edges",
+    "fork_join_edges",
+    "in_tree_edges",
+    "layered_edges",
+    "out_tree_edges",
+    "random_dag_edges",
+    "PAPER_SETTINGS",
+    "Configuration",
+    "WorkloadSetting",
+    "generate_configuration",
+    "generate_configurations",
+    "get_setting",
+]

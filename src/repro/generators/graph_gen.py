@@ -1,0 +1,165 @@
+"""Random recipe-set generation following the paper's protocol (Section VIII-A).
+
+The paper's simulator generates, for each configuration:
+
+1. an *initial* application graph whose number of tasks is drawn uniformly in
+   ``[min_tasks, max_tasks]`` and whose task types are drawn uniformly among
+   the available types;
+2. ``J - 1`` *alternative* graphs obtained by "randomly changing a percentage
+   of tasks of this initial graph" — i.e. re-drawing the type of a fraction of
+   the tasks — so the alternatives share many task types with the original,
+   which is what makes the instances competitive (a fully random set of graphs
+   degenerates into a single dominant graph, as the paper observes).
+
+Two refinements the paper leaves implicit are made explicit and configurable:
+
+* whether the alternatives keep the initial graph's *size and topology*
+  (the default, and the literal reading of "changing a percentage of tasks"),
+  or also re-draw their number of tasks;
+* the re-drawn type of a mutated task is always different from its current
+  type (otherwise the realised mutation percentage would drift below the
+  requested one).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..core.application import Application
+from ..core.exceptions import GenerationError
+from ..core.graph import RecipeGraph
+from ..core.task import TaskType
+from ..utils.rng import as_generator
+from ..utils.validation import require_positive_int, require_probability
+from .topology import build_edges
+
+__all__ = ["RecipeSetSpec", "generate_initial_recipe", "mutate_recipe", "generate_application"]
+
+
+@dataclass
+class RecipeSetSpec:
+    """Parameters of the random recipe-set generator.
+
+    Attributes
+    ----------
+    num_recipes:
+        Number of alternative graphs ``J`` (including the initial one).
+    min_tasks, max_tasks:
+        Bounds of the uniform draw of the number of tasks per graph.
+    num_types:
+        Number of available task/processor types ``Q``; types are the integers
+        ``1..Q`` as in the paper.
+    mutation_fraction:
+        Fraction of tasks whose type is re-drawn in each alternative graph
+        (0.5 and 0.3 in the paper's settings).
+    topology:
+        Name of the DAG topology given to the generated recipes
+        (see :mod:`repro.generators.topology`).
+    resize_alternatives:
+        When true, alternatives also re-draw their task count in
+        ``[min_tasks, max_tasks]`` instead of keeping the initial graph's size.
+    """
+
+    num_recipes: int
+    min_tasks: int
+    max_tasks: int
+    num_types: int
+    mutation_fraction: float = 0.5
+    topology: str = "layered"
+    resize_alternatives: bool = False
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.num_recipes, "num_recipes")
+        require_positive_int(self.min_tasks, "min_tasks")
+        require_positive_int(self.max_tasks, "max_tasks")
+        require_positive_int(self.num_types, "num_types")
+        require_probability(self.mutation_fraction, "mutation_fraction")
+        if self.min_tasks > self.max_tasks:
+            raise GenerationError(
+                f"min_tasks ({self.min_tasks}) exceeds max_tasks ({self.max_tasks})"
+            )
+
+    @property
+    def types(self) -> list[TaskType]:
+        """The available types ``1..Q``."""
+        return list(range(1, self.num_types + 1))
+
+
+def generate_initial_recipe(
+    spec: RecipeSetSpec,
+    rng: np.random.Generator | int | None = None,
+    *,
+    name: str = "phi1",
+) -> RecipeGraph:
+    """Draw the initial recipe graph: random size, random types, chosen topology."""
+    rng = as_generator(rng)
+    num_tasks = int(rng.integers(spec.min_tasks, spec.max_tasks + 1))
+    types = [int(rng.integers(1, spec.num_types + 1)) for _ in range(num_tasks)]
+    recipe = RecipeGraph(name=name)
+    for task_type in types:
+        recipe.new_task(task_type)
+    for pred, succ in build_edges(spec.topology, num_tasks, rng):
+        recipe.add_edge(pred, succ)
+    return recipe
+
+
+def mutate_recipe(
+    recipe: RecipeGraph,
+    mutation_fraction: float,
+    types: Sequence[TaskType],
+    rng: np.random.Generator | int | None = None,
+    *,
+    name: str = "",
+) -> RecipeGraph:
+    """Derive an alternative recipe by re-drawing the type of a fraction of tasks.
+
+    The number of mutated tasks is ``round(fraction * num_tasks)`` (at least 1
+    when the fraction is positive, so an "alternative" is never an exact copy
+    unless the fraction is 0).  Mutated tasks receive a uniformly drawn type
+    *different* from their current one when more than one type is available.
+    """
+    require_probability(mutation_fraction, "mutation_fraction")
+    if not types:
+        raise GenerationError("the set of available types must not be empty")
+    rng = as_generator(rng)
+    num_tasks = recipe.num_tasks
+    num_mutations = int(round(mutation_fraction * num_tasks))
+    if mutation_fraction > 0:
+        num_mutations = max(1, num_mutations)
+    num_mutations = min(num_mutations, num_tasks)
+    chosen = rng.choice(recipe.task_ids(), size=num_mutations, replace=False) if num_mutations else []
+    new_types: dict[int, TaskType] = {}
+    type_list = list(types)
+    for task_id in chosen:
+        current = recipe.task(int(task_id)).task_type
+        candidates = [t for t in type_list if t != current] or type_list
+        new_types[int(task_id)] = candidates[int(rng.integers(len(candidates)))]
+    return recipe.with_task_types(new_types, name=name or f"{recipe.name}-alt")
+
+
+def generate_application(
+    spec: RecipeSetSpec,
+    rng: np.random.Generator | int | None = None,
+    *,
+    name: str = "application",
+) -> Application:
+    """Generate a full alternative-recipe application following the paper's protocol."""
+    rng = as_generator(rng)
+    initial = generate_initial_recipe(spec, rng, name="phi1")
+    recipes = [initial]
+    for j in range(2, spec.num_recipes + 1):
+        if spec.resize_alternatives:
+            base = generate_initial_recipe(spec, rng, name=f"phi{j}")
+            # Mutating a freshly random graph models the paper's first, fully
+            # random attempt; kept behind the resize_alternatives switch.
+            recipes.append(
+                mutate_recipe(base, spec.mutation_fraction, spec.types, rng, name=f"phi{j}")
+            )
+        else:
+            recipes.append(
+                mutate_recipe(initial, spec.mutation_fraction, spec.types, rng, name=f"phi{j}")
+            )
+    return Application(recipes, name=name)

@@ -1,0 +1,104 @@
+"""Random cloud-platform generation (Section VIII-A of the paper).
+
+The paper's simulator draws, for each of the ``Q`` machine (= task) types,
+
+* a throughput uniformly in ``[min_thrgpt, max_thrgpt]`` and
+* a price uniformly between 1 and a configurable upper value,
+
+both integers.  The generated platform always offers one processor type per
+task type so every recipe remains executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.exceptions import GenerationError
+from ..core.platform import CloudPlatform
+from ..utils.rng import as_generator
+from ..utils.validation import require_interval, require_positive_int
+
+__all__ = ["PlatformSpec", "generate_platform"]
+
+
+@dataclass
+class PlatformSpec:
+    """Parameters of the random cloud generator.
+
+    Attributes
+    ----------
+    num_types:
+        Number of processor types ``Q`` (types are the integers ``1..Q``).
+    throughput_range:
+        Inclusive ``(low, high)`` bounds of the uniform integer throughput draw.
+    cost_range:
+        Inclusive ``(low, high)`` bounds of the uniform integer price draw
+        (the paper uses ``(1, 100)``).
+    """
+
+    num_types: int
+    throughput_range: tuple[int, int] = (10, 100)
+    cost_range: tuple[int, int] = (1, 100)
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.num_types, "num_types")
+        self.throughput_range = tuple(int(v) for v in require_interval(self.throughput_range, "throughput_range", integer=True))  # type: ignore[assignment]
+        self.cost_range = tuple(int(v) for v in require_interval(self.cost_range, "cost_range", integer=True))  # type: ignore[assignment]
+
+
+def generate_platform(
+    spec: PlatformSpec,
+    rng: np.random.Generator | int | None = None,
+    *,
+    name: str = "cloud",
+) -> CloudPlatform:
+    """Draw a random platform: one processor type per task type ``1..Q``."""
+    rng = as_generator(rng)
+    platform = CloudPlatform(name=name)
+    thr_low, thr_high = spec.throughput_range
+    cost_low, cost_high = spec.cost_range
+    for type_id in range(1, spec.num_types + 1):
+        throughput = int(rng.integers(thr_low, thr_high + 1))
+        cost = int(rng.integers(cost_low, cost_high + 1))
+        platform.add(type_id, cost=cost, throughput=throughput, name=f"P{type_id}")
+    return platform
+
+
+def generate_matched_platform(
+    num_types: int,
+    rng: np.random.Generator | int | None = None,
+    *,
+    throughput_range: tuple[int, int] = (10, 100),
+    cost_range: tuple[int, int] = (1, 100),
+    correlation: float = 0.0,
+    name: str = "cloud",
+) -> CloudPlatform:
+    """Generate a platform with an optional throughput/price correlation.
+
+    The paper's generator draws prices and throughputs independently, which
+    produces some machine types that dominate others (cheaper *and* faster).
+    Real clouds price roughly proportionally to capacity; ``correlation``
+    interpolates between the paper's independent draw (0.0) and a fully
+    price-proportional catalogue (1.0).  Used by the ablation benchmarks.
+    """
+    if not (0.0 <= correlation <= 1.0):
+        raise GenerationError(f"correlation must be in [0, 1], got {correlation}")
+    rng = as_generator(rng)
+    platform = CloudPlatform(name=name)
+    thr_low, thr_high = require_interval(throughput_range, "throughput_range", integer=True)
+    cost_low, cost_high = require_interval(cost_range, "cost_range", integer=True)
+    for type_id in range(1, num_types + 1):
+        throughput = int(rng.integers(int(thr_low), int(thr_high) + 1))
+        random_cost = rng.integers(int(cost_low), int(cost_high) + 1)
+        proportional_cost = cost_low + (cost_high - cost_low) * (throughput - thr_low) / max(
+            1, thr_high - thr_low
+        )
+        cost = int(round((1 - correlation) * random_cost + correlation * proportional_cost))
+        cost = max(int(cost_low), min(int(cost_high), cost))
+        platform.add(type_id, cost=cost, throughput=throughput, name=f"P{type_id}")
+    return platform
+
+
+__all__.append("generate_matched_platform")

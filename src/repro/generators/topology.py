@@ -1,0 +1,168 @@
+"""Random DAG topology construction for recipe graphs.
+
+The paper's cost model ignores precedence edges (communications are neglected,
+Section III), so its generator only draws task *types*.  The stream simulator
+of :mod:`repro.simulation` does need a precedence structure, and real recipes
+have one, so the generators in this package attach a topology to every recipe.
+Several standard shapes are provided:
+
+* ``chain``       — a linear pipeline (the paper's illustrating examples);
+* ``layered``     — a random layered DAG (tasks grouped in levels, edges only
+  between consecutive levels), the usual model of workflow benchmarks;
+* ``fork_join``   — a fork of parallel branches between a source and a sink;
+* ``in_tree`` / ``out_tree`` — reduction / distribution trees;
+* ``random_dag``  — Erdős–Rényi-style DAG on a random topological order.
+
+All builders take the list of task types (one per task, in task-id order) and
+return the edge list; the task count is implied by the length of the list.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..core.exceptions import GenerationError
+from ..utils.rng import as_generator
+
+__all__ = [
+    "chain_edges",
+    "layered_edges",
+    "fork_join_edges",
+    "in_tree_edges",
+    "out_tree_edges",
+    "random_dag_edges",
+    "TOPOLOGY_BUILDERS",
+    "build_edges",
+]
+
+
+def chain_edges(num_tasks: int, rng: np.random.Generator | None = None) -> list[tuple[int, int]]:
+    """A linear pipeline ``0 -> 1 -> ... -> n-1``."""
+    return [(i, i + 1) for i in range(num_tasks - 1)]
+
+
+def layered_edges(
+    num_tasks: int,
+    rng: np.random.Generator | None = None,
+    *,
+    width: int = 3,
+    edge_probability: float = 0.6,
+) -> list[tuple[int, int]]:
+    """A layered random DAG with at most ``width`` tasks per layer.
+
+    Consecutive layers are fully ordered: each task has at least one
+    predecessor in the previous layer (so the DAG is weakly connected) and
+    additional edges are added with probability ``edge_probability``.
+    """
+    if width <= 0:
+        raise GenerationError(f"width must be positive, got {width}")
+    rng = as_generator(rng)
+    edges: list[tuple[int, int]] = []
+    layers: list[list[int]] = []
+    task = 0
+    while task < num_tasks:
+        size = int(rng.integers(1, width + 1))
+        layer = list(range(task, min(num_tasks, task + size)))
+        layers.append(layer)
+        task += len(layer)
+    for prev, curr in zip(layers, layers[1:]):
+        for node in curr:
+            # guarantee connectivity with one mandatory predecessor
+            mandatory = int(rng.choice(prev))
+            edges.append((mandatory, node))
+            for cand in prev:
+                if cand != mandatory and rng.random() < edge_probability:
+                    edges.append((cand, node))
+    return sorted(set(edges))
+
+
+def fork_join_edges(num_tasks: int, rng: np.random.Generator | None = None) -> list[tuple[int, int]]:
+    """A source task, ``n-2`` parallel middle tasks and a sink task.
+
+    Degenerates gracefully for fewer than 3 tasks (chain).
+    """
+    if num_tasks < 3:
+        return chain_edges(num_tasks)
+    source, sink = 0, num_tasks - 1
+    edges = []
+    for middle in range(1, num_tasks - 1):
+        edges.append((source, middle))
+        edges.append((middle, sink))
+    return edges
+
+
+def out_tree_edges(num_tasks: int, rng: np.random.Generator | None = None, *, arity: int = 2) -> list[tuple[int, int]]:
+    """A distribution tree: task ``i`` has children ``arity*i + 1 ...``."""
+    if arity <= 0:
+        raise GenerationError(f"arity must be positive, got {arity}")
+    edges = []
+    for child in range(1, num_tasks):
+        parent = (child - 1) // arity
+        edges.append((parent, child))
+    return edges
+
+
+def in_tree_edges(num_tasks: int, rng: np.random.Generator | None = None, *, arity: int = 2) -> list[tuple[int, int]]:
+    """A reduction tree: the mirror image of :func:`out_tree_edges`."""
+    return [(num_tasks - 1 - child, num_tasks - 1 - parent) for parent, child in out_tree_edges(num_tasks, arity=arity)]
+
+
+def random_dag_edges(
+    num_tasks: int,
+    rng: np.random.Generator | None = None,
+    *,
+    edge_probability: float | None = None,
+) -> list[tuple[int, int]]:
+    """A random DAG: edges ``i -> j`` (``i < j``) kept with a fixed probability.
+
+    The default probability ``min(1, 2/sqrt(n))`` keeps the expected degree
+    moderate for both small and large graphs.
+    """
+    rng = as_generator(rng)
+    if edge_probability is None:
+        edge_probability = min(1.0, 2.0 / math.sqrt(max(num_tasks, 1)))
+    edges = []
+    for j in range(1, num_tasks):
+        # guarantee at least one incoming edge so the DAG is connected
+        mandatory = int(rng.integers(0, j))
+        edges.append((mandatory, j))
+        for i in range(j):
+            if i != mandatory and rng.random() < edge_probability:
+                edges.append((i, j))
+    return sorted(set(edges))
+
+
+TOPOLOGY_BUILDERS: dict[str, Callable[..., list[tuple[int, int]]]] = {
+    "chain": chain_edges,
+    "layered": layered_edges,
+    "fork_join": fork_join_edges,
+    "in_tree": in_tree_edges,
+    "out_tree": out_tree_edges,
+    "random": random_dag_edges,
+}
+
+
+def build_edges(
+    topology: str,
+    num_tasks: int,
+    rng: np.random.Generator | None = None,
+) -> list[tuple[int, int]]:
+    """Build the edge list of a named topology.
+
+    Raises
+    ------
+    GenerationError
+        For unknown topology names or non-positive task counts.
+    """
+    if num_tasks <= 0:
+        raise GenerationError(f"num_tasks must be positive, got {num_tasks}")
+    try:
+        builder = TOPOLOGY_BUILDERS[topology]
+    except KeyError:
+        raise GenerationError(
+            f"unknown topology {topology!r}; available: {', '.join(sorted(TOPOLOGY_BUILDERS))}"
+        ) from None
+    return builder(num_tasks, rng)

@@ -1,0 +1,188 @@
+"""Named experimental settings and configuration generation.
+
+The paper evaluates three main settings plus a stress setting for the ILP
+(Section VIII):
+
+========== ============= ============ ========== ======= ============ ==============
+setting    recipes (J)   tasks/graph  mutation   types   throughput    experiments
+========== ============= ============ ========== ======= ============ ==============
+small      20            5 – 8        50 %       5       10 – 100     Fig. 3, 4, 5
+medium     20            10 – 20      30 %       8       10 – 100     Fig. 6
+large      20            50 – 100     50 %       8       10 – 50      Fig. 7
+xlarge     10            100 – 200    30 %       50      5 – 25       Fig. 8
+========== ============= ============ ========== ======= ============ ==============
+
+All settings use machine prices in [1, 100], 100 random configurations and
+target throughputs from 20 to 200 by steps of 10 (Table III uses 10 to 200).
+
+A *configuration* is one (application, platform) couple; :func:`generate_configuration`
+draws it from a :class:`WorkloadSetting` and a seed, and
+:func:`generate_configurations` derives the per-configuration seeds
+deterministically so experiment results are reproducible and independent of
+execution order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterator
+
+import numpy as np
+
+from ..core.application import Application
+from ..core.exceptions import ConfigurationError
+from ..core.platform import CloudPlatform
+from ..core.problem import MinCostProblem
+from ..utils.rng import spawn_generators
+from .graph_gen import RecipeSetSpec, generate_application
+from .platform_gen import PlatformSpec, generate_platform
+
+__all__ = [
+    "WorkloadSetting",
+    "Configuration",
+    "PAPER_SETTINGS",
+    "get_setting",
+    "generate_configuration",
+    "generate_configurations",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadSetting:
+    """A named experimental setting (recipe-set spec + platform spec + sweep)."""
+
+    name: str
+    num_recipes: int
+    min_tasks: int
+    max_tasks: int
+    mutation_fraction: float
+    num_types: int
+    throughput_range: tuple[int, int]
+    cost_range: tuple[int, int] = (1, 100)
+    num_configurations: int = 100
+    target_throughputs: tuple[int, ...] = tuple(range(20, 201, 10))
+    topology: str = "layered"
+
+    def recipe_spec(self) -> RecipeSetSpec:
+        return RecipeSetSpec(
+            num_recipes=self.num_recipes,
+            min_tasks=self.min_tasks,
+            max_tasks=self.max_tasks,
+            num_types=self.num_types,
+            mutation_fraction=self.mutation_fraction,
+            topology=self.topology,
+        )
+
+    def platform_spec(self) -> PlatformSpec:
+        return PlatformSpec(
+            num_types=self.num_types,
+            throughput_range=self.throughput_range,
+            cost_range=self.cost_range,
+        )
+
+    def scaled(self, *, num_configurations: int | None = None,
+               target_throughputs: tuple[int, ...] | None = None) -> "WorkloadSetting":
+        """A copy with a reduced sweep (used by the fast benchmark presets)."""
+        return replace(
+            self,
+            num_configurations=self.num_configurations if num_configurations is None else num_configurations,
+            target_throughputs=self.target_throughputs if target_throughputs is None else tuple(target_throughputs),
+        )
+
+
+@dataclass(frozen=True)
+class Configuration:
+    """One generated (application, platform) couple."""
+
+    index: int
+    setting: WorkloadSetting
+    application: Application
+    platform: CloudPlatform
+    seed: int
+
+    def problem(self, rho: float) -> MinCostProblem:
+        """The MinCOST instance of this configuration at target throughput ``rho``."""
+        return MinCostProblem(
+            application=self.application,
+            platform=self.platform,
+            target_throughput=rho,
+            name=f"{self.setting.name}#{self.index}@{rho:g}",
+        )
+
+
+#: The paper's settings (Section VIII-C, -D, -E).
+PAPER_SETTINGS: dict[str, WorkloadSetting] = {
+    "small": WorkloadSetting(
+        name="small", num_recipes=20, min_tasks=5, max_tasks=8,
+        mutation_fraction=0.5, num_types=5, throughput_range=(10, 100),
+    ),
+    "medium": WorkloadSetting(
+        name="medium", num_recipes=20, min_tasks=10, max_tasks=20,
+        mutation_fraction=0.3, num_types=8, throughput_range=(10, 100),
+    ),
+    "large": WorkloadSetting(
+        name="large", num_recipes=20, min_tasks=50, max_tasks=100,
+        mutation_fraction=0.5, num_types=8, throughput_range=(10, 50),
+    ),
+    "xlarge": WorkloadSetting(
+        name="xlarge", num_recipes=10, min_tasks=100, max_tasks=200,
+        mutation_fraction=0.3, num_types=50, throughput_range=(5, 25),
+    ),
+}
+
+
+def get_setting(name: str) -> WorkloadSetting:
+    """Look up a paper setting by name ("small", "medium", "large", "xlarge")."""
+    try:
+        return PAPER_SETTINGS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown setting {name!r}; available: {', '.join(sorted(PAPER_SETTINGS))}"
+        ) from None
+
+
+def generate_configuration(
+    setting: WorkloadSetting,
+    seed: int | np.random.Generator | None = None,
+    *,
+    index: int = 0,
+) -> Configuration:
+    """Draw one (application, platform) configuration from a setting."""
+    app_rng, platform_rng = spawn_generators(seed, 2)
+    application = generate_application(
+        setting.recipe_spec(), app_rng, name=f"{setting.name}-app-{index}"
+    )
+    platform = generate_platform(
+        setting.platform_spec(), platform_rng, name=f"{setting.name}-cloud-{index}"
+    )
+    seed_value = seed if isinstance(seed, int) else -1
+    return Configuration(
+        index=index, setting=setting, application=application, platform=platform, seed=seed_value
+    )
+
+
+def generate_configurations(
+    setting: WorkloadSetting,
+    *,
+    base_seed: int = 0,
+    count: int | None = None,
+) -> Iterator[Configuration]:
+    """Yield the setting's configurations with deterministic per-index seeds."""
+    count = setting.num_configurations if count is None else count
+    if count <= 0:
+        raise ConfigurationError(f"configuration count must be positive, got {count}")
+    seq = np.random.SeedSequence([base_seed, hash(setting.name) & 0x7FFFFFFF])
+    children = seq.spawn(count)
+    for index, child in enumerate(children):
+        rng = np.random.default_rng(child)
+        app_rng, platform_rng = spawn_generators(rng, 2)
+        application = generate_application(
+            setting.recipe_spec(), app_rng, name=f"{setting.name}-app-{index}"
+        )
+        platform = generate_platform(
+            setting.platform_spec(), platform_rng, name=f"{setting.name}-cloud-{index}"
+        )
+        yield Configuration(
+            index=index, setting=setting, application=application,
+            platform=platform, seed=base_seed,
+        )

@@ -1,0 +1,152 @@
+"""Common machinery of the Section VI heuristics.
+
+All six heuristics (H0, H1, H2, H31, H32, H32Jump) decide only the throughput
+split; they share
+
+* the vectorised split evaluation (``problem.evaluate_split``),
+* the throughput-exchange move of :mod:`repro.heuristics.neighborhood`,
+* the H1 "best graph" construction used as the common starting point of the
+  iterative heuristics,
+* iteration accounting.
+
+:class:`IterativeHeuristic` factors the bookkeeping of the three local-search
+heuristics (H2, H31, H32Jump share "start from H1, repeat moves, remember the
+best solution seen").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..core.allocation import ThroughputSplit
+from ..core.problem import MinCostProblem
+from ..solvers.base import SplitSolver
+from ..utils.rng import as_generator
+
+__all__ = ["best_single_recipe_split", "HeuristicTrace", "BaseHeuristic", "IterativeHeuristic"]
+
+
+def best_single_recipe_split(problem: MinCostProblem) -> tuple[np.ndarray, int, float]:
+    """The H1 construction: the whole target throughput on the cheapest recipe.
+
+    Returns the split vector, the chosen recipe index and its cost.  Ties are
+    broken in favour of the lowest recipe index (deterministic).
+    """
+    costs = np.array([problem.single_recipe_cost(j) for j in range(problem.num_recipes)])
+    best_j = int(np.argmin(costs))
+    split = np.zeros(problem.num_recipes)
+    split[best_j] = problem.target_throughput
+    return split, best_j, float(costs[best_j])
+
+
+@dataclass
+class HeuristicTrace:
+    """Optional record of the cost trajectory of an iterative heuristic."""
+
+    costs: list[float]
+
+    def improvements(self) -> int:
+        """Number of strict improvements along the trajectory."""
+        best = np.inf
+        count = 0
+        for cost in self.costs:
+            if cost < best - 1e-12:
+                best = cost
+                count += 1
+        return count
+
+
+class BaseHeuristic(SplitSolver):
+    """Base class for the paper's heuristics (polynomial, not exact)."""
+
+    exact = False
+
+
+class IterativeHeuristic(BaseHeuristic):
+    """Shared skeleton of the local-search heuristics (H2, H31, H32Jump).
+
+    Parameters
+    ----------
+    iterations:
+        Maximum number of iterations (the paper only states the number is
+        "predetermined"; the default 1000 reproduces the observed behaviour of
+        the heuristics on the paper's instance sizes while keeping run times in
+        the millisecond range).
+    delta:
+        Amount of throughput moved by one exchange.  ``None`` selects one
+        lattice ``step`` (see below).
+    step:
+        Granularity of the throughput lattice (1 by default, the paper's
+        integer throughputs).
+    seed:
+        Seed or generator for the stochastic decisions.
+    record_trace:
+        Keep the cost trajectory in the result metadata (useful for the
+        convergence ablation benchmarks).
+    """
+
+    def __init__(
+        self,
+        iterations: int = 1000,
+        *,
+        delta: float | None = None,
+        step: float = 1.0,
+        seed: int | np.random.Generator | None = None,
+        record_trace: bool = False,
+    ) -> None:
+        if iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {iterations}")
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        if delta is not None and delta <= 0:
+            raise ValueError(f"delta must be positive, got {delta}")
+        self.iterations = int(iterations)
+        self.step = float(step)
+        self.delta = float(delta) if delta is not None else None
+        self.seed = seed
+        self.record_trace = bool(record_trace)
+
+    # ------------------------------------------------------------------ #
+    def effective_delta(self, problem: MinCostProblem) -> float:
+        """The exchange amount actually used for a given problem.
+
+        The paper moves "a fraction delta of the throughput" without fixing its
+        value.  A move only changes the cost when some per-type load crosses a
+        multiple of a processor throughput, so exchanges smaller than the
+        smallest ``r_q`` almost never help.  The default therefore uses the
+        smallest processor throughput of the platform (capped by the target
+        throughput), which is exactly the granularity of the paper's
+        illustrating example (delta = 10 in Table III); an explicit ``delta``
+        overrides it and ``step`` acts as a lower bound.
+        """
+        if self.delta is not None:
+            return self.delta
+        smallest_rate = float(problem.rates.min()) if problem.rates.size else self.step
+        return float(min(max(self.step, smallest_rate), problem.target_throughput))
+
+    def solve_split(self, problem: MinCostProblem) -> tuple[ThroughputSplit, dict[str, Any]]:
+        rng = as_generator(self.seed)
+        start, start_index, start_cost = best_single_recipe_split(problem)
+        best_split, best_cost, info = self._search(problem, start.copy(), start_cost, rng)
+        info.setdefault("iterations", self.iterations)
+        info["start_recipe"] = start_index
+        info["start_cost"] = start_cost
+        info["optimal"] = False
+        return ThroughputSplit.from_sequence(best_split), info
+
+    @abc.abstractmethod
+    def _search(
+        self,
+        problem: MinCostProblem,
+        start: np.ndarray,
+        start_cost: float,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, float, dict[str, Any]]:
+        """Run the local search from the H1 starting point.
+
+        Returns the best split found, its cost and a metadata dictionary.
+        """

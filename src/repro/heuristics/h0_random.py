@@ -1,0 +1,71 @@
+"""H0 (random): a uniformly random throughput split (Section VI-a).
+
+H0 is the sanity baseline of the paper: it draws each per-recipe throughput at
+random under the single constraint that the split sums to the target
+throughput.  Optionally several independent draws can be taken and the best
+kept (``samples > 1``), which is useful as a slightly stronger baseline in the
+ablation benchmarks; the paper's H0 corresponds to ``samples=1``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.allocation import ThroughputSplit
+from ..core.problem import MinCostProblem
+from ..utils.rng import as_generator
+from .base import BaseHeuristic
+from .neighborhood import random_split
+
+__all__ = ["H0RandomSolver"]
+
+
+class H0RandomSolver(BaseHeuristic):
+    """Random split baseline (H0).
+
+    Parameters
+    ----------
+    seed:
+        Seed or generator for the draw.
+    step:
+        Lattice granularity of the random split (1 by default: integer splits).
+    samples:
+        Number of independent random splits to draw; the cheapest is returned.
+        ``1`` reproduces the paper's H0.
+    """
+
+    name = "H0"
+
+    def __init__(
+        self,
+        seed: int | np.random.Generator | None = None,
+        *,
+        step: float = 1.0,
+        samples: int = 1,
+    ) -> None:
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        if samples <= 0:
+            raise ValueError(f"samples must be positive, got {samples}")
+        self.seed = seed
+        self.step = float(step)
+        self.samples = int(samples)
+
+    def solve_split(self, problem: MinCostProblem) -> tuple[ThroughputSplit, dict[str, Any]]:
+        rng = as_generator(self.seed)
+        best_split: np.ndarray | None = None
+        best_cost = np.inf
+        for _ in range(self.samples):
+            split = random_split(problem.target_throughput, problem.num_recipes, self.step, rng)
+            cost = problem.evaluate_split(split)
+            if cost < best_cost:
+                best_cost = cost
+                best_split = split
+        assert best_split is not None
+        return ThroughputSplit.from_sequence(best_split), {
+            "optimal": False,
+            "iterations": self.samples,
+            "samples": self.samples,
+        }

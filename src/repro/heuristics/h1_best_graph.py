@@ -1,0 +1,44 @@
+"""H1 (best graph): give the whole throughput to the cheapest single recipe.
+
+Section VI-b: "The H1 algorithm selects only one application graph.  It chooses
+the graph whose cost is minimum to reach the desired throughput".  The cost of
+each candidate is the single-graph closed form of Section IV-A, so the
+complexity is ``O(J * Q)``.
+
+H1 is both a standalone heuristic (the fastest of all, with the characteristic
+"bucket" behaviour visible in Table III) and the common starting point of the
+iterative heuristics H2, H31, H32 and H32Jump.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.allocation import ThroughputSplit
+from ..core.problem import MinCostProblem
+from .base import BaseHeuristic, best_single_recipe_split
+
+__all__ = ["H1BestGraphSolver"]
+
+
+class H1BestGraphSolver(BaseHeuristic):
+    """Best single-recipe heuristic (H1)."""
+
+    name = "H1"
+
+    def solve_split(self, problem: MinCostProblem) -> tuple[ThroughputSplit, dict[str, Any]]:
+        split, best_index, best_cost = best_single_recipe_split(problem)
+        return ThroughputSplit.from_sequence(split), {
+            "optimal": problem.num_recipes == 1,
+            "iterations": problem.num_recipes,
+            "chosen_recipe": best_index,
+            "chosen_recipe_name": problem.application[best_index].name,
+            "single_recipe_cost": best_cost,
+        }
+
+    @staticmethod
+    def per_recipe_costs(problem: MinCostProblem) -> np.ndarray:
+        """Cost of serving the whole target with each recipe (diagnostic helper)."""
+        return np.array([problem.single_recipe_cost(j) for j in range(problem.num_recipes)])

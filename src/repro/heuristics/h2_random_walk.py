@@ -1,0 +1,55 @@
+"""H2 (random walk): unconditional random exchanges, remember the best (Section VI-c).
+
+Starting from the H1 solution, H2 repeatedly picks two distinct recipes at
+random and moves ``delta`` units of throughput from the first to the second.
+The move is *always* applied — the walk is free to degrade the current
+solution — but the best solution encountered is recorded and returned after a
+predetermined number of iterations.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.problem import MinCostProblem
+from .base import HeuristicTrace, IterativeHeuristic
+from .neighborhood import random_exchange
+
+__all__ = ["H2RandomWalkSolver"]
+
+
+class H2RandomWalkSolver(IterativeHeuristic):
+    """Random-walk heuristic (H2)."""
+
+    name = "H2"
+
+    def _search(
+        self,
+        problem: MinCostProblem,
+        start: np.ndarray,
+        start_cost: float,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, float, dict[str, Any]]:
+        delta = self.effective_delta(problem)
+        current = start
+        best_split = start.copy()
+        best_cost = start_cost
+        trace = [start_cost] if self.record_trace else None
+
+        for _ in range(self.iterations):
+            candidate, _src, _dst = random_exchange(current, delta, rng)
+            cost = problem.evaluate_split(candidate)
+            if cost < best_cost:
+                best_cost = cost
+                best_split = candidate.copy()
+            # The walk continues from the candidate whether or not it improved.
+            current = candidate
+            if trace is not None:
+                trace.append(cost)
+
+        meta: dict[str, Any] = {"iterations": self.iterations, "delta": delta}
+        if trace is not None:
+            meta["trace"] = HeuristicTrace(trace)
+        return best_split, best_cost, meta

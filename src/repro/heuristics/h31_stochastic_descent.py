@@ -1,0 +1,95 @@
+"""H31 (stochastic descent): random exchanges, accept only improvements (Section VI-d).
+
+H31 is H2 with a descent acceptance rule: the randomly drawn exchange becomes
+the new current solution *only* when it strictly improves on it.  The search
+stops after a maximum number of iterations or when the best solution has not
+changed for a configurable number of consecutive iterations ("patience"), both
+of which the paper describes as predetermined constants.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.problem import MinCostProblem
+from .base import HeuristicTrace, IterativeHeuristic
+from .neighborhood import random_exchange
+
+__all__ = ["H31StochasticDescentSolver"]
+
+
+class H31StochasticDescentSolver(IterativeHeuristic):
+    """Stochastic-descent heuristic (H31).
+
+    Parameters
+    ----------
+    patience:
+        Stop when the incumbent has not improved for this many consecutive
+        iterations (``None`` disables the early stop and only the iteration
+        budget applies).
+    """
+
+    name = "H31"
+
+    def __init__(
+        self,
+        iterations: int = 1000,
+        *,
+        patience: int | None = 200,
+        delta: float | None = None,
+        step: float = 1.0,
+        seed: int | np.random.Generator | None = None,
+        record_trace: bool = False,
+    ) -> None:
+        super().__init__(iterations, delta=delta, step=step, seed=seed, record_trace=record_trace)
+        if patience is not None and patience <= 0:
+            raise ValueError(f"patience must be positive, got {patience}")
+        self.patience = patience
+
+    def _search(
+        self,
+        problem: MinCostProblem,
+        start: np.ndarray,
+        start_cost: float,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, float, dict[str, Any]]:
+        delta = self.effective_delta(problem)
+        current = start
+        current_cost = start_cost
+        best_split = start.copy()
+        best_cost = start_cost
+        stale = 0
+        performed = 0
+        trace = [start_cost] if self.record_trace else None
+
+        for _ in range(self.iterations):
+            performed += 1
+            candidate, _src, _dst = random_exchange(current, delta, rng)
+            cost = problem.evaluate_split(candidate)
+            if cost < current_cost:
+                current = candidate
+                current_cost = cost
+                if cost < best_cost:
+                    best_cost = cost
+                    best_split = candidate.copy()
+                    stale = 0
+                else:
+                    stale += 1
+            else:
+                stale += 1
+            if trace is not None:
+                trace.append(current_cost)
+            if self.patience is not None and stale >= self.patience:
+                break
+
+        meta: dict[str, Any] = {
+            "iterations": performed,
+            "delta": delta,
+            "patience": self.patience,
+            "stopped_early": performed < self.iterations,
+        }
+        if trace is not None:
+            meta["trace"] = HeuristicTrace(trace)
+        return best_split, best_cost, meta

@@ -1,0 +1,110 @@
+"""H32Jump (steepest gradient with jumps): escape local minima by perturbation.
+
+Section VI-e: H32Jump runs the H32 steepest-gradient descent, and when a local
+minimum is reached it "allows for a deterioration of the current solution by
+accepting a given number of throughput exchanges between graphs without
+checking if the solution is improved or not", then descends again from the
+perturbed point.  The best local minimum over all restarts is returned.
+
+This is an iterated-local-search scheme; the number of restarts (``jumps``) and
+the strength of each perturbation (``jump_moves`` random exchanges) are the
+"given numbers" of the paper, exposed as parameters here.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from ..core.problem import MinCostProblem
+from .base import HeuristicTrace, IterativeHeuristic
+from .neighborhood import random_exchange
+from .h32_steepest_gradient import steepest_descent
+
+__all__ = ["H32JumpSolver"]
+
+
+class H32JumpSolver(IterativeHeuristic):
+    """Steepest gradient with random restarts (H32Jump).
+
+    Parameters
+    ----------
+    jumps:
+        Number of perturbation + descent cycles performed after the first
+        descent (so the total number of descents is ``jumps + 1``).
+    jump_moves:
+        Number of unchecked random exchanges applied at each perturbation.
+    iterations:
+        Cap on the number of descent rounds of each individual descent.
+    """
+
+    name = "H32Jump"
+
+    def __init__(
+        self,
+        iterations: int = 1000,
+        *,
+        jumps: int = 10,
+        jump_moves: int = 3,
+        delta: float | None = None,
+        step: float = 1.0,
+        seed: int | np.random.Generator | None = None,
+        record_trace: bool = False,
+    ) -> None:
+        super().__init__(iterations, delta=delta, step=step, seed=seed, record_trace=record_trace)
+        if jumps < 0:
+            raise ValueError(f"jumps must be non-negative, got {jumps}")
+        if jump_moves <= 0:
+            raise ValueError(f"jump_moves must be positive, got {jump_moves}")
+        self.jumps = int(jumps)
+        self.jump_moves = int(jump_moves)
+
+    def _search(
+        self,
+        problem: MinCostProblem,
+        start: np.ndarray,
+        start_cost: float,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, float, dict[str, Any]]:
+        delta = self.effective_delta(problem)
+        total_rounds = 0
+        trace: list[float] = [start_cost] if self.record_trace else []
+
+        # Initial descent from the H1 starting point (this is exactly H32).
+        current, current_cost, rounds = steepest_descent(
+            problem, start, start_cost, delta, self.iterations
+        )
+        total_rounds += rounds
+        best_split = current.copy()
+        best_cost = current_cost
+        if self.record_trace:
+            trace.append(current_cost)
+
+        for _ in range(self.jumps):
+            # Perturbation: a few unchecked random exchanges from the current
+            # local minimum (neighbourhood of the last local minimum).
+            perturbed = current.copy()
+            for _ in range(self.jump_moves):
+                perturbed, _src, _dst = random_exchange(perturbed, delta, rng)
+            perturbed_cost = problem.evaluate_split(perturbed)
+            # Descent from the perturbed point.
+            current, current_cost, rounds = steepest_descent(
+                problem, perturbed, perturbed_cost, delta, self.iterations
+            )
+            total_rounds += rounds
+            if current_cost < best_cost:
+                best_cost = current_cost
+                best_split = current.copy()
+            if self.record_trace:
+                trace.append(current_cost)
+
+        meta: dict[str, Any] = {
+            "iterations": total_rounds,
+            "delta": delta,
+            "jumps": self.jumps,
+            "jump_moves": self.jump_moves,
+        }
+        if self.record_trace:
+            meta["trace"] = HeuristicTrace(trace)
+        return best_split, best_cost, meta

@@ -1,0 +1,110 @@
+"""H4 (simulated annealing): an extension beyond the paper's heuristic set.
+
+The paper's H2 accepts every random exchange and H31 accepts only improving
+ones; simulated annealing sits in between — degrading exchanges are accepted
+with a probability that decays with the amount of degradation and with time
+(geometric cooling).  It is included as a library extension (clearly *not* one
+of the paper's algorithms) because it is the textbook next step after H2/H31
+and gives the ablation benchmarks a stronger stochastic baseline.
+
+The acceptance rule is the classical Metropolis criterion::
+
+    accept a move of cost increase d > 0 with probability exp(-d / T_k)
+
+with ``T_k = T_0 * alpha^k`` after ``k`` iterations.  The initial temperature
+defaults to a fraction of the H1 starting cost so the behaviour is scale free.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from ..core.problem import MinCostProblem
+from .base import HeuristicTrace, IterativeHeuristic
+from .neighborhood import random_exchange
+
+__all__ = ["H4SimulatedAnnealingSolver"]
+
+
+class H4SimulatedAnnealingSolver(IterativeHeuristic):
+    """Simulated-annealing heuristic (library extension, not in the paper).
+
+    Parameters
+    ----------
+    initial_temperature:
+        Starting temperature ``T_0``.  ``None`` (default) uses 5 % of the H1
+        starting cost, which accepts small degradations early on and freezes
+        towards the end of the budget.
+    cooling:
+        Geometric cooling factor ``alpha`` in (0, 1).
+    """
+
+    name = "H4-SA"
+
+    def __init__(
+        self,
+        iterations: int = 1000,
+        *,
+        initial_temperature: float | None = None,
+        cooling: float = 0.995,
+        delta: float | None = None,
+        step: float = 1.0,
+        seed: int | np.random.Generator | None = None,
+        record_trace: bool = False,
+    ) -> None:
+        super().__init__(iterations, delta=delta, step=step, seed=seed, record_trace=record_trace)
+        if initial_temperature is not None and initial_temperature <= 0:
+            raise ValueError(f"initial_temperature must be positive, got {initial_temperature}")
+        if not (0 < cooling < 1):
+            raise ValueError(f"cooling must be in (0, 1), got {cooling}")
+        self.initial_temperature = initial_temperature
+        self.cooling = float(cooling)
+
+    def _search(
+        self,
+        problem: MinCostProblem,
+        start: np.ndarray,
+        start_cost: float,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, float, dict[str, Any]]:
+        delta = self.effective_delta(problem)
+        temperature = (
+            self.initial_temperature
+            if self.initial_temperature is not None
+            else max(1e-9, 0.05 * start_cost)
+        )
+        current = start
+        current_cost = start_cost
+        best_split = start.copy()
+        best_cost = start_cost
+        accepted = 0
+        trace = [start_cost] if self.record_trace else None
+
+        for _ in range(self.iterations):
+            candidate, _src, _dst = random_exchange(current, delta, rng)
+            cost = problem.evaluate_split(candidate)
+            worse_by = cost - current_cost
+            if worse_by <= 0 or rng.random() < math.exp(-worse_by / temperature):
+                current = candidate
+                current_cost = cost
+                accepted += 1
+                if cost < best_cost:
+                    best_cost = cost
+                    best_split = candidate.copy()
+            temperature *= self.cooling
+            if trace is not None:
+                trace.append(current_cost)
+
+        meta: dict[str, Any] = {
+            "iterations": self.iterations,
+            "delta": delta,
+            "accepted_moves": accepted,
+            "final_temperature": temperature,
+            "cooling": self.cooling,
+        }
+        if trace is not None:
+            meta["trace"] = HeuristicTrace(trace)
+        return best_split, best_cost, meta

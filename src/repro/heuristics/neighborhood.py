@@ -1,0 +1,92 @@
+"""Throughput-exchange moves shared by the local-search heuristics.
+
+All iterative heuristics of Section VI explore the same neighbourhood: pick two
+recipes ``j1 != j2`` and move an amount ``delta`` of throughput from ``j1`` to
+``j2``.  Following the paper, when the source recipe holds less than ``delta``
+its whole throughput is moved, so the total throughput is always preserved and
+no component ever becomes negative.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["transfer", "random_exchange", "all_exchanges", "random_split"]
+
+
+def transfer(split: np.ndarray, src: int, dst: int, delta: float) -> np.ndarray:
+    """Return a new split with ``delta`` moved from ``src`` to ``dst``.
+
+    Mirrors the H2 description: "if rho_j1 < delta, rho_j1 becomes equal to
+    zero and rho_j2 equal to rho_j2 + rho_j1".
+    """
+    if delta < 0:
+        raise ValueError(f"delta must be non-negative, got {delta}")
+    if src == dst:
+        return split.copy()
+    moved = min(delta, split[src])
+    out = split.copy()
+    out[src] -= moved
+    out[dst] += moved
+    return out
+
+
+def random_exchange(
+    split: np.ndarray, delta: float, rng: np.random.Generator, *, require_source_load: bool = True
+) -> tuple[np.ndarray, int, int]:
+    """One random throughput exchange between two distinct recipes.
+
+    Parameters
+    ----------
+    require_source_load:
+        When true the source recipe is drawn among recipes that currently hold
+        some throughput (otherwise the move would be a no-op); this matches the
+        intent of the paper's random walk, which always changes the solution.
+        When no recipe holds throughput the split is returned unchanged.
+    """
+    n = split.size
+    if n < 2:
+        return split.copy(), 0, 0
+    if require_source_load:
+        loaded = np.flatnonzero(split > 0)
+        if loaded.size == 0:
+            return split.copy(), 0, 0
+        src = int(rng.choice(loaded))
+    else:
+        src = int(rng.integers(n))
+    dst = int(rng.integers(n - 1))
+    if dst >= src:
+        dst += 1
+    return transfer(split, src, dst, delta), src, dst
+
+
+def all_exchanges(split: np.ndarray, delta: float) -> Iterator[tuple[np.ndarray, int, int]]:
+    """Every distinct non-trivial exchange of ``delta`` between two recipes.
+
+    Used by the steepest-gradient heuristics (H32, H32Jump) which evaluate the
+    whole neighbourhood before moving.
+    """
+    n = split.size
+    for src in range(n):
+        if split[src] <= 0:
+            continue
+        for dst in range(n):
+            if dst == src:
+                continue
+            yield transfer(split, src, dst, delta), src, dst
+
+
+def random_split(
+    total: float, parts: int, step: float, rng: np.random.Generator
+) -> np.ndarray:
+    """A uniformly random split of ``total`` into ``parts`` multiples of ``step``.
+
+    This is the H0 construction.  The last unit of rounding drift (when
+    ``total`` is not a multiple of ``step``) is added to the largest component
+    so the split always sums exactly to ``total``.
+    """
+    from ..utils.rng import random_partition
+
+    return np.asarray(random_partition(rng, total, parts, step), dtype=float)

@@ -1,0 +1,68 @@
+"""Portfolio heuristic: run several algorithms and keep the cheapest solution.
+
+Not part of the paper, but a natural extension of its summary (Section VIII-F):
+since H1 is essentially free and the iterative heuristics improve on it by a
+few percent at a modest cost, a practical deployment simply runs a small
+portfolio and keeps the best allocation.  Used by the ablation benchmarks and
+the quickstart example.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..core.problem import MinCostProblem
+from ..solvers.base import Solver, SolverResult
+
+__all__ = ["PortfolioSolver"]
+
+
+class PortfolioSolver(Solver):
+    """Run several solvers on the same instance and return the best result.
+
+    Parameters
+    ----------
+    solvers:
+        The member algorithms.  They are run sequentially; failures of
+        individual members (e.g. a solver that does not support the instance
+        class) are recorded and skipped rather than propagated, as long as at
+        least one member succeeds.
+    name:
+        Display name of the portfolio.
+    """
+
+    exact = False
+
+    def __init__(self, solvers: Sequence[Solver], name: str = "Portfolio") -> None:
+        if not solvers:
+            raise ValueError("a portfolio needs at least one member solver")
+        self.solvers = list(solvers)
+        self.name = name
+
+    def _solve(self, problem: MinCostProblem) -> SolverResult:
+        best: SolverResult | None = None
+        members: list[dict[str, Any]] = []
+        errors: list[str] = []
+        for solver in self.solvers:
+            try:
+                result = solver.solve(problem)
+            except Exception as exc:  # noqa: BLE001 - member failures are data here
+                errors.append(f"{solver.name}: {exc}")
+                continue
+            members.append(
+                {"solver": solver.name, "cost": result.cost, "time": result.solve_time}
+            )
+            if best is None or result.cost < best.cost:
+                best = result
+        if best is None:
+            raise RuntimeError(
+                f"every member of portfolio {self.name!r} failed: {'; '.join(errors)}"
+            )
+        return SolverResult(
+            solver_name=self.name,
+            allocation=best.allocation,
+            cost=best.cost,
+            optimal=best.optimal,
+            iterations=sum(int(m.get("cost", 0) >= 0) for m in members),
+            meta={"winner": best.solver_name, "members": members, "errors": errors},
+        )

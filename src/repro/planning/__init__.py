@@ -1,0 +1,5 @@
+"""Rental planning over time-varying demand (deployment pre-step extension)."""
+
+from .rental_plan import DemandWindow, RentalPlan, WindowPlan, plan_rental, static_peak_plan
+
+__all__ = ["DemandWindow", "RentalPlan", "WindowPlan", "plan_rental", "static_peak_plan"]

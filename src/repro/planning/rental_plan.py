@@ -1,0 +1,167 @@
+"""Rental planning over a time-varying workload (deployment pre-step).
+
+The paper dimensions the platform for one steady-state throughput and leaves
+the integration "as a pre-step before the deployment phase" to future work.
+This module implements that pre-step for the common case where the required
+throughput varies over time (daily traffic profile, bursty ingest): given a
+sequence of :class:`DemandWindow` (duration + required throughput), it computes
+one MinCOST allocation per window and aggregates the plan:
+
+* total and per-window rental cost (cost × duration),
+* machine scaling actions between consecutive windows (instances to acquire or
+  release per type),
+* the savings with respect to the naive static plan that provisions the peak
+  throughput for the whole horizon.
+
+Each window is an independent MinCOST instance, so any solver of the library
+(exact or heuristic) can be plugged in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..core.allocation import Allocation
+from ..core.exceptions import ProblemError
+from ..core.problem import MinCostProblem
+from ..core.task import TaskType
+from ..solvers.base import Solver
+from ..solvers.milp import MilpSolver
+
+__all__ = ["DemandWindow", "WindowPlan", "RentalPlan", "plan_rental", "static_peak_plan"]
+
+
+@dataclass(frozen=True)
+class DemandWindow:
+    """One segment of the demand profile: ``throughput`` required for ``duration`` hours."""
+
+    duration: float
+    throughput: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise ProblemError(f"window duration must be positive, got {self.duration}")
+        if self.throughput < 0:
+            raise ProblemError(f"window throughput must be non-negative, got {self.throughput}")
+
+
+@dataclass
+class WindowPlan:
+    """The allocation chosen for one demand window."""
+
+    window: DemandWindow
+    allocation: Allocation | None  # None when the window requires no throughput
+    hourly_cost: float
+
+    @property
+    def cost(self) -> float:
+        """Rental cost of the window (hourly cost × duration)."""
+        return self.hourly_cost * self.window.duration
+
+    def machines(self) -> dict[TaskType, int]:
+        if self.allocation is None:
+            return {}
+        return {t: int(c) for t, c in self.allocation.machines.items() if c > 0}
+
+
+@dataclass
+class RentalPlan:
+    """A full plan over a demand profile."""
+
+    windows: list[WindowPlan] = field(default_factory=list)
+    solver_name: str = ""
+
+    @property
+    def total_cost(self) -> float:
+        return float(sum(w.cost for w in self.windows))
+
+    @property
+    def total_duration(self) -> float:
+        return float(sum(w.window.duration for w in self.windows))
+
+    @property
+    def peak_hourly_cost(self) -> float:
+        return float(max((w.hourly_cost for w in self.windows), default=0.0))
+
+    def scaling_actions(self) -> list[dict[TaskType, int]]:
+        """Machine-count deltas between consecutive windows.
+
+        Entry ``k`` maps each type to the (signed) number of instances to
+        acquire (positive) or release (negative) when entering window ``k``;
+        entry 0 is the initial acquisition from an empty platform.
+        """
+        actions: list[dict[TaskType, int]] = []
+        previous: Mapping[TaskType, int] = {}
+        for window_plan in self.windows:
+            current = window_plan.machines()
+            delta: dict[TaskType, int] = {}
+            for type_id in set(previous) | set(current):
+                change = current.get(type_id, 0) - previous.get(type_id, 0)
+                if change:
+                    delta[type_id] = change
+            actions.append(delta)
+            previous = current
+        return actions
+
+    def savings_vs_static_peak(self, static_hourly_cost: float) -> float:
+        """Relative saving of the elastic plan vs renting ``static_hourly_cost`` throughout."""
+        static_total = static_hourly_cost * self.total_duration
+        if static_total <= 0:
+            return 0.0
+        return 1.0 - self.total_cost / static_total
+
+
+def plan_rental(
+    problem_template: MinCostProblem,
+    profile: Sequence[DemandWindow],
+    *,
+    solver: Solver | None = None,
+) -> RentalPlan:
+    """Compute a per-window rental plan for a demand profile.
+
+    Parameters
+    ----------
+    problem_template:
+        Any MinCOST instance over the application/platform to plan for (its own
+        target throughput is ignored).
+    profile:
+        The demand windows, in chronological order.
+    solver:
+        MinCOST algorithm used per window (exact MILP by default).
+    """
+    if not profile:
+        raise ProblemError("the demand profile must contain at least one window")
+    solver = solver or MilpSolver()
+    plan = RentalPlan(solver_name=solver.name)
+    for window in profile:
+        if window.throughput <= 0:
+            plan.windows.append(WindowPlan(window=window, allocation=None, hourly_cost=0.0))
+            continue
+        result = solver.solve(problem_template.with_target(window.throughput))
+        plan.windows.append(
+            WindowPlan(window=window, allocation=result.allocation, hourly_cost=result.cost)
+        )
+    return plan
+
+
+def static_peak_plan(
+    problem_template: MinCostProblem,
+    profile: Sequence[DemandWindow],
+    *,
+    solver: Solver | None = None,
+) -> tuple[float, float]:
+    """Cost of the naive static plan: provision the peak demand for the whole horizon.
+
+    Returns ``(hourly_cost_at_peak, total_cost_over_profile)``.
+    """
+    if not profile:
+        raise ProblemError("the demand profile must contain at least one window")
+    solver = solver or MilpSolver()
+    peak = max(window.throughput for window in profile)
+    total_duration = sum(window.duration for window in profile)
+    if peak <= 0:
+        return 0.0, 0.0
+    hourly = solver.solve(problem_template.with_target(peak)).cost
+    return float(hourly), float(hourly * total_duration)

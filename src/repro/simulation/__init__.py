@@ -1,0 +1,26 @@
+"""Discrete-event steady-state stream simulator (allocation validation substrate)."""
+
+from .engine import StreamSimulator
+from .events import Event, EventKind, EventQueue
+from .metrics import SimulationReport
+from .processor import PendingTask, ProcessorInstance, ProcessorPool
+from .stream import DataSetInstance, RecipeRouter, ReorderBuffer
+from .validate import ValidationResult, simulate_allocation, static_check, validate_allocation
+
+__all__ = [
+    "StreamSimulator",
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "SimulationReport",
+    "PendingTask",
+    "ProcessorInstance",
+    "ProcessorPool",
+    "DataSetInstance",
+    "RecipeRouter",
+    "ReorderBuffer",
+    "ValidationResult",
+    "simulate_allocation",
+    "static_check",
+    "validate_allocation",
+]

@@ -1,0 +1,76 @@
+"""Event machinery of the discrete-event stream simulator.
+
+The simulator is a classical event-driven loop: a priority queue of timestamped
+events, popped in chronological order.  Two event kinds exist:
+
+* ``ARRIVAL`` — a new data set enters the system and is routed to a recipe;
+* ``TASK_COMPLETE`` — a processor instance finishes the task it was serving.
+
+Ties are broken by a monotonically increasing sequence number so the execution
+is fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from ..core.exceptions import SimulationError
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(Enum):
+    """Kinds of events handled by the simulation engine."""
+
+    ARRIVAL = "arrival"
+    TASK_COMPLETE = "task-complete"
+
+
+@dataclass(frozen=True, order=True)
+class Event:
+    """A timestamped simulation event.
+
+    The ordering is (time, sequence) so the payload never participates in
+    comparisons.
+    """
+
+    time: float
+    sequence: int
+    kind: EventKind = field(compare=False)
+    payload: dict[str, Any] = field(compare=False, default_factory=dict)
+
+
+class EventQueue:
+    """A deterministic priority queue of :class:`Event` objects."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._counter = itertools.count()
+
+    def push(self, time: float, kind: EventKind, **payload: Any) -> Event:
+        """Schedule an event at ``time`` and return it."""
+        if time < 0:
+            raise SimulationError(f"cannot schedule an event at negative time {time}")
+        event = Event(time=time, sequence=next(self._counter), kind=kind, payload=payload)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def pop(self) -> Event:
+        """Remove and return the earliest event."""
+        if not self._heap:
+            raise SimulationError("pop from an empty event queue")
+        return heapq.heappop(self._heap)
+
+    def peek_time(self) -> float | None:
+        """Time of the next event, or ``None`` when the queue is empty."""
+        return self._heap[0].time if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

@@ -1,0 +1,86 @@
+"""Metrics collected by the stream simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..core.task import TaskType
+
+__all__ = ["SimulationReport"]
+
+
+@dataclass
+class SimulationReport:
+    """Outcome of simulating an allocation on a data-set stream.
+
+    Attributes
+    ----------
+    horizon:
+        Simulated duration (time units).
+    arrivals:
+        Number of data sets injected in the stream.
+    completed:
+        Number of data sets fully processed before the horizon.
+    achieved_throughput:
+        Completed data sets per time unit, measured after the warm-up period.
+    target_throughput:
+        The throughput the allocation was dimensioned for.
+    mean_latency, max_latency:
+        Data-set latency statistics (arrival to completion of the last task).
+    utilization:
+        Mean busy fraction per processor type.
+    reorder_buffer_peak:
+        Peak number of out-of-order completed data sets held back to preserve
+        the input order at the output (the paper's buffer assumption).
+    backlog:
+        Data sets still in flight when the simulation stopped.
+    recipe_mix:
+        Fraction of the data sets routed to each recipe.
+    """
+
+    horizon: float
+    arrivals: int
+    completed: int
+    achieved_throughput: float
+    target_throughput: float
+    mean_latency: float
+    max_latency: float
+    utilization: Mapping[TaskType, float]
+    reorder_buffer_peak: int
+    backlog: int
+    recipe_mix: tuple[float, ...]
+    warmup: float = 0.0
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def throughput_ratio(self) -> float:
+        """Achieved / target throughput (1.0 means the allocation keeps up)."""
+        if self.target_throughput <= 0:
+            return float("nan")
+        return self.achieved_throughput / self.target_throughput
+
+    def sustains_target(self, tolerance: float = 0.05) -> bool:
+        """True when the measured throughput is within ``tolerance`` of the target."""
+        return self.throughput_ratio >= 1.0 - tolerance
+
+    def summary(self) -> str:
+        util = ", ".join(f"{t}:{u:.0%}" for t, u in sorted(self.utilization.items(), key=lambda kv: str(kv[0])))
+        return (
+            f"horizon={self.horizon:g}  arrivals={self.arrivals}  completed={self.completed}\n"
+            f"throughput: achieved={self.achieved_throughput:.3f} / target={self.target_throughput:g} "
+            f"(ratio {self.throughput_ratio:.3f})\n"
+            f"latency: mean={self.mean_latency:.4f}  max={self.max_latency:.4f}\n"
+            f"utilization: {util}\n"
+            f"reorder buffer peak: {self.reorder_buffer_peak}   backlog: {self.backlog}"
+        )
+
+    @staticmethod
+    def latency_stats(latencies: list[float]) -> tuple[float, float]:
+        """(mean, max) helper tolerating an empty list."""
+        if not latencies:
+            return 0.0, 0.0
+        arr = np.asarray(latencies, dtype=float)
+        return float(arr.mean()), float(arr.max())

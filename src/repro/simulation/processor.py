@@ -1,0 +1,144 @@
+"""Processor instances: the rented virtual machines of the simulated platform.
+
+Each :class:`ProcessorInstance` models one rented machine of a given type:
+it serves tasks of that type one at a time, FIFO, at the type's steady-state
+rate ``r_q`` (a task of work ``w`` takes ``w / r_q`` time units).  A
+:class:`ProcessorPool` groups all instances of the allocation and implements
+the dispatch rule used by the engine: a ready task goes to the instance of its
+type with the least pending work (join-the-shortest-queue in work units).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque
+
+from ..core.allocation import Allocation
+from ..core.exceptions import SimulationError
+from ..core.platform import CloudPlatform
+from ..core.task import TaskType
+
+__all__ = ["PendingTask", "ProcessorInstance", "ProcessorPool"]
+
+
+@dataclass(frozen=True)
+class PendingTask:
+    """A (data set, task) pair waiting for or receiving service."""
+
+    dataset_id: int
+    task_id: int
+    work: float
+
+
+class ProcessorInstance:
+    """One rented machine of a given processor type."""
+
+    def __init__(self, instance_id: int, type_id: TaskType, throughput: float) -> None:
+        if throughput <= 0:
+            raise SimulationError(f"instance throughput must be positive, got {throughput}")
+        self.instance_id = instance_id
+        self.type_id = type_id
+        self.throughput = float(throughput)
+        self.queue: Deque[PendingTask] = deque()
+        self.current: PendingTask | None = None
+        self.busy_until: float = 0.0
+        self.busy_time: float = 0.0
+        self.completed_tasks: int = 0
+
+    # ------------------------------------------------------------------ #
+    @property
+    def pending_work(self) -> float:
+        """Work units queued on this instance (including the task in service)."""
+        queued = sum(task.work for task in self.queue)
+        if self.current is not None:
+            queued += self.current.work
+        return queued
+
+    @property
+    def is_idle(self) -> bool:
+        return self.current is None
+
+    def service_time(self, task: PendingTask) -> float:
+        """Time needed to serve ``task`` on this instance."""
+        return task.work / self.throughput
+
+    # ------------------------------------------------------------------ #
+    def enqueue(self, task: PendingTask) -> None:
+        self.queue.append(task)
+
+    def start_next(self, now: float) -> tuple[PendingTask, float] | None:
+        """Start serving the next queued task; return (task, completion time)."""
+        if self.current is not None or not self.queue:
+            return None
+        task = self.queue.popleft()
+        duration = self.service_time(task)
+        self.current = task
+        self.busy_until = now + duration
+        self.busy_time += duration
+        return task, self.busy_until
+
+    def finish_current(self, now: float) -> PendingTask:
+        """Mark the in-service task as finished and return it."""
+        if self.current is None:
+            raise SimulationError(f"instance {self.instance_id} has no task in service at t={now}")
+        task = self.current
+        self.current = None
+        self.completed_tasks += 1
+        return task
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of the horizon this instance spent serving tasks."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_time / horizon)
+
+
+class ProcessorPool:
+    """All rented instances of an allocation, indexed by type."""
+
+    def __init__(self, platform: CloudPlatform, allocation: Allocation) -> None:
+        self.platform = platform
+        self._by_type: dict[TaskType, list[ProcessorInstance]] = {}
+        instance_id = 0
+        for type_id, count in allocation.machines.items():
+            instances = []
+            for _ in range(int(count)):
+                instances.append(
+                    ProcessorInstance(instance_id, type_id, platform.throughput_of(type_id))
+                )
+                instance_id += 1
+            self._by_type[type_id] = instances
+        self._all = [inst for group in self._by_type.values() for inst in group]
+
+    # ------------------------------------------------------------------ #
+    @property
+    def num_instances(self) -> int:
+        return len(self._all)
+
+    def instances(self) -> list[ProcessorInstance]:
+        return list(self._all)
+
+    def instances_of(self, type_id: TaskType) -> list[ProcessorInstance]:
+        return list(self._by_type.get(type_id, []))
+
+    def has_type(self, type_id: TaskType) -> bool:
+        return bool(self._by_type.get(type_id))
+
+    def select_instance(self, type_id: TaskType) -> ProcessorInstance:
+        """Dispatch rule: the instance of ``type_id`` with the least pending work."""
+        candidates = self._by_type.get(type_id)
+        if not candidates:
+            raise SimulationError(
+                f"the allocation rents no machine of type {type_id!r} "
+                "but a task of that type was dispatched"
+            )
+        return min(candidates, key=lambda inst: (inst.pending_work, inst.instance_id))
+
+    def utilization_by_type(self, horizon: float) -> dict[TaskType, float]:
+        """Mean utilization of the instances of each type."""
+        result: dict[TaskType, float] = {}
+        for type_id, instances in self._by_type.items():
+            if instances:
+                result[type_id] = sum(inst.utilization(horizon) for inst in instances) / len(instances)
+        return result

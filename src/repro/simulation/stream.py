@@ -1,0 +1,150 @@
+"""Stream entities: data-set instances, recipe routing and the reorder buffer.
+
+The target applications process a stream of data sets (images, frames, sensor
+windows...).  Each incoming data set is routed to one of the recipes in
+proportion to the throughput split, then flows through that recipe's DAG.
+Because different recipes have different processing times, data sets can finish
+out of order; the paper assumes "a buffer of sufficient size" re-establishes
+the input order at the output — :class:`ReorderBuffer` measures how large that
+buffer actually needs to be for a given allocation, which is reported by the
+simulator as a bonus metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from ..core.allocation import ThroughputSplit
+from ..core.exceptions import SimulationError
+from ..core.graph import RecipeGraph
+
+__all__ = ["DataSetInstance", "RecipeRouter", "ReorderBuffer"]
+
+
+class DataSetInstance:
+    """One data set flowing through one recipe graph."""
+
+    def __init__(self, dataset_id: int, recipe_index: int, recipe: RecipeGraph, arrival_time: float) -> None:
+        self.dataset_id = dataset_id
+        self.recipe_index = recipe_index
+        self.recipe = recipe
+        self.arrival_time = arrival_time
+        self.completion_time: float | None = None
+        self._remaining_preds: dict[int, int] = {
+            task_id: len(recipe.predecessors(task_id)) for task_id in recipe.task_ids()
+        }
+        self._pending = set(recipe.task_ids())
+
+    # ------------------------------------------------------------------ #
+    @property
+    def is_complete(self) -> bool:
+        return not self._pending
+
+    def ready_tasks(self) -> list[int]:
+        """Tasks whose predecessors have all completed and that were not started."""
+        return [task_id for task_id in self._pending if self._remaining_preds[task_id] == 0]
+
+    def initial_tasks(self) -> list[int]:
+        """The recipe's source tasks (ready at arrival)."""
+        return self.recipe.sources()
+
+    def mark_started(self, task_id: int) -> None:
+        """Remove a task from the ready set once it has been dispatched."""
+        if task_id not in self._pending or self._remaining_preds[task_id] < 0:
+            raise SimulationError(
+                f"task {task_id} of data set {self.dataset_id} started twice or unknown"
+            )
+        # Started tasks are tracked implicitly: they leave the pending set on completion,
+        # but must not be re-dispatched; mark them by setting their predecessor count to -1.
+        self._remaining_preds[task_id] = -1
+
+    def complete_task(self, task_id: int, time: float) -> list[int]:
+        """Record the completion of ``task_id``; return the newly ready tasks."""
+        if task_id not in self._pending:
+            raise SimulationError(
+                f"completion of unknown or already-finished task {task_id} "
+                f"of data set {self.dataset_id}"
+            )
+        self._pending.discard(task_id)
+        newly_ready: list[int] = []
+        for succ in self.recipe.successors(task_id):
+            if succ in self._pending and self._remaining_preds[succ] > 0:
+                self._remaining_preds[succ] -= 1
+                if self._remaining_preds[succ] == 0:
+                    newly_ready.append(succ)
+        if not self._pending:
+            self.completion_time = time
+        return newly_ready
+
+    @property
+    def latency(self) -> float | None:
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.arrival_time
+
+
+class RecipeRouter:
+    """Deterministic proportional routing of data sets to recipes.
+
+    Stride-scheduling style: data set ``i`` goes to the active recipe ``j``
+    minimising ``(assigned_j + 1) / rho_j``, which keeps the realised mix within
+    one data set of the requested proportions at all times (no random drift).
+    """
+
+    def __init__(self, split: ThroughputSplit) -> None:
+        weights = np.asarray(split.values, dtype=float)
+        if weights.sum() <= 0:
+            raise SimulationError("cannot route a stream with an all-zero throughput split")
+        self.weights = weights
+        self.assigned = np.zeros(weights.size, dtype=np.int64)
+
+    def route(self) -> int:
+        """Return the recipe index for the next data set."""
+        with np.errstate(divide="ignore"):
+            scores = np.where(self.weights > 0, (self.assigned + 1) / self.weights, np.inf)
+        recipe = int(np.argmin(scores))
+        self.assigned[recipe] += 1
+        return recipe
+
+    def mix(self) -> np.ndarray:
+        """Fraction of data sets routed to each recipe so far."""
+        total = self.assigned.sum()
+        if total == 0:
+            return np.zeros_like(self.weights)
+        return self.assigned / total
+
+
+@dataclass
+class ReorderBuffer:
+    """Tracks how many completed data sets wait for earlier ones to finish.
+
+    Data sets are released in arrival order; a data set completed out of order
+    occupies the buffer until every earlier data set has completed.  The peak
+    occupancy is the buffer size the paper's in-order-output assumption needs.
+    """
+
+    next_to_release: int = 0
+    _held: set[int] = field(default_factory=set)
+    peak_occupancy: int = 0
+    released: int = 0
+
+    def complete(self, dataset_id: int) -> list[int]:
+        """Record a completion; return the data sets released in order."""
+        if dataset_id < self.next_to_release or dataset_id in self._held:
+            raise SimulationError(f"data set {dataset_id} completed twice")
+        self._held.add(dataset_id)
+        self.peak_occupancy = max(self.peak_occupancy, len(self._held))
+        out: list[int] = []
+        while self.next_to_release in self._held:
+            self._held.discard(self.next_to_release)
+            out.append(self.next_to_release)
+            self.next_to_release += 1
+            self.released += 1
+        return out
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._held)

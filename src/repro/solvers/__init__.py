@@ -1,0 +1,35 @@
+"""Exact solvers for the MinCOST problem (Sections IV and V of the paper)."""
+
+from .base import Solver, SolverResult, SplitSolver
+from .branch_and_bound import BranchAndBoundSolver
+from .closed_form import SingleGraphSolver, solve_independent_applications
+from .dynprog import NonSharedDynamicProgramSolver
+from .exhaustive import ExhaustiveSolver, enumerate_splits
+from .knapsack import BlackBoxKnapsackSolver, solve_covering_knapsack
+from .lp_relaxation import LpSolution, relaxed_cost, solve_lp_relaxation
+from .milp import MilpFormulation, MilpSolver, build_formulation
+from .registry import available_solvers, create_solver, create_solvers, register_solver
+
+__all__ = [
+    "Solver",
+    "SolverResult",
+    "SplitSolver",
+    "BranchAndBoundSolver",
+    "SingleGraphSolver",
+    "solve_independent_applications",
+    "NonSharedDynamicProgramSolver",
+    "ExhaustiveSolver",
+    "enumerate_splits",
+    "BlackBoxKnapsackSolver",
+    "solve_covering_knapsack",
+    "LpSolution",
+    "relaxed_cost",
+    "solve_lp_relaxation",
+    "MilpFormulation",
+    "MilpSolver",
+    "build_formulation",
+    "available_solvers",
+    "create_solver",
+    "create_solvers",
+    "register_solver",
+]

@@ -1,0 +1,146 @@
+"""Solver interface shared by exact solvers and heuristics.
+
+Every algorithm — the closed forms of Section IV, the dynamic programs of
+Section V, the MILP of Section V-C and the heuristics of Section VI — is
+exposed as a :class:`Solver` returning a :class:`SolverResult`.  This uniform
+interface is what lets the experiment harness sweep every algorithm over every
+configuration and throughput with the same code.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..core.allocation import Allocation, ThroughputSplit
+from ..core.problem import MinCostProblem
+from ..utils.timing import Stopwatch
+
+__all__ = ["SolverResult", "Solver", "SplitSolver"]
+
+
+@dataclass
+class SolverResult:
+    """Outcome of running a solver on a MinCOST instance.
+
+    Attributes
+    ----------
+    solver_name:
+        Name of the algorithm ("ILP", "H1", ...), as used in the paper's plots.
+    allocation:
+        The produced allocation (split + machine counts + cost).
+    cost:
+        Hourly rental cost of the allocation (duplicated for convenience).
+    solve_time:
+        Wall-clock time spent by the algorithm, in seconds.
+    optimal:
+        ``True`` when the algorithm proved optimality (exact solvers within
+        their time limit), ``False`` for heuristics and timed-out exact runs.
+    iterations:
+        Number of iterations / explored nodes when meaningful.
+    meta:
+        Free-form algorithm specific data (e.g. MILP gap, jump count).
+    """
+
+    solver_name: str
+    allocation: Allocation
+    cost: float
+    solve_time: float = 0.0
+    optimal: bool = False
+    iterations: int = 0
+    meta: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def split(self) -> ThroughputSplit:
+        return self.allocation.split
+
+    def summary(self) -> str:
+        flag = "optimal" if self.optimal else "heuristic/incumbent"
+        return (
+            f"{self.solver_name}: cost={self.cost:g} split={self.allocation.split} "
+            f"({flag}, {self.solve_time * 1000:.2f} ms, {self.iterations} iterations)"
+        )
+
+
+class Solver(abc.ABC):
+    """Abstract base class of every MinCOST algorithm.
+
+    Sub-classes implement :meth:`_solve`; the public :meth:`solve` wrapper adds
+    wall-clock timing and guarantees that the returned allocation is feasible
+    for the problem (defensive check, disabled with ``check=False`` for the
+    benchmark hot path).
+    """
+
+    #: Display name used in experiment tables/figures; overridden by subclasses.
+    name: str = "solver"
+
+    #: Whether the algorithm proves optimality when it terminates normally.
+    exact: bool = False
+
+    def solve(self, problem: MinCostProblem, *, check: bool = True) -> SolverResult:
+        """Run the algorithm on ``problem`` and return a timed result."""
+        stopwatch = Stopwatch().start()
+        result = self._solve(problem)
+        elapsed = stopwatch.stop()
+        if result.solve_time == 0.0:
+            result.solve_time = elapsed
+        if check and not problem.is_allocation_feasible(result.allocation):
+            raise AssertionError(
+                f"solver {self.name!r} returned an infeasible allocation "
+                f"{result.allocation} for {problem!r}"
+            )
+        return result
+
+    @abc.abstractmethod
+    def _solve(self, problem: MinCostProblem) -> SolverResult:
+        """Algorithm body; must return a :class:`SolverResult`."""
+
+    # ------------------------------------------------------------------ #
+    # helpers shared by subclasses
+    # ------------------------------------------------------------------ #
+    def _result_from_split(
+        self,
+        problem: MinCostProblem,
+        split: ThroughputSplit | list[float] | tuple[float, ...],
+        *,
+        optimal: bool = False,
+        iterations: int = 0,
+        meta: dict[str, Any] | None = None,
+    ) -> SolverResult:
+        allocation = problem.allocation_for(split, metadata={"solver": self.name})
+        return SolverResult(
+            solver_name=self.name,
+            allocation=allocation,
+            cost=allocation.cost,
+            optimal=optimal,
+            iterations=iterations,
+            meta=meta or {},
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class SplitSolver(Solver):
+    """Convenience base class for algorithms that only decide the split.
+
+    Most algorithms in the paper (all heuristics, the DP, the ILP) reduce to
+    choosing the throughput split ``(rho_1, ..., rho_J)``; the machine counts
+    then follow from the ceiling formula.  Sub-classes implement
+    :meth:`solve_split` and inherit the wrapping.
+    """
+
+    def _solve(self, problem: MinCostProblem) -> SolverResult:
+        split, info = self.solve_split(problem)
+        return self._result_from_split(
+            problem,
+            split,
+            optimal=bool(info.get("optimal", self.exact)),
+            iterations=int(info.get("iterations", 0)),
+            meta=info,
+        )
+
+    @abc.abstractmethod
+    def solve_split(self, problem: MinCostProblem) -> tuple[ThroughputSplit, dict[str, Any]]:
+        """Return the chosen split and a metadata dictionary."""

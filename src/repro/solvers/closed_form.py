@@ -1,0 +1,101 @@
+"""Closed-form solutions for the simple cases of Section IV.
+
+* :class:`SingleGraphSolver` — Section IV-A: one recipe, the machine counts are
+  directly ``x_q = ceil(n_q / r_q * rho)``.
+* :func:`solve_independent_applications` — Section IV-B: several *independent*
+  applications, each with its own prescribed throughput; machines of a shared
+  type are pooled.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..core.allocation import Allocation, ThroughputSplit
+from ..core.application import Application
+from ..core.cost import machines_for_split
+from ..core.exceptions import ProblemError
+from ..core.platform import CloudPlatform
+from ..core.problem import MinCostProblem
+from .base import SolverResult, SplitSolver
+
+__all__ = ["SingleGraphSolver", "solve_independent_applications"]
+
+
+class SingleGraphSolver(SplitSolver):
+    """Optimal solver for single-recipe instances (Section IV-A).
+
+    For a single recipe the split is forced (``rho_1 = rho``) and the ceiling
+    formula is optimal, so this solver is exact — but only for instances whose
+    application has exactly one recipe.
+    """
+
+    name = "SingleGraph"
+    exact = True
+
+    def solve_split(self, problem: MinCostProblem) -> tuple[ThroughputSplit, dict[str, Any]]:
+        if problem.num_recipes != 1:
+            raise ProblemError(
+                "SingleGraphSolver only handles single-recipe applications; "
+                f"got {problem.num_recipes} recipes (use the DP, MILP or a heuristic instead)"
+            )
+        split = ThroughputSplit.single_recipe(1, 0, problem.target_throughput)
+        return split, {"optimal": True}
+
+
+def solve_independent_applications(
+    application: Application,
+    platform: CloudPlatform,
+    throughputs: Sequence[float] | Mapping[int, float],
+    *,
+    share_machines: bool = True,
+) -> Allocation:
+    """Dimension a platform for several independent applications (Section IV-B).
+
+    Unlike the general MinCOST problem, each application ``phi^j`` here has its
+    *own* prescribed throughput ``rho_j`` (they produce different results), so
+    there is nothing to optimise: the machine counts follow directly from the
+    pooled ceiling formula.
+
+    Parameters
+    ----------
+    application:
+        The container of the ``J`` independent workflow graphs.
+    platform:
+        The cloud catalogue.
+    throughputs:
+        Either a sequence of ``J`` throughputs (recipe order) or a mapping from
+        recipe index to throughput (missing recipes get 0).
+    share_machines:
+        When true (the paper's setting) machines of a type shared by several
+        graphs are pooled: ``x_q = ceil(sum_j n^j_q rho_j / r_q)``.  When false
+        each graph gets its own machines (useful to quantify the benefit of
+        sharing).
+    """
+    if isinstance(throughputs, Mapping):
+        values = [float(throughputs.get(j, 0.0)) for j in range(application.num_recipes)]
+    else:
+        values = [float(v) for v in throughputs]
+        if len(values) != application.num_recipes:
+            raise ProblemError(
+                f"{len(values)} throughputs given for {application.num_recipes} applications"
+            )
+    if any(v < 0 for v in values):
+        raise ProblemError(f"negative prescribed throughput in {values}")
+
+    split = ThroughputSplit.from_sequence(values)
+    if share_machines:
+        return Allocation.from_split(application, platform, split, metadata={"shared": True})
+
+    # Independent dimensioning: each graph rents its own machines.
+    machines: dict = {}
+    cost = 0.0
+    for j, (recipe, rho_j) in enumerate(zip(application.recipes(), values)):
+        if rho_j == 0:
+            continue
+        sub_app = Application([recipe.copy()], name=recipe.name)
+        sub = machines_for_split(sub_app, platform, [rho_j])
+        for type_id, count in sub.items():
+            machines[type_id] = machines.get(type_id, 0) + count
+            cost += count * platform.cost_of(type_id)
+    return Allocation(split=split, machines=machines, cost=cost, metadata={"shared": False})

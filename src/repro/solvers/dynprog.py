@@ -1,0 +1,118 @@
+"""Pseudo-polynomial dynamic program for recipes without shared types (Section V-B).
+
+When the recipes of the application do not share any task type, machines are
+never shared between recipes, so the cost of a split is the sum of the
+per-recipe single-graph costs (Section IV-A applied recipe by recipe).  The
+paper gives the recursion
+
+    C(rho, 1) = cost of recipe 1 at throughput rho
+    C(rho, j) = min_{0 <= rho_j <= rho} [ C(rho - rho_j, j-1) + cost_j(rho_j) ]
+
+over integer throughputs, with overall complexity ``O(rho^2 * J)`` (per-recipe
+costs are precomputed in ``O(rho * Q)``).
+
+The same DP is also usable as a *heuristic* on instances **with** shared types
+(it ignores the savings from machine sharing, so its cost is an upper bound on
+the optimum there); set ``allow_shared_types=True`` to opt in.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from ..core.allocation import ThroughputSplit
+from ..core.exceptions import ProblemError
+from ..core.problem import MinCostProblem
+from .base import SplitSolver
+
+__all__ = ["NonSharedDynamicProgramSolver"]
+
+
+class NonSharedDynamicProgramSolver(SplitSolver):
+    """Optimal split via dynamic programming when recipes share no task type.
+
+    Parameters
+    ----------
+    step:
+        Granularity of the throughput lattice.  The paper argues splits can be
+        restricted to integers because processor throughputs are integers;
+        ``step=1`` reproduces that.  Smaller steps increase precision on
+        fractional instances at a quadratic cost in run time.
+    allow_shared_types:
+        Permit running on instances with shared types, where the DP is only an
+        upper-bound heuristic (machine sharing is ignored when *evaluating*
+        intermediate costs, but the returned allocation is still evaluated with
+        sharing, so the reported cost is never pessimistic).
+    """
+
+    name = "DP"
+    exact = True
+
+    def __init__(self, step: float = 1.0, allow_shared_types: bool = False) -> None:
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        self.step = float(step)
+        self.allow_shared_types = bool(allow_shared_types)
+
+    def solve_split(self, problem: MinCostProblem) -> tuple[ThroughputSplit, dict[str, Any]]:
+        if problem.has_shared_types() and not self.allow_shared_types:
+            raise ProblemError(
+                "the application has shared task types; the Section V-B dynamic "
+                "program is only optimal without sharing (pass allow_shared_types=True "
+                "to use it as a heuristic, or use the MILP solver)"
+            )
+
+        rho = problem.target_throughput
+        steps = int(math.ceil(rho / self.step - 1e-12))
+        levels = steps + 1  # lattice 0, step, 2*step, ..., steps*step (>= rho)
+        J = problem.num_recipes
+
+        # Per-recipe cost of serving each lattice throughput alone: (J, levels).
+        lattice = np.arange(levels) * self.step
+        lattice[-1] = max(lattice[-1], rho)  # make sure the top level covers rho exactly
+        per_recipe = np.empty((J, levels), dtype=float)
+        counts = problem.counts  # (J, Q)
+        rates = problem.rates
+        costs = problem.costs
+        for j in range(J):
+            loads = np.outer(lattice, counts[j])  # (levels, Q)
+            machines = np.ceil(loads / rates - 1e-12)
+            per_recipe[j] = machines @ costs
+
+        # DP over (recipe prefix, served lattice level).
+        # best[v] = min cost to serve v lattice units with the first j recipes.
+        best = per_recipe[0].copy()
+        parent = np.zeros((J, levels), dtype=np.int64)  # units given to recipe j
+        parent[0] = np.arange(levels)
+        for j in range(1, J):
+            new_best = np.full(levels, np.inf)
+            for v in range(levels):
+                # recipe j takes u units, previous recipes take v - u
+                candidates = per_recipe[j][: v + 1] + best[v::-1]
+                u = int(np.argmin(candidates))
+                new_best[v] = candidates[u]
+                parent[j, v] = u
+            best = new_best
+
+        # Backtrack the optimal split.
+        units = np.zeros(J, dtype=np.int64)
+        v = levels - 1
+        for j in range(J - 1, 0, -1):
+            units[j] = parent[j, v]
+            v -= int(units[j])
+        units[0] = v
+        split_values = units * self.step
+        # Ensure the split covers rho exactly despite lattice rounding.
+        total = split_values.sum()
+        if total < rho:
+            split_values[int(np.argmax(split_values))] += rho - total
+        split = ThroughputSplit.from_sequence(split_values)
+        return split, {
+            "optimal": not problem.has_shared_types(),
+            "iterations": int(levels * J),
+            "lattice_levels": int(levels),
+            "dp_cost_unshared": float(best[-1]),
+        }

@@ -1,0 +1,98 @@
+"""Brute-force enumeration of throughput splits (test oracle).
+
+The optimal split for the general shared-type problem can always be found by
+enumerating every composition of the target throughput into per-recipe
+throughputs on an integer lattice (the paper argues integer splits suffice when
+processor throughputs are integers).  The complexity is combinatorial
+(``C(rho/step + J - 1, J - 1)`` candidate splits) so this solver is only usable
+on tiny instances, where it serves as the ground-truth oracle for the tests of
+the DP, MILP, branch-and-bound and heuristic solvers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterator
+
+import numpy as np
+
+from ..core.allocation import ThroughputSplit
+from ..core.exceptions import SolverError
+from ..core.problem import MinCostProblem
+from .base import SplitSolver
+
+__all__ = ["enumerate_splits", "ExhaustiveSolver"]
+
+
+def enumerate_splits(total_units: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """Yield every composition of ``total_units`` into ``parts`` non-negative integers."""
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if total_units < 0:
+        raise ValueError(f"total_units must be non-negative, got {total_units}")
+    if parts == 1:
+        yield (total_units,)
+        return
+    for head in range(total_units + 1):
+        for tail in enumerate_splits(total_units - head, parts - 1):
+            yield (head, *tail)
+
+
+class ExhaustiveSolver(SplitSolver):
+    """Optimal-by-enumeration solver for tiny instances.
+
+    Parameters
+    ----------
+    step:
+        Lattice granularity of the enumerated splits (default 1, the paper's
+        integer splits).
+    max_candidates:
+        Safety cap on the number of enumerated splits; exceeded instances raise
+        :class:`~repro.core.exceptions.SolverError` instead of hanging.
+    """
+
+    name = "Exhaustive"
+    exact = True
+
+    def __init__(self, step: float = 1.0, max_candidates: int = 2_000_000) -> None:
+        if step <= 0:
+            raise ValueError(f"step must be positive, got {step}")
+        if max_candidates <= 0:
+            raise ValueError(f"max_candidates must be positive, got {max_candidates}")
+        self.step = float(step)
+        self.max_candidates = int(max_candidates)
+
+    def solve_split(self, problem: MinCostProblem) -> tuple[ThroughputSplit, dict[str, Any]]:
+        units = int(math.ceil(problem.target_throughput / self.step - 1e-12))
+        parts = problem.num_recipes
+        candidates = math.comb(units + parts - 1, parts - 1)
+        if candidates > self.max_candidates:
+            raise SolverError(
+                f"exhaustive enumeration would visit {candidates} splits "
+                f"(> cap {self.max_candidates}); use the DP, MILP or B&B solver instead"
+            )
+        counts = problem.counts
+        rates = problem.rates
+        costs = problem.costs
+        best_cost = np.inf
+        best_split: tuple[int, ...] | None = None
+        explored = 0
+        for composition in enumerate_splits(units, parts):
+            explored += 1
+            split = np.asarray(composition, dtype=float) * self.step
+            loads = split @ counts
+            cost = float((np.ceil(loads / rates - 1e-12) * costs).sum())
+            if cost < best_cost - 1e-12:
+                best_cost = cost
+                best_split = composition
+        if best_split is None:  # pragma: no cover - impossible for valid problems
+            raise SolverError("no feasible split found")
+        values = np.asarray(best_split, dtype=float) * self.step
+        deficit = problem.target_throughput - values.sum()
+        if deficit > 1e-9:
+            values[int(np.argmax(values))] += deficit
+        return ThroughputSplit.from_sequence(values), {
+            "optimal": True,
+            "iterations": explored,
+            "candidates": candidates,
+        }

@@ -1,0 +1,131 @@
+"""Black-box recipes: the unbounded-knapsack dynamic program of Section V-A.
+
+When every recipe is a *black box* — a single task whose type is used by no
+other recipe — choosing the split amounts to choosing how many machines of
+each type to rent so that their aggregate throughput covers ``rho``:
+
+    minimise  sum_q x_q c_q   subject to   sum_q x_q r_q >= rho .
+
+The paper observes this is an unbounded knapsack with negated weights/values
+and solves it with the classical pseudo-polynomial dynamic program in
+``O(Q * rho)``.  The DP below works on the integer lattice of throughputs (the
+paper's parameters are integers); non-integer targets are rounded up.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+import numpy as np
+
+from ..core.allocation import Allocation, ThroughputSplit
+from ..core.exceptions import ProblemError
+from ..core.problem import MinCostProblem
+from .base import Solver, SolverResult
+
+__all__ = ["solve_covering_knapsack", "BlackBoxKnapsackSolver"]
+
+
+def solve_covering_knapsack(
+    rates: np.ndarray | list[float],
+    costs: np.ndarray | list[float],
+    demand: float,
+) -> tuple[float, np.ndarray]:
+    """Minimum-cost covering knapsack: ``min c.x`` s.t. ``r.x >= demand``, ``x`` integer.
+
+    Parameters
+    ----------
+    rates:
+        Throughput ``r_q`` of one machine of each type (positive).
+    costs:
+        Cost ``c_q`` of one machine of each type (positive).
+    demand:
+        Required aggregate throughput (non-negative).  Non-integral rates or
+        demands are handled by scaling to the integer lattice of the demand.
+
+    Returns
+    -------
+    (cost, counts):
+        The optimal cost and the per-type machine counts achieving it.
+
+    Notes
+    -----
+    Classical DP over residual demand: ``C[v]`` is the cheapest way to cover a
+    residual demand of ``v`` units; ``C[v] = min_q c_q + C[max(0, v - r_q)]``.
+    Complexity ``O(Q * demand)`` which is the pseudo-polynomial bound quoted in
+    the paper.
+    """
+    rates = np.asarray(rates, dtype=float)
+    costs = np.asarray(costs, dtype=float)
+    if rates.shape != costs.shape or rates.ndim != 1:
+        raise ValueError("rates and costs must be 1-D arrays of the same length")
+    if rates.size == 0:
+        raise ValueError("at least one machine type is required")
+    if np.any(rates <= 0) or np.any(costs <= 0):
+        raise ValueError("rates and costs must be strictly positive")
+    if demand <= 0:
+        return 0.0, np.zeros(rates.size, dtype=np.int64)
+
+    demand_units = int(math.ceil(demand - 1e-12))
+    # DP tables: best[v] = min cost to cover residual v, choice[v] = machine type used.
+    best = np.full(demand_units + 1, np.inf)
+    choice = np.full(demand_units + 1, -1, dtype=np.int64)
+    best[0] = 0.0
+    for v in range(1, demand_units + 1):
+        for q in range(rates.size):
+            residual = max(0, v - int(math.floor(rates[q] + 1e-12)))
+            # Non integral rates still cover floor(r_q) units exactly on the lattice;
+            # the final feasibility check below compensates for the truncation.
+            cand = costs[q] + best[residual]
+            if cand < best[v]:
+                best[v] = cand
+                choice[v] = q
+    counts = np.zeros(rates.size, dtype=np.int64)
+    v = demand_units
+    while v > 0:
+        q = int(choice[v])
+        if q < 0:  # unreachable: best[0] = 0 and every machine covers >= 1 unit?
+            raise ValueError("no machine type can cover the demand (zero effective rate)")
+        counts[q] += 1
+        v = max(0, v - int(math.floor(rates[q] + 1e-12)))
+    return float(best[demand_units]), counts
+
+
+class BlackBoxKnapsackSolver(Solver):
+    """Exact solver for the black-box case of Section V-A.
+
+    Only applicable when each recipe is a single task and no type is shared
+    between recipes; for those instances it is exact in ``O(Q * rho)``.
+    """
+
+    name = "Knapsack-DP"
+    exact = True
+
+    def _solve(self, problem: MinCostProblem) -> SolverResult:
+        is_black_box = (
+            all(recipe.num_tasks == 1 for recipe in problem.application)
+            and not problem.application.has_shared_types()
+        )
+        if not is_black_box:
+            raise ProblemError(
+                "BlackBoxKnapsackSolver requires black-box recipes (one task each, "
+                f"no shared types); this instance is '{problem.problem_class()}'"
+            )
+        # Map each recipe to the type of its unique task.
+        recipe_types = [next(iter(recipe.types_used())) for recipe in problem.application]
+        rates = np.array([problem.platform.throughput_of(t) for t in recipe_types], dtype=float)
+        costs = np.array([problem.platform.cost_of(t) for t in recipe_types], dtype=float)
+        cost, counts = solve_covering_knapsack(rates, costs, problem.target_throughput)
+
+        # Each machine of recipe j's type contributes r_q to that recipe's throughput.
+        split = ThroughputSplit.from_sequence(counts * rates)
+        machines = {t: int(c) for t, c in zip(recipe_types, counts) if c > 0}
+        allocation = Allocation(split=split, machines=machines, cost=cost, metadata={"solver": self.name})
+        return SolverResult(
+            solver_name=self.name,
+            allocation=allocation,
+            cost=cost,
+            optimal=True,
+            iterations=int(math.ceil(problem.target_throughput)),
+        )

@@ -1,0 +1,110 @@
+"""Registry mapping algorithm names to solver factories.
+
+The experiment harness and the CLI refer to algorithms by the names used in the
+paper's tables and figures ("ILP", "H1", "H32Jump", ...); this registry
+centralises the mapping so that adding an algorithm automatically makes it
+available to every sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..core.exceptions import ConfigurationError
+from .base import Solver
+
+__all__ = ["register_solver", "create_solver", "available_solvers", "create_solvers"]
+
+_REGISTRY: dict[str, Callable[..., Solver]] = {}
+
+
+def register_solver(name: str, factory: Callable[..., Solver], *, overwrite: bool = False) -> None:
+    """Register a solver factory under ``name`` (case-insensitive lookup)."""
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ConfigurationError(f"solver {name!r} is already registered")
+    _REGISTRY[key] = factory
+
+
+def available_solvers() -> list[str]:
+    """Names of all registered algorithms (canonical capitalisation)."""
+    return sorted({factory().name for factory in _REGISTRY.values()}, key=str.lower)
+
+
+def create_solver(name: str, **kwargs) -> Solver:
+    """Instantiate the solver registered under ``name``.
+
+    Keyword arguments are forwarded to the factory (e.g. ``time_limit`` for the
+    ILP, ``iterations`` for the iterative heuristics, ``seed`` for the random
+    ones).
+    """
+    key = name.lower()
+    if key not in _REGISTRY:
+        raise ConfigurationError(
+            f"unknown solver {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+        )
+    return _REGISTRY[key](**kwargs)
+
+
+def create_solvers(names: Iterable[str], **common_kwargs) -> list[Solver]:
+    """Instantiate several solvers, forwarding only the kwargs each accepts."""
+    solvers = []
+    for name in names:
+        key = name.lower()
+        if key not in _REGISTRY:
+            raise ConfigurationError(
+                f"unknown solver {name!r}; available: {', '.join(sorted(_REGISTRY))}"
+            )
+        factory = _REGISTRY[key]
+        kwargs = {}
+        if common_kwargs:
+            import inspect
+
+            signature = inspect.signature(factory)
+            accepts_kwargs = any(
+                p.kind == inspect.Parameter.VAR_KEYWORD for p in signature.parameters.values()
+            )
+            for arg, value in common_kwargs.items():
+                if accepts_kwargs or arg in signature.parameters:
+                    kwargs[arg] = value
+        solvers.append(factory(**kwargs))
+    return solvers
+
+
+def _register_defaults() -> None:
+    """Register the built-in algorithms (called on package import)."""
+    # Imported lazily to avoid circular imports at module load time.
+    from ..heuristics.h0_random import H0RandomSolver
+    from ..heuristics.h1_best_graph import H1BestGraphSolver
+    from ..heuristics.h2_random_walk import H2RandomWalkSolver
+    from ..heuristics.h31_stochastic_descent import H31StochasticDescentSolver
+    from ..heuristics.h32_steepest_gradient import H32SteepestGradientSolver
+    from ..heuristics.h32_jump import H32JumpSolver
+    from ..heuristics.h4_simulated_annealing import H4SimulatedAnnealingSolver
+    from .branch_and_bound import BranchAndBoundSolver
+    from .dynprog import NonSharedDynamicProgramSolver
+    from .exhaustive import ExhaustiveSolver
+    from .knapsack import BlackBoxKnapsackSolver
+    from .milp import MilpSolver
+
+    defaults: dict[str, Callable[..., Solver]] = {
+        "ilp": MilpSolver,
+        "milp": MilpSolver,
+        "b&b": BranchAndBoundSolver,
+        "bnb": BranchAndBoundSolver,
+        "dp": NonSharedDynamicProgramSolver,
+        "knapsack": BlackBoxKnapsackSolver,
+        "knapsack-dp": BlackBoxKnapsackSolver,
+        "exhaustive": ExhaustiveSolver,
+        "h0": H0RandomSolver,
+        "h1": H1BestGraphSolver,
+        "h2": H2RandomWalkSolver,
+        "h31": H31StochasticDescentSolver,
+        "h32": H32SteepestGradientSolver,
+        "h32jump": H32JumpSolver,
+        "h4": H4SimulatedAnnealingSolver,
+        "h4-sa": H4SimulatedAnnealingSolver,
+    }
+    for name, factory in defaults.items():
+        if name.lower() not in _REGISTRY:
+            register_solver(name, factory)

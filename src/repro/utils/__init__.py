@@ -1,0 +1,28 @@
+"""Utility helpers: seeded RNG plumbing, timing, argument validation."""
+
+from .rng import as_generator, derive_seed, random_partition, spawn_generators
+from .timing import Deadline, Stopwatch, timed
+from .validation import (
+    require_in_range,
+    require_interval,
+    require_non_negative,
+    require_positive,
+    require_positive_int,
+    require_probability,
+)
+
+__all__ = [
+    "as_generator",
+    "derive_seed",
+    "random_partition",
+    "spawn_generators",
+    "Deadline",
+    "Stopwatch",
+    "timed",
+    "require_in_range",
+    "require_interval",
+    "require_non_negative",
+    "require_positive",
+    "require_positive_int",
+    "require_probability",
+]

@@ -1,0 +1,81 @@
+"""Seeded random-number-generator plumbing.
+
+All stochastic code in the library (instance generators, H0/H2/H31/H32Jump
+heuristics, the experiment runner) takes either an integer seed or an existing
+:class:`numpy.random.Generator`.  Centralising the coercion here guarantees
+reproducible experiments: the harness derives one child generator per
+(configuration, algorithm) pair with :func:`spawn_generators` so results do not
+depend on execution order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["as_generator", "spawn_generators", "derive_seed", "random_partition"]
+
+
+def as_generator(seed: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Coerce ``seed`` into a :class:`numpy.random.Generator`.
+
+    ``None`` yields a non-deterministic generator; an integer yields a
+    deterministic one; an existing generator is returned unchanged.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_generators(seed: int | np.random.Generator | None, count: int) -> list[np.random.Generator]:
+    """Derive ``count`` statistically independent child generators."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        return [np.random.default_rng(s) for s in seed.bit_generator.seed_seq.spawn(count)]
+    seq = np.random.SeedSequence(seed)
+    return [np.random.default_rng(s) for s in seq.spawn(count)]
+
+
+def derive_seed(base_seed: int, *components: int) -> int:
+    """Deterministically derive a 63-bit seed from a base seed and indices."""
+    seq = np.random.SeedSequence([base_seed, *components])
+    return int(seq.generate_state(1, dtype=np.uint64)[0] & 0x7FFF_FFFF_FFFF_FFFF)
+
+
+def random_partition(
+    rng: np.random.Generator, total: float, parts: int, step: float = 1.0
+) -> list[float]:
+    """Split ``total`` into ``parts`` non-negative values summing to ``total``.
+
+    The split is drawn uniformly over the lattice of multiples of ``step``
+    (stars-and-bars over ``total/step`` units).  Used by the H0 (random)
+    heuristic and by tests.
+    """
+    if parts <= 0:
+        raise ValueError(f"parts must be positive, got {parts}")
+    if total < 0:
+        raise ValueError(f"total must be non-negative, got {total}")
+    if step <= 0:
+        raise ValueError(f"step must be positive, got {step}")
+    units = int(round(total / step))
+    if units == 0:
+        return [0.0] * parts
+    # stars and bars: choose parts-1 cut points among units+parts-1 slots
+    if parts == 1:
+        counts = [units]
+    else:
+        cuts = np.sort(rng.choice(units + parts - 1, size=parts - 1, replace=False))
+        prev = -1
+        counts = []
+        for cut in cuts:
+            counts.append(int(cut - prev - 1))
+            prev = cut
+        counts.append(int(units + parts - 2 - prev))
+    values = [c * step for c in counts]
+    # fix rounding drift so the values sum exactly to total
+    drift = total - sum(values)
+    if abs(drift) > 1e-12:
+        values[int(np.argmax(values))] += drift
+    return values

@@ -1,0 +1,89 @@
+"""Wall-clock timing helpers used by solvers and the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = ["Stopwatch", "Deadline", "timed"]
+
+
+@dataclass
+class Stopwatch:
+    """A simple cumulative wall-clock stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> sw.start(); _ = sum(range(1000)); sw.stop()  # doctest: +SKIP
+    """
+
+    elapsed: float = 0.0
+    _started_at: float | None = field(default=None, repr=False)
+
+    def start(self) -> "Stopwatch":
+        if self._started_at is None:
+            self._started_at = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._started_at is not None:
+            self.elapsed += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self.elapsed
+
+    def reset(self) -> None:
+        self.elapsed = 0.0
+        self._started_at = None
+
+    @property
+    def running(self) -> bool:
+        return self._started_at is not None
+
+    def current(self) -> float:
+        """Elapsed time including the running segment, without stopping."""
+        if self._started_at is None:
+            return self.elapsed
+        return self.elapsed + (time.perf_counter() - self._started_at)
+
+
+class Deadline:
+    """A wall-clock deadline, used to implement solver time limits.
+
+    The paper limits the ILP search to 100 s in the Figure 8 experiment; the
+    MILP backends and the branch-and-bound solver poll a :class:`Deadline` to
+    reproduce that behaviour.
+    """
+
+    def __init__(self, seconds: float | None) -> None:
+        if seconds is not None and seconds <= 0:
+            raise ValueError(f"time limit must be positive, got {seconds}")
+        self.seconds = seconds
+        self._start = time.perf_counter()
+
+    def expired(self) -> bool:
+        return self.seconds is not None and self.elapsed() >= self.seconds
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def remaining(self) -> float | None:
+        if self.seconds is None:
+            return None
+        return max(0.0, self.seconds - self.elapsed())
+
+
+@contextmanager
+def timed():
+    """Context manager yielding a mutable one-element list with the elapsed time.
+
+    >>> with timed() as t:
+    ...     _ = sum(range(10))
+    >>> t[0] >= 0
+    True
+    """
+    holder = [0.0]
+    start = time.perf_counter()
+    try:
+        yield holder
+    finally:
+        holder[0] = time.perf_counter() - start

@@ -1,0 +1,59 @@
+"""Argument-validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = [
+    "require_positive",
+    "require_non_negative",
+    "require_in_range",
+    "require_probability",
+    "require_positive_int",
+    "require_interval",
+]
+
+
+def require_positive(value: float, name: str) -> float:
+    """Return ``value`` or raise ``ValueError`` when it is not strictly positive."""
+    if not (value > 0):
+        raise ValueError(f"{name} must be strictly positive, got {value!r}")
+    return value
+
+
+def require_non_negative(value: float, name: str) -> float:
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return value
+
+
+def require_probability(value: float, name: str) -> float:
+    """A probability / fraction in [0, 1]."""
+    return require_in_range(value, 0.0, 1.0, name)
+
+
+def require_positive_int(value: Any, name: str) -> int:
+    if not isinstance(value, (int,)) or isinstance(value, bool) or value <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return value
+
+
+def require_interval(interval: Iterable[float], name: str, *, integer: bool = False) -> tuple[float, float]:
+    """Validate a ``(low, high)`` interval with ``low <= high`` and positive bounds."""
+    values = tuple(interval)
+    if len(values) != 2:
+        raise ValueError(f"{name} must be a (low, high) pair, got {values!r}")
+    low, high = values
+    if integer and (int(low) != low or int(high) != high):
+        raise ValueError(f"{name} bounds must be integers, got {values!r}")
+    if low <= 0 or high <= 0:
+        raise ValueError(f"{name} bounds must be positive, got {values!r}")
+    if low > high:
+        raise ValueError(f"{name} lower bound exceeds upper bound: {values!r}")
+    return (low, high)

@@ -1,0 +1,52 @@
+"""Shared fixtures of the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Application, CloudPlatform, MinCostProblem, RecipeGraph
+from repro.experiments.tables import illustrating_application, illustrating_platform
+
+
+@pytest.fixture
+def illustrating_app() -> Application:
+    """The three-recipe application of the paper's Figure 2."""
+    return illustrating_application()
+
+
+@pytest.fixture
+def illustrating_cloud() -> CloudPlatform:
+    """The four machine types of the paper's Table II."""
+    return illustrating_platform()
+
+
+@pytest.fixture
+def illustrating_problem_70(illustrating_app, illustrating_cloud) -> MinCostProblem:
+    """The illustrating MinCOST instance at rho = 70 (optimal cost 124)."""
+    return MinCostProblem(illustrating_app, illustrating_cloud, target_throughput=70)
+
+
+@pytest.fixture
+def single_recipe_problem() -> MinCostProblem:
+    """A single-recipe instance (Section IV-A closed form applies)."""
+    recipe = RecipeGraph.from_type_sequence([1, 2, 2, 3], name="solo")
+    platform = CloudPlatform.from_table([(1, 10, 5), (2, 20, 9), (3, 25, 12)])
+    return MinCostProblem(Application([recipe]), platform, target_throughput=40)
+
+
+@pytest.fixture
+def disjoint_types_problem() -> MinCostProblem:
+    """Two recipes over disjoint type sets (Section V-B DP is exact)."""
+    app = Application.from_type_sequences([[1, 2], [3, 4, 4]], name="disjoint")
+    platform = CloudPlatform.from_table(
+        [(1, 10, 4), (2, 15, 7), (3, 30, 11), (4, 12, 3)]
+    )
+    return MinCostProblem(app, platform, target_throughput=60)
+
+
+@pytest.fixture
+def black_box_problem() -> MinCostProblem:
+    """Single-task recipes with distinct types (Section V-A knapsack case)."""
+    app = Application.from_type_sequences([[1], [2], [3]], name="blackbox")
+    platform = CloudPlatform.from_table([(1, 10, 10), (2, 25, 22), (3, 40, 30)])
+    return MinCostProblem(app, platform, target_throughput=95)

@@ -1,0 +1,125 @@
+"""Unit tests for throughput splits and allocations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Allocation, AllocationError, ThroughputSplit
+
+
+class TestThroughputSplit:
+    def test_from_sequence_and_total(self):
+        split = ThroughputSplit.from_sequence([10, 20, 0])
+        assert split.total == 30
+        assert len(split) == 3
+        assert split[1] == 20
+        assert list(split) == [10, 20, 0]
+
+    def test_single_recipe_constructor(self):
+        split = ThroughputSplit.single_recipe(4, 2, 50)
+        assert split.values == (0, 0, 50, 0)
+
+    def test_single_recipe_index_out_of_range(self):
+        with pytest.raises(AllocationError):
+            ThroughputSplit.single_recipe(3, 3, 10)
+
+    def test_zeros(self):
+        assert ThroughputSplit.zeros(3).total == 0
+
+    def test_negative_value_rejected(self):
+        with pytest.raises(AllocationError):
+            ThroughputSplit((1.0, -0.5))
+
+    def test_active_recipes(self):
+        split = ThroughputSplit.from_sequence([0, 5, 0, 3])
+        assert split.active_recipes() == [1, 3]
+        assert split.num_active() == 2
+
+    def test_as_array_and_tuple(self):
+        split = ThroughputSplit.from_sequence([1, 2])
+        assert np.array_equal(split.as_array(), [1.0, 2.0])
+        assert split.as_tuple() == (1.0, 2.0)
+
+    def test_with_value(self):
+        split = ThroughputSplit.from_sequence([1, 2]).with_value(0, 9)
+        assert split.values == (9.0, 2.0)
+
+    def test_transfer_moves_delta(self):
+        split = ThroughputSplit.from_sequence([10, 0]).transfer(0, 1, 4)
+        assert split.values == (6.0, 4.0)
+
+    def test_transfer_caps_at_source_content(self):
+        # Paper H2 rule: if rho_j1 < delta, move everything.
+        split = ThroughputSplit.from_sequence([3, 7]).transfer(0, 1, 10)
+        assert split.values == (0.0, 10.0)
+
+    def test_transfer_same_index_is_noop(self):
+        split = ThroughputSplit.from_sequence([3, 7])
+        assert split.transfer(1, 1, 5).values == (3.0, 7.0)
+
+    def test_transfer_negative_delta_rejected(self):
+        with pytest.raises(AllocationError):
+            ThroughputSplit.from_sequence([3, 7]).transfer(0, 1, -1)
+
+    @given(
+        values=st.lists(st.floats(min_value=0, max_value=100, allow_nan=False), min_size=2, max_size=6),
+        delta=st.floats(min_value=0, max_value=200, allow_nan=False),
+        data=st.data(),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_transfer_preserves_total_and_non_negativity(self, values, delta, data):
+        split = ThroughputSplit.from_sequence(values)
+        src = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+        dst = data.draw(st.integers(min_value=0, max_value=len(values) - 1))
+        moved = split.transfer(src, dst, delta)
+        assert moved.total == pytest.approx(split.total)
+        assert all(v >= 0 for v in moved.values)
+
+
+class TestAllocation:
+    def test_from_split_reproduces_paper_example(self, illustrating_app, illustrating_cloud):
+        allocation = Allocation.from_split(illustrating_app, illustrating_cloud, [10, 30, 30])
+        assert allocation.machines == {1: 3, 2: 2, 3: 1, 4: 1}
+        assert allocation.cost == 124
+        assert allocation.total_machines == 7
+        assert allocation.total_throughput == 70
+
+    def test_machines_of_missing_type_is_zero(self, illustrating_app, illustrating_cloud):
+        allocation = Allocation.from_split(illustrating_app, illustrating_cloud, [0, 0, 10])
+        assert allocation.machines_of(3) == 0
+        assert set(allocation.machine_types()) == {1, 2}
+
+    def test_negative_machine_count_rejected(self):
+        with pytest.raises(AllocationError):
+            Allocation(split=ThroughputSplit((1.0,)), machines={1: -1}, cost=5)
+
+    def test_fractional_machine_count_rejected(self):
+        with pytest.raises(AllocationError):
+            Allocation(split=ThroughputSplit((1.0,)), machines={1: 1.5}, cost=5)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(AllocationError):
+            Allocation(split=ThroughputSplit((1.0,)), machines={}, cost=-1)
+
+    def test_feasibility_checks_target_and_capacity(self, illustrating_app, illustrating_cloud):
+        allocation = Allocation.from_split(illustrating_app, illustrating_cloud, [10, 30, 30])
+        assert allocation.is_feasible(illustrating_app, illustrating_cloud, rho=70)
+        assert not allocation.is_feasible(illustrating_app, illustrating_cloud, rho=71)
+
+    def test_feasibility_detects_missing_machines(self, illustrating_app, illustrating_cloud):
+        good = Allocation.from_split(illustrating_app, illustrating_cloud, [10, 30, 30])
+        starved = Allocation(
+            split=good.split,
+            machines={**good.machines, 1: good.machines[1] - 1},
+            cost=good.cost - illustrating_cloud.cost_of(1),
+        )
+        assert not starved.is_feasible(illustrating_app, illustrating_cloud, rho=70)
+
+    def test_cost_recomputed_matches(self, illustrating_app, illustrating_cloud):
+        allocation = Allocation.from_split(illustrating_app, illustrating_cloud, [20, 20, 30])
+        assert allocation.cost_recomputed(illustrating_cloud) == pytest.approx(allocation.cost)
+
+    def test_summary_mentions_cost(self, illustrating_app, illustrating_cloud):
+        allocation = Allocation.from_split(illustrating_app, illustrating_cloud, [10, 30, 30])
+        assert "124" in allocation.summary()

@@ -1,0 +1,96 @@
+"""Unit tests for repro.core.application."""
+
+import numpy as np
+import pytest
+
+from repro.core import Application, CloudPlatform, ModelError, RecipeGraph
+
+
+class TestConstruction:
+    def test_from_type_sequences_builds_named_recipes(self):
+        app = Application.from_type_sequences([[2, 4], [3, 4], [1, 2]])
+        assert app.num_recipes == 3
+        assert app.recipe_names() == ["phi1", "phi2", "phi3"]
+        assert app[0].type_counts() == {2: 1, 4: 1}
+
+    def test_add_recipe_auto_names(self):
+        app = Application()
+        app.add_recipe(RecipeGraph.from_type_sequence([1]))
+        app.add_recipe(RecipeGraph.from_type_sequence([2]))
+        assert app.recipe_names() == ["phi1", "phi2"]
+
+    def test_add_empty_recipe_rejected(self):
+        with pytest.raises(ModelError):
+            Application().add_recipe(RecipeGraph(name="empty"))
+
+    def test_add_non_recipe_rejected(self):
+        with pytest.raises(ModelError):
+            Application().add_recipe(42)  # type: ignore[arg-type]
+
+    def test_iteration_and_indexing(self):
+        app = Application.from_type_sequences([[1], [2]])
+        assert len(app) == 2
+        assert [r.name for r in app] == ["phi1", "phi2"]
+        assert app[1].name == "phi2"
+
+
+class TestTypeAccounting:
+    def test_types_used_is_union(self, illustrating_app):
+        assert illustrating_app.types_used() == {1, 2, 3, 4}
+
+    def test_shared_types_of_illustrating_example(self, illustrating_app):
+        # type 2 is shared by phi1/phi3 and type 4 by phi1/phi2 (Figure 2)
+        assert illustrating_app.shared_types() == {2, 4}
+        assert illustrating_app.has_shared_types()
+
+    def test_disjoint_recipes_have_no_shared_types(self):
+        app = Application.from_type_sequences([[1, 2], [3, 4]])
+        assert app.shared_types() == set()
+        assert not app.has_shared_types()
+
+    def test_shared_types_counts_within_one_recipe_not_shared(self):
+        # the same type twice in ONE recipe is not "shared" between recipes
+        app = Application.from_type_sequences([[1, 1], [2]])
+        assert app.shared_types() == set()
+
+    def test_type_counts_per_recipe(self, illustrating_app):
+        counts = illustrating_app.type_counts()
+        assert counts[0] == {2: 1, 4: 1}
+        assert counts[2] == {1: 1, 2: 1}
+
+    def test_type_count_matrix_platform_order(self, illustrating_app, illustrating_cloud):
+        matrix = illustrating_app.type_count_matrix(illustrating_cloud)
+        expected = np.array([[0, 1, 0, 1], [0, 0, 1, 1], [1, 1, 0, 0]])
+        assert np.array_equal(matrix, expected)
+
+    def test_type_count_matrix_with_explicit_order(self, illustrating_app):
+        matrix = illustrating_app.type_count_matrix([4, 3, 2, 1])
+        assert np.array_equal(matrix[:, 0], [1, 1, 0])  # type 4 column first
+
+    def test_type_count_matrix_ignores_types_missing_from_order(self, illustrating_app):
+        matrix = illustrating_app.type_count_matrix([1])
+        assert matrix.shape == (3, 1)
+        assert np.array_equal(matrix[:, 0], [0, 0, 1])
+
+
+class TestValidation:
+    def test_empty_application_rejected(self):
+        with pytest.raises(ModelError):
+            Application().validate()
+
+    def test_duplicate_recipe_names_rejected(self):
+        app = Application(
+            [RecipeGraph.from_type_sequence([1], name="x"), RecipeGraph.from_type_sequence([2], name="x")]
+        )
+        with pytest.raises(ModelError):
+            app.validate()
+
+    def test_valid_application_passes(self, illustrating_app):
+        illustrating_app.validate()
+
+    def test_size_summary(self, illustrating_app):
+        summary = illustrating_app.size_summary()
+        assert summary == {"min": 2, "max": 2, "mean": 2.0, "total": 6}
+
+    def test_size_summary_empty(self):
+        assert Application().size_summary()["total"] == 0

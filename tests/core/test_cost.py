@@ -1,0 +1,182 @@
+"""Unit tests for the cost model (repro.core.cost), checked against the paper's formulas."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Application,
+    CloudPlatform,
+    RecipeGraph,
+    UnknownTypeError,
+    cost_for_split,
+    cost_for_split_unshared,
+    cost_per_recipe_unshared,
+    cost_scalar_for_split,
+    cost_single_graph,
+    loads_for_split,
+    lower_bound_cost,
+    machines_for_load,
+    machines_for_split,
+    machines_single_graph,
+    machines_vector,
+)
+
+
+class TestMachinesForLoad:
+    def test_zero_load_needs_no_machine(self):
+        assert machines_for_load(0, 10) == 0
+
+    def test_exact_multiple(self):
+        assert machines_for_load(40, 10) == 4
+
+    def test_rounds_up(self):
+        assert machines_for_load(41, 10) == 5
+
+    def test_fractional_load(self):
+        assert machines_for_load(0.1, 10) == 1
+
+    def test_floating_point_noise_is_snapped(self):
+        # 3 * (1/3 of 10) should need exactly 1 machine of rate 10, not 2
+        load = sum([10 / 3] * 3)
+        assert machines_for_load(load, 10) == 1
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            machines_for_load(10, 0)
+
+
+class TestSingleGraphFormulas:
+    """Section IV-A: x_q = ceil(n_q / r_q * rho)."""
+
+    def test_illustrating_recipe3_at_10(self, illustrating_app, illustrating_cloud):
+        # phi3 = (type1, type2): x_1 = ceil(10/10) = 1, x_2 = ceil(10/20) = 1 -> cost 28
+        recipe = illustrating_app[2]
+        machines = machines_single_graph(recipe, illustrating_cloud, 10)
+        assert machines == {1: 1, 2: 1}
+        assert cost_single_graph(recipe, illustrating_cloud, 10) == 28
+
+    def test_repeated_types_multiply_load(self, illustrating_cloud):
+        recipe = RecipeGraph.from_type_sequence([1, 1, 1, 1])  # n_1 = 4
+        # load = 4 * 25 = 100 -> x_1 = 10 machines of throughput 10
+        assert machines_single_graph(recipe, illustrating_cloud, 25) == {1: 10}
+
+    def test_missing_type_rejected(self):
+        recipe = RecipeGraph.from_type_sequence([99])
+        platform = CloudPlatform.from_table([(1, 10, 10)])
+        with pytest.raises(UnknownTypeError):
+            machines_single_graph(recipe, platform, 10)
+
+    def test_zero_throughput_costs_nothing(self, illustrating_app, illustrating_cloud):
+        assert cost_single_graph(illustrating_app[0], illustrating_cloud, 0) == 0
+
+
+class TestSharedSplitFormulas:
+    """Sections IV-B / V-C: x_q = ceil(sum_j n^j_q rho_j / r_q)."""
+
+    def test_paper_rho70_split(self, illustrating_app, illustrating_cloud):
+        # Optimal split of Table III at rho = 70: (10, 30, 30) -> cost 124
+        split = [10, 30, 30]
+        loads = loads_for_split(illustrating_app, split)
+        assert loads == {1: 30, 2: 40, 3: 30, 4: 40}
+        machines = machines_for_split(illustrating_app, illustrating_cloud, split)
+        assert machines == {1: 3, 2: 2, 3: 1, 4: 1}
+        assert cost_for_split(illustrating_app, illustrating_cloud, split) == 124
+
+    def test_zero_split_entries_are_skipped(self, illustrating_app, illustrating_cloud):
+        assert cost_for_split(illustrating_app, illustrating_cloud, [0, 0, 10]) == 28
+
+    def test_wrong_split_length_rejected(self, illustrating_app, illustrating_cloud):
+        with pytest.raises(ValueError):
+            cost_for_split(illustrating_app, illustrating_cloud, [1, 2])
+
+    def test_negative_split_rejected(self, illustrating_app):
+        with pytest.raises(ValueError):
+            loads_for_split(illustrating_app, [-1, 0, 1])
+
+    def test_sharing_never_costs_more_than_unshared(self, illustrating_app, illustrating_cloud):
+        split = [20, 20, 30]
+        shared = cost_for_split(illustrating_app, illustrating_cloud, split)
+        unshared = cost_for_split_unshared(illustrating_app, illustrating_cloud, split)
+        assert shared <= unshared
+
+    def test_unshared_is_sum_of_per_recipe_costs(self, illustrating_app, illustrating_cloud):
+        split = [10, 20, 30]
+        total = cost_for_split_unshared(illustrating_app, illustrating_cloud, split)
+        parts = sum(
+            cost_per_recipe_unshared(recipe, illustrating_cloud, rho_j)
+            for recipe, rho_j in zip(illustrating_app.recipes(), split)
+        )
+        assert total == parts
+
+
+class TestVectorisedFormulas:
+    def test_matches_object_api(self, illustrating_app, illustrating_cloud):
+        split = np.array([10.0, 30.0, 30.0])
+        counts = illustrating_app.type_count_matrix(illustrating_cloud)
+        rates = illustrating_cloud.throughput_vector()
+        costs = illustrating_cloud.cost_vector()
+        assert cost_scalar_for_split(counts, rates, costs, split) == cost_for_split(
+            illustrating_app, illustrating_cloud, [10, 30, 30]
+        )
+
+    def test_machines_vector_values(self, illustrating_app, illustrating_cloud):
+        counts = illustrating_app.type_count_matrix(illustrating_cloud)
+        rates = illustrating_cloud.throughput_vector()
+        machines = machines_vector(counts, rates, np.array([10.0, 30.0, 30.0]))
+        assert machines.tolist() == [3, 2, 1, 1]
+
+    @given(
+        split=st.lists(st.integers(min_value=0, max_value=300), min_size=3, max_size=3)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_vectorised_equals_scalar_for_any_split(self, split):
+        app = Application.from_type_sequences([[2, 4], [3, 4], [1, 2]])
+        cloud = CloudPlatform.from_table([(1, 10, 10), (2, 20, 18), (3, 30, 25), (4, 40, 33)])
+        counts = app.type_count_matrix(cloud)
+        vec = cost_scalar_for_split(counts, cloud.throughput_vector(), cloud.cost_vector(), np.array(split, dtype=float))
+        obj = cost_for_split(app, cloud, split)
+        assert vec == pytest.approx(obj)
+
+
+class TestLowerBound:
+    def test_lower_bound_below_every_split_cost(self, illustrating_app, illustrating_cloud):
+        rho = 70
+        bound = lower_bound_cost(illustrating_app, illustrating_cloud, rho)
+        for split in ([70, 0, 0], [0, 70, 0], [0, 0, 70], [10, 30, 30], [20, 20, 30]):
+            assert bound <= cost_for_split(illustrating_app, illustrating_cloud, split) + 1e-9
+
+    def test_lower_bound_zero_for_zero_target(self, illustrating_app, illustrating_cloud):
+        assert lower_bound_cost(illustrating_app, illustrating_cloud, 0) == 0
+
+    @given(rho=st.integers(min_value=1, max_value=500))
+    @settings(max_examples=40, deadline=None)
+    def test_lower_bound_scales_linearly(self, rho):
+        app = Application.from_type_sequences([[2, 4], [3, 4], [1, 2]])
+        cloud = CloudPlatform.from_table([(1, 10, 10), (2, 20, 18), (3, 30, 25), (4, 40, 33)])
+        unit = lower_bound_cost(app, cloud, 1)
+        assert lower_bound_cost(app, cloud, rho) == pytest.approx(unit * rho)
+
+
+class TestCostMonotonicity:
+    """Property: the cost of serving a larger throughput is never smaller."""
+
+    @given(
+        rho1=st.integers(min_value=1, max_value=200),
+        rho2=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_single_graph_cost_monotone_in_rho(self, rho1, rho2):
+        cloud = CloudPlatform.from_table([(1, 10, 10), (2, 20, 18), (3, 30, 25), (4, 40, 33)])
+        recipe = RecipeGraph.from_type_sequence([1, 2, 3, 4])
+        low, high = sorted((rho1, rho2))
+        assert cost_single_graph(recipe, cloud, low) <= cost_single_graph(recipe, cloud, high)
+
+    def test_ceil_makes_cost_piecewise_constant(self, illustrating_app, illustrating_cloud):
+        # Between two consecutive machine boundaries the cost does not change.
+        c1 = cost_for_split(illustrating_app, illustrating_cloud, [0, 0, 1])
+        c9 = cost_for_split(illustrating_app, illustrating_cloud, [0, 0, 9])
+        assert c1 == c9  # both need one machine of type 1 and one of type 2

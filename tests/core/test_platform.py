@@ -1,0 +1,88 @@
+"""Unit tests for repro.core.platform."""
+
+import numpy as np
+import pytest
+
+from repro.core import CloudPlatform, PlatformError, ProcessorType, UnknownTypeError
+
+
+class TestProcessorType:
+    def test_fields(self):
+        proc = ProcessorType(type_id=1, cost=10.0, throughput=20.0, name="m4")
+        assert proc.cost == 10.0 and proc.throughput == 20.0
+
+    def test_cost_per_unit_throughput(self):
+        assert ProcessorType(1, cost=10, throughput=20).cost_per_unit_throughput == 0.5
+
+    @pytest.mark.parametrize("cost,throughput", [(0, 10), (-5, 10), (10, 0), (10, -1)])
+    def test_invalid_parameters_rejected(self, cost, throughput):
+        with pytest.raises(PlatformError):
+            ProcessorType(1, cost=cost, throughput=throughput)
+
+    def test_none_type_rejected(self):
+        with pytest.raises(PlatformError):
+            ProcessorType(None, cost=1, throughput=1)
+
+
+class TestCloudPlatform:
+    def make(self) -> CloudPlatform:
+        return CloudPlatform.from_table([(1, 10, 10), (2, 20, 18), (3, 30, 25), (4, 40, 33)])
+
+    def test_from_table_matches_paper_table2(self):
+        platform = self.make()
+        assert platform.num_types == 4
+        assert platform.throughput_of(1) == 10 and platform.cost_of(1) == 10
+        assert platform.throughput_of(4) == 40 and platform.cost_of(4) == 33
+
+    def test_from_mappings(self):
+        platform = CloudPlatform.from_mappings({1: 5, 2: 7}, {1: 10, 2: 20})
+        assert platform.cost_of(2) == 7 and platform.throughput_of(1) == 10
+
+    def test_from_mappings_mismatched_keys_rejected(self):
+        with pytest.raises(PlatformError):
+            CloudPlatform.from_mappings({1: 5}, {2: 10})
+
+    def test_duplicate_type_rejected(self):
+        platform = self.make()
+        with pytest.raises(PlatformError):
+            platform.add(1, cost=1, throughput=1)
+
+    def test_add_non_processor_rejected(self):
+        with pytest.raises(PlatformError):
+            CloudPlatform().add_processor("nope")  # type: ignore[arg-type]
+
+    def test_unknown_type_lookup(self):
+        with pytest.raises(UnknownTypeError):
+            self.make().processor(99)
+
+    def test_iteration_and_contains(self):
+        platform = self.make()
+        assert len(list(platform)) == 4
+        assert 3 in platform and 99 not in platform
+
+    def test_supports_and_missing(self):
+        platform = self.make()
+        assert platform.supports([1, 2, 3])
+        assert not platform.supports([1, 99])
+        assert platform.missing_types([1, 99, 100]) == {99, 100}
+
+    def test_vectors_follow_canonical_order(self):
+        platform = self.make()
+        assert np.array_equal(platform.cost_vector(), [10, 18, 25, 33])
+        assert np.array_equal(platform.throughput_vector(), [10, 20, 30, 40])
+        assert platform.type_index() == {1: 0, 2: 1, 3: 2, 4: 3}
+
+    def test_validate_empty_platform_rejected(self):
+        with pytest.raises(PlatformError):
+            CloudPlatform().validate()
+
+    def test_restrict(self):
+        platform = self.make().restrict([2, 4])
+        assert platform.types() == [2, 4]
+        with pytest.raises(UnknownTypeError):
+            self.make().restrict([99])
+
+    def test_string_type_ids(self):
+        platform = CloudPlatform()
+        platform.add("gpu", cost=30, throughput=100)
+        assert platform.cost_of("gpu") == 30

@@ -1,0 +1,120 @@
+"""Unit tests for the MinCOST problem object."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    Application,
+    CloudPlatform,
+    InfeasibleProblemError,
+    MinCostProblem,
+    ProblemClass,
+    ProblemError,
+    RecipeGraph,
+    ThroughputSplit,
+)
+
+
+class TestConstruction:
+    def test_valid_problem(self, illustrating_problem_70):
+        assert illustrating_problem_70.rho == 70
+        assert illustrating_problem_70.num_recipes == 3
+        assert illustrating_problem_70.num_types == 4
+
+    def test_non_positive_target_rejected(self, illustrating_app, illustrating_cloud):
+        with pytest.raises(ProblemError):
+            MinCostProblem(illustrating_app, illustrating_cloud, target_throughput=0)
+
+    def test_missing_processor_type_rejected(self, illustrating_app):
+        platform = CloudPlatform.from_table([(1, 10, 10), (2, 20, 18)])  # types 3, 4 missing
+        with pytest.raises(InfeasibleProblemError):
+            MinCostProblem(illustrating_app, platform, target_throughput=10)
+
+    def test_empty_application_rejected(self, illustrating_cloud):
+        with pytest.raises(Exception):
+            MinCostProblem(Application(), illustrating_cloud, target_throughput=10)
+
+
+class TestCachedViews:
+    def test_counts_matrix(self, illustrating_problem_70):
+        expected = np.array([[0, 1, 0, 1], [0, 0, 1, 1], [1, 1, 0, 0]])
+        assert np.array_equal(illustrating_problem_70.counts, expected)
+
+    def test_vectors(self, illustrating_problem_70):
+        assert np.array_equal(illustrating_problem_70.rates, [10, 20, 30, 40])
+        assert np.array_equal(illustrating_problem_70.costs, [10, 18, 25, 33])
+
+    def test_views_are_read_only(self, illustrating_problem_70):
+        with pytest.raises(ValueError):
+            illustrating_problem_70.counts[0, 0] = 5
+
+    def test_unit_costs_per_recipe(self, illustrating_problem_70):
+        # u_j = sum_q n^j_q c_q / r_q
+        expected = [18 / 20 + 33 / 40, 25 / 30 + 33 / 40, 10 / 10 + 18 / 20]
+        assert np.allclose(illustrating_problem_70.unit_costs_per_recipe, expected)
+
+
+class TestClassification:
+    def test_shared_types_case(self, illustrating_problem_70):
+        assert illustrating_problem_70.problem_class() == ProblemClass.SHARED_TYPES
+        assert illustrating_problem_70.has_shared_types()
+
+    def test_single_recipe_case(self, single_recipe_problem):
+        assert single_recipe_problem.problem_class() == ProblemClass.SINGLE_RECIPE
+
+    def test_no_shared_types_case(self, disjoint_types_problem):
+        assert disjoint_types_problem.problem_class() == ProblemClass.NO_SHARED_TYPES
+
+    def test_black_box_case(self, black_box_problem):
+        assert black_box_problem.problem_class() == ProblemClass.BLACK_BOX
+
+
+class TestSplitEvaluation:
+    def test_evaluate_split_matches_paper(self, illustrating_problem_70):
+        assert illustrating_problem_70.evaluate_split([10, 30, 30]) == 124
+        assert illustrating_problem_70.evaluate_split([70, 0, 0]) == 138
+
+    def test_evaluate_split_accepts_throughput_split(self, illustrating_problem_70):
+        split = ThroughputSplit.from_sequence([10, 30, 30])
+        assert illustrating_problem_70.evaluate_split(split) == 124
+
+    def test_evaluate_split_wrong_shape_rejected(self, illustrating_problem_70):
+        with pytest.raises(ProblemError):
+            illustrating_problem_70.evaluate_split([1, 2])
+
+    def test_evaluate_split_negative_rejected(self, illustrating_problem_70):
+        with pytest.raises(ProblemError):
+            illustrating_problem_70.evaluate_split([-1, 40, 40])
+
+    def test_check_split_target_requirement(self, illustrating_problem_70):
+        illustrating_problem_70.check_split([10, 30, 30])
+        with pytest.raises(ProblemError):
+            illustrating_problem_70.check_split([10, 30, 20])
+        illustrating_problem_70.check_split([10, 30, 20], require_target=False)
+
+    def test_allocation_for_split(self, illustrating_problem_70):
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        assert allocation.cost == 124
+        assert illustrating_problem_70.is_allocation_feasible(allocation)
+
+    def test_single_recipe_cost(self, illustrating_problem_70):
+        # phi1 alone at 70: x_2 = ceil(70/20)=4 (72), x_4 = ceil(70/40)=2 (66) -> 138
+        assert illustrating_problem_70.single_recipe_cost(0) == 138
+
+    def test_lower_bound_below_optimum(self, illustrating_problem_70):
+        assert illustrating_problem_70.lower_bound() <= 124
+
+
+class TestDerivedInstances:
+    def test_with_target(self, illustrating_problem_70):
+        other = illustrating_problem_70.with_target(100)
+        assert other.target_throughput == 100
+        assert other.num_recipes == illustrating_problem_70.num_recipes
+
+    def test_restricted_to_recipe(self, illustrating_problem_70):
+        sub = illustrating_problem_70.restricted_to_recipe(2)
+        assert sub.num_recipes == 1
+        assert sub.application[0].type_counts() == {1: 1, 2: 1}
+
+    def test_describe_mentions_class(self, illustrating_problem_70):
+        assert "shared-types" in illustrating_problem_70.describe()

@@ -1,0 +1,70 @@
+"""Unit tests for repro.core.task."""
+
+import pytest
+
+from repro.core import ModelError, Task
+
+
+class TestTaskConstruction:
+    def test_basic_fields(self):
+        task = Task(task_id=3, task_type="gpu", name="matmul", work=2.0)
+        assert task.task_id == 3
+        assert task.task_type == "gpu"
+        assert task.name == "matmul"
+        assert task.work == 2.0
+
+    def test_default_work_is_one(self):
+        assert Task(task_id=0, task_type=1).work == 1.0
+
+    def test_integer_types_accepted(self):
+        assert Task(task_id=0, task_type=7).task_type == 7
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ModelError):
+            Task(task_id=-1, task_type=1)
+
+    def test_non_integer_id_rejected(self):
+        with pytest.raises(ModelError):
+            Task(task_id="a", task_type=1)  # type: ignore[arg-type]
+
+    def test_boolean_id_rejected(self):
+        with pytest.raises(ModelError):
+            Task(task_id=True, task_type=1)
+
+    def test_none_type_rejected(self):
+        with pytest.raises(ModelError):
+            Task(task_id=0, task_type=None)
+
+    def test_zero_work_rejected(self):
+        with pytest.raises(ModelError):
+            Task(task_id=0, task_type=1, work=0.0)
+
+    def test_negative_work_rejected(self):
+        with pytest.raises(ModelError):
+            Task(task_id=0, task_type=1, work=-1.0)
+
+
+class TestTaskBehaviour:
+    def test_with_type_changes_only_type(self):
+        task = Task(task_id=2, task_type=1, name="t", work=3.0)
+        other = task.with_type(9)
+        assert other.task_type == 9
+        assert other.task_id == task.task_id
+        assert other.name == task.name
+        assert other.work == task.work
+
+    def test_with_type_does_not_mutate_original(self):
+        task = Task(task_id=2, task_type=1)
+        task.with_type(5)
+        assert task.task_type == 1
+
+    def test_equality_ignores_metadata(self):
+        a = Task(task_id=1, task_type=2, metadata={"x": 1})
+        b = Task(task_id=1, task_type=2, metadata={"y": 2})
+        assert a == b
+
+    def test_tasks_are_hashable(self):
+        assert len({Task(task_id=1, task_type=2), Task(task_id=1, task_type=2)}) == 1
+
+    def test_str_contains_type(self):
+        assert "gpu" in str(Task(task_id=0, task_type="gpu"))

@@ -1,0 +1,65 @@
+"""Scaled-down integration tests of the figure-regeneration pipeline.
+
+Full paper-scale runs live in ``benchmarks/``; these tests only check that each
+figure function produces a well-formed result with the expected qualitative
+shape on a tiny sweep.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import (
+    FIGURES,
+    ablation_sharing,
+    figure3,
+    figure4,
+    figure5,
+)
+
+
+TINY = {"num_configurations": 2, "target_throughputs": (60, 120), "iterations": 120}
+
+
+@pytest.fixture(scope="module")
+def small_sweep_results():
+    """Run the small-setting sweep once and reuse it for Figures 3, 4 and 5."""
+    fig3 = figure3(**TINY)
+    fig4 = figure4(sweep=fig3.sweep)
+    fig5 = figure5(sweep=fig3.sweep)
+    return fig3, fig4, fig5
+
+
+class TestFigurePipeline:
+    def test_registry_contains_all_paper_figures(self):
+        assert set(FIGURES) == {"figure3", "figure4", "figure5", "figure6", "figure7", "figure8"}
+
+    def test_figure3_shape(self, small_sweep_results):
+        fig3, _, _ = small_sweep_results
+        series = fig3.series
+        assert series.throughputs == [60.0, 120.0]
+        assert set(series.series) == {"ILP", "H1", "H2", "H31", "H32", "H32Jump"}
+        assert np.allclose(series.series["ILP"], 1.0)
+        for name in ("H1", "H2", "H31", "H32", "H32Jump"):
+            assert np.all(np.asarray(series.series[name]) <= 1.0 + 1e-9)
+
+    def test_figure4_reuses_sweep(self, small_sweep_results):
+        fig3, fig4, _ = small_sweep_results
+        assert fig4.sweep is fig3.sweep
+        assert np.allclose(fig4.series.series["ILP"], TINY["num_configurations"])
+
+    def test_figure5_time_ordering(self, small_sweep_results):
+        _, _, fig5 = small_sweep_results
+        series = {k: np.asarray(v) for k, v in fig5.series.series.items()}
+        assert series["H1"].mean() < series["ILP"].mean()
+
+    def test_figure_result_metadata(self, small_sweep_results):
+        fig3, fig4, fig5 = small_sweep_results
+        assert fig3.figure == "figure3" and "5-8 tasks" in fig3.description
+        assert fig4.figure == "figure4"
+        assert fig5.figure == "figure5"
+
+    def test_ablation_sharing_ordering(self):
+        result = ablation_sharing(num_configurations=2, target_throughputs=(60,))
+        series = {k: np.asarray(v) for k, v in result.series.series.items()}
+        assert np.all(series["ILP"] <= series["DP"] + 1e-9)
+        assert np.all(series["DP"] <= series["H1"] + 1e-9)

@@ -1,0 +1,52 @@
+"""Tests for the plain-text rendering helpers."""
+
+from repro.experiments.metrics import SeriesByAlgorithm
+from repro.experiments.reporting import format_table, render_series, render_table3, table3_vs_paper
+from repro.experiments.tables import reproduce_table3
+
+
+class TestFormatTable:
+    def test_alignment_and_header_rule(self):
+        text = format_table([["a", "bb"], ["ccc", "d"]])
+        lines = text.splitlines()
+        assert len(lines) == 3  # header, rule, one data row
+        assert "---" in lines[1]
+
+    def test_empty_rows(self):
+        assert format_table([]) == ""
+
+    def test_column_width_respects_longest_cell(self):
+        text = format_table([["x", "y"], ["longvalue", "z"]])
+        assert "longvalue" in text
+
+
+class TestRenderSeries:
+    def test_render_contains_algorithms_and_ylabel(self):
+        series = SeriesByAlgorithm(
+            throughputs=[10.0, 20.0],
+            series={"ILP": [1.0, 1.0], "H1": [0.9, 0.95]},
+            ylabel="normalised cost",
+            title="demo",
+        )
+        text = render_series(series)
+        assert "demo" in text and "normalised cost" in text
+        assert "ILP" in text and "H1" in text and "0.95" in text
+
+    def test_title_override(self):
+        series = SeriesByAlgorithm([1.0], {"H1": [0.5]}, ylabel="y", title="orig")
+        assert "other" in render_series(series, title="other")
+
+    def test_nan_rendering(self):
+        series = SeriesByAlgorithm([1.0], {"H1": [float("nan")]}, ylabel="y")
+        assert "nan" in render_series(series)
+
+
+class TestTable3Rendering:
+    def test_render_and_comparison(self):
+        table = reproduce_table3(algorithms=("ILP", "H1"), throughputs=(10, 20, 30))
+        text = render_table3(table)
+        assert "ILP split" in text and "H1 cost" in text
+        comparison = table3_vs_paper(table)
+        assert "yes" in comparison
+        # only three rows were reproduced; the remaining 17 read as mismatches
+        assert "matches" in comparison

@@ -1,0 +1,146 @@
+"""Tests for the sweep runner and the figure metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfigurationError
+from repro.experiments.config import AlgorithmSpec, ExperimentPlan, default_plan, paper_algorithms
+from repro.experiments.metrics import (
+    best_count_series,
+    mean_cost_series,
+    mean_time_series,
+    normalized_cost_series,
+)
+from repro.experiments.runner import RunRecord, SweepResult, run_configuration, run_plan
+from repro.generators import generate_configuration, get_setting
+
+
+@pytest.fixture(scope="module")
+def tiny_sweep() -> SweepResult:
+    """A 2-configuration, 2-throughput sweep over ILP/H1/H2 (module-scoped for speed)."""
+    plan = default_plan(
+        "small",
+        num_configurations=2,
+        target_throughputs=(50, 100),
+        iterations=150,
+    )
+    # restrict to three algorithms to keep the fixture fast
+    plan = ExperimentPlan(
+        name=plan.name,
+        setting=plan.setting,
+        algorithms=tuple(a for a in plan.algorithms if a.name in ("ILP", "H1", "H2")),
+        num_configurations=plan.num_configurations,
+        target_throughputs=plan.target_throughputs,
+        base_seed=plan.base_seed,
+    )
+    return run_plan(plan)
+
+
+class TestConfig:
+    def test_paper_algorithms_lineup(self):
+        names = [spec.name for spec in paper_algorithms()]
+        assert names == ["ILP", "H1", "H2", "H31", "H32", "H32Jump"]
+
+    def test_optional_algorithms(self):
+        names = [spec.name for spec in paper_algorithms(include_ilp=False, include_h0=True)]
+        assert "ILP" not in names and "H0" in names
+
+    def test_time_limit_forwarded_to_ilp(self):
+        spec = paper_algorithms(ilp_time_limit=42)[0]
+        assert spec.build().time_limit == 42
+
+    def test_seed_sensitive_specs_receive_seed(self):
+        spec = AlgorithmSpec("H2", {"iterations": 10}, seed_sensitive=True)
+        solver = spec.build(seed=99)
+        assert solver.seed == 99
+
+    def test_plan_validation(self):
+        setting = get_setting("small")
+        with pytest.raises(ConfigurationError):
+            ExperimentPlan("x", setting, tuple(paper_algorithms()), 0, (50,))
+        with pytest.raises(ConfigurationError):
+            ExperimentPlan("x", setting, tuple(paper_algorithms()), 1, ())
+        with pytest.raises(ConfigurationError):
+            ExperimentPlan("x", setting, (), 1, (50,))
+
+    def test_default_plan_uses_setting_defaults(self):
+        plan = default_plan("medium")
+        assert plan.num_configurations == 100
+        assert plan.target_throughputs == tuple(range(20, 201, 10))
+
+    def test_scaled_plan(self):
+        plan = default_plan("small").scaled(num_configurations=2, target_throughputs=(30,))
+        assert plan.num_configurations == 2 and plan.target_throughputs == (30,)
+
+
+class TestRunner:
+    def test_run_configuration_produces_one_record_per_pair(self):
+        configuration = generate_configuration(get_setting("small"), seed=0)
+        algorithms = [AlgorithmSpec("H1"), AlgorithmSpec("ILP")]
+        records = list(run_configuration(configuration, algorithms, (50, 100)))
+        assert len(records) == 4
+        assert {r.algorithm for r in records} == {"H1", "ILP"}
+        assert {r.rho for r in records} == {50.0, 100.0}
+
+    def test_records_have_sane_fields(self, tiny_sweep):
+        for record in tiny_sweep.records:
+            assert record.cost > 0
+            assert record.time >= 0
+            assert record.algorithm in {"ILP", "H1", "H2"}
+            assert isinstance(record.as_dict(), dict)
+
+    def test_sweep_result_accessors(self, tiny_sweep):
+        assert tiny_sweep.throughputs() == [50.0, 100.0]
+        assert set(tiny_sweep.algorithms()) == {"ILP", "H1", "H2"}
+        assert len(tiny_sweep.filter(algorithm="ILP")) == 4
+        assert len(tiny_sweep.filter(algorithm="ILP", rho=50.0)) == 2
+        assert tiny_sweep.costs_by("ILP", 50.0).shape == (2,)
+
+    def test_ilp_is_never_beaten(self, tiny_sweep):
+        for rho in tiny_sweep.throughputs():
+            ilp = tiny_sweep.costs_by("ILP", rho)
+            for name in ("H1", "H2"):
+                assert np.all(tiny_sweep.costs_by(name, rho) >= ilp - 1e-9)
+
+    def test_runs_are_reproducible(self):
+        plan = default_plan("small", num_configurations=1, target_throughputs=(60,), iterations=100)
+        a = run_plan(plan)
+        b = run_plan(plan)
+        assert [r.cost for r in a.records] == [r.cost for r in b.records]
+
+    def test_progress_callback_invoked(self):
+        plan = default_plan("small", num_configurations=2, target_throughputs=(60,), iterations=50)
+        messages = []
+        run_plan(plan, progress=messages.append)
+        assert len(messages) == 2
+
+
+class TestMetrics:
+    def test_normalized_cost_reference_is_one(self, tiny_sweep):
+        series = normalized_cost_series(tiny_sweep)
+        assert np.allclose(series.series["ILP"], 1.0)
+        for name in ("H1", "H2"):
+            assert np.all(np.asarray(series.series[name]) <= 1.0 + 1e-9)
+
+    def test_best_count_bounded_by_configurations(self, tiny_sweep):
+        series = best_count_series(tiny_sweep)
+        for values in series.series.values():
+            assert np.all(np.asarray(values) <= 2)
+        assert np.allclose(series.series["ILP"], 2)
+
+    def test_mean_time_series_positive(self, tiny_sweep):
+        series = mean_time_series(tiny_sweep)
+        for values in series.series.values():
+            assert np.all(np.asarray(values) >= 0)
+
+    def test_mean_cost_series_ordering(self, tiny_sweep):
+        series = mean_cost_series(tiny_sweep)
+        ilp = np.asarray(series.series["ILP"])
+        h1 = np.asarray(series.series["H1"])
+        assert np.all(ilp <= h1 + 1e-9)
+
+    def test_series_as_rows_shape(self, tiny_sweep):
+        series = normalized_cost_series(tiny_sweep)
+        rows = series.as_rows()
+        assert rows[0][0] == "rho"
+        assert len(rows) == 1 + len(series.throughputs)

@@ -1,0 +1,147 @@
+"""Tests for the random recipe-set generator (paper Section VIII-A protocol)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GenerationError
+from repro.generators import RecipeSetSpec, generate_application, generate_initial_recipe, mutate_recipe
+
+
+def small_spec(**overrides) -> RecipeSetSpec:
+    params = dict(
+        num_recipes=5, min_tasks=5, max_tasks=8, num_types=5, mutation_fraction=0.5
+    )
+    params.update(overrides)
+    return RecipeSetSpec(**params)
+
+
+class TestSpecValidation:
+    def test_valid_spec(self):
+        spec = small_spec()
+        assert spec.types == [1, 2, 3, 4, 5]
+
+    def test_min_above_max_rejected(self):
+        with pytest.raises(GenerationError):
+            small_spec(min_tasks=9, max_tasks=8)
+
+    @pytest.mark.parametrize("field,value", [
+        ("num_recipes", 0), ("min_tasks", 0), ("num_types", 0), ("mutation_fraction", 1.5),
+    ])
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises((ValueError, GenerationError)):
+            small_spec(**{field: value})
+
+
+class TestInitialRecipe:
+    def test_size_within_bounds_and_types_valid(self):
+        spec = small_spec()
+        for seed in range(10):
+            recipe = generate_initial_recipe(spec, seed)
+            assert spec.min_tasks <= recipe.num_tasks <= spec.max_tasks
+            assert recipe.types_used() <= set(spec.types)
+            assert recipe.is_dag()
+
+    def test_deterministic_for_seed(self):
+        spec = small_spec()
+        a = generate_initial_recipe(spec, 7)
+        b = generate_initial_recipe(spec, 7)
+        assert [t.task_type for t in a.tasks()] == [t.task_type for t in b.tasks()]
+        assert a.edges() == b.edges()
+
+    def test_topology_choice_respected(self):
+        spec = small_spec(topology="chain")
+        recipe = generate_initial_recipe(spec, 0)
+        assert recipe.num_edges == recipe.num_tasks - 1
+
+
+class TestMutateRecipe:
+    def test_mutation_changes_requested_fraction(self):
+        spec = small_spec()
+        rng = np.random.default_rng(0)
+        initial = generate_initial_recipe(spec, rng)
+        mutated = mutate_recipe(initial, 0.5, spec.types, rng)
+        changed = sum(
+            1
+            for tid in initial.task_ids()
+            if initial.task(tid).task_type != mutated.task(tid).task_type
+        )
+        assert changed == round(0.5 * initial.num_tasks)
+
+    def test_zero_fraction_is_exact_copy(self):
+        spec = small_spec()
+        initial = generate_initial_recipe(spec, 1)
+        mutated = mutate_recipe(initial, 0.0, spec.types, 1)
+        assert [t.task_type for t in mutated.tasks()] == [t.task_type for t in initial.tasks()]
+
+    def test_positive_fraction_changes_at_least_one_task(self):
+        spec = small_spec()
+        initial = generate_initial_recipe(spec, 2)
+        mutated = mutate_recipe(initial, 0.01, spec.types, 2)
+        changed = sum(
+            1
+            for tid in initial.task_ids()
+            if initial.task(tid).task_type != mutated.task(tid).task_type
+        )
+        assert changed == 1
+
+    def test_topology_is_preserved(self):
+        spec = small_spec()
+        initial = generate_initial_recipe(spec, 3)
+        mutated = mutate_recipe(initial, 0.5, spec.types, 3)
+        assert mutated.edges() == initial.edges()
+        assert mutated.num_tasks == initial.num_tasks
+
+    def test_empty_type_set_rejected(self):
+        spec = small_spec()
+        initial = generate_initial_recipe(spec, 4)
+        with pytest.raises(GenerationError):
+            mutate_recipe(initial, 0.5, [], 4)
+
+    def test_single_type_mutation_keeps_type(self):
+        spec = small_spec(num_types=1)
+        initial = generate_initial_recipe(spec, 5)
+        mutated = mutate_recipe(initial, 1.0, spec.types, 5)
+        assert mutated.types_used() == {1}
+
+
+class TestGenerateApplication:
+    def test_structure_matches_spec(self):
+        spec = small_spec()
+        app = generate_application(spec, 11)
+        assert app.num_recipes == spec.num_recipes
+        for recipe in app:
+            assert spec.min_tasks <= recipe.num_tasks <= spec.max_tasks
+            assert recipe.types_used() <= set(spec.types)
+        app.validate()
+
+    def test_alternatives_share_types_with_initial(self):
+        # The whole point of the mutation protocol: alternatives share many
+        # task types with the initial recipe, so machines can be shared.
+        spec = small_spec(mutation_fraction=0.3)
+        app = generate_application(spec, 13)
+        initial_types = app[0].types_used()
+        for alternative in list(app)[1:]:
+            assert alternative.types_used() & initial_types
+
+    def test_deterministic_for_seed(self):
+        spec = small_spec()
+        a = generate_application(spec, 21)
+        b = generate_application(spec, 21)
+        assert [r.type_counts() for r in a] == [r.type_counts() for r in b]
+
+    def test_resize_alternatives_mode(self):
+        spec = small_spec(resize_alternatives=True, min_tasks=3, max_tasks=12)
+        app = generate_application(spec, 5)
+        sizes = {r.num_tasks for r in app}
+        assert len(sizes) >= 1  # sizes may vary; structure must stay valid
+        app.validate()
+
+    @given(seed=st.integers(min_value=0, max_value=300))
+    @settings(max_examples=25, deadline=None)
+    def test_generated_applications_always_valid(self, seed):
+        spec = small_spec(num_recipes=4)
+        app = generate_application(spec, seed)
+        app.validate()
+        assert app.types_used() <= set(spec.types)

@@ -1,0 +1,66 @@
+"""Tests for the random platform generator."""
+
+import pytest
+
+from repro.core import GenerationError
+from repro.generators import PlatformSpec, generate_matched_platform, generate_platform
+
+
+class TestPlatformSpec:
+    def test_defaults_follow_paper(self):
+        spec = PlatformSpec(num_types=5)
+        assert spec.cost_range == (1, 100)
+        assert spec.throughput_range == (10, 100)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"num_types": 0},
+        {"num_types": 3, "cost_range": (0, 10)},
+        {"num_types": 3, "cost_range": (10, 1)},
+        {"num_types": 3, "throughput_range": (5,)},
+    ])
+    def test_invalid_specs_rejected(self, kwargs):
+        with pytest.raises((ValueError, GenerationError)):
+            PlatformSpec(**kwargs)
+
+
+class TestGeneratePlatform:
+    def test_one_processor_per_type_within_ranges(self):
+        spec = PlatformSpec(num_types=8, throughput_range=(10, 50), cost_range=(1, 100))
+        platform = generate_platform(spec, 0)
+        assert platform.num_types == 8
+        assert platform.types() == list(range(1, 9))
+        for proc in platform:
+            assert 10 <= proc.throughput <= 50
+            assert 1 <= proc.cost <= 100
+            assert float(proc.throughput).is_integer()
+            assert float(proc.cost).is_integer()
+
+    def test_deterministic_for_seed(self):
+        spec = PlatformSpec(num_types=5)
+        a = generate_platform(spec, 9)
+        b = generate_platform(spec, 9)
+        assert [(p.cost, p.throughput) for p in a] == [(p.cost, p.throughput) for p in b]
+
+    def test_different_seeds_differ(self):
+        spec = PlatformSpec(num_types=5)
+        a = generate_platform(spec, 1)
+        b = generate_platform(spec, 2)
+        assert [(p.cost, p.throughput) for p in a] != [(p.cost, p.throughput) for p in b]
+
+
+class TestMatchedPlatform:
+    def test_zero_correlation_matches_paper_protocol_ranges(self):
+        platform = generate_matched_platform(6, 3, correlation=0.0)
+        for proc in platform:
+            assert 1 <= proc.cost <= 100
+            assert 10 <= proc.throughput <= 100
+
+    def test_full_correlation_prices_follow_throughput(self):
+        platform = generate_matched_platform(10, 5, correlation=1.0)
+        pairs = sorted(((p.throughput, p.cost) for p in platform))
+        costs = [c for _, c in pairs]
+        assert costs == sorted(costs)
+
+    def test_invalid_correlation_rejected(self):
+        with pytest.raises(GenerationError):
+            generate_matched_platform(5, 0, correlation=1.5)

@@ -1,0 +1,101 @@
+"""Tests for the DAG topology builders."""
+
+import numpy as np
+import pytest
+
+from repro.core import GenerationError, RecipeGraph, Task
+from repro.generators import (
+    TOPOLOGY_BUILDERS,
+    build_edges,
+    chain_edges,
+    fork_join_edges,
+    in_tree_edges,
+    layered_edges,
+    out_tree_edges,
+    random_dag_edges,
+)
+
+
+def edges_form_a_dag(num_tasks: int, edges: list[tuple[int, int]]) -> bool:
+    recipe = RecipeGraph(tasks=[Task(i, 1) for i in range(num_tasks)])
+    for pred, succ in edges:
+        recipe.add_edge(pred, succ)
+    return recipe.is_dag()
+
+
+class TestChain:
+    def test_linear_structure(self):
+        assert chain_edges(4) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_single_task_has_no_edges(self):
+        assert chain_edges(1) == []
+
+
+class TestForkJoin:
+    def test_structure(self):
+        edges = fork_join_edges(5)
+        assert (0, 1) in edges and (3, 4) in edges
+        assert len(edges) == 6
+
+    def test_small_graphs_degenerate_to_chain(self):
+        assert fork_join_edges(2) == [(0, 1)]
+
+
+class TestTrees:
+    def test_out_tree_parents(self):
+        edges = out_tree_edges(7, arity=2)
+        assert (0, 1) in edges and (0, 2) in edges and (1, 3) in edges
+        assert len(edges) == 6
+
+    def test_in_tree_is_reversed_out_tree(self):
+        n = 7
+        out = set(out_tree_edges(n, arity=2))
+        inn = set(in_tree_edges(n, arity=2))
+        assert {(n - 1 - b, n - 1 - a) for a, b in out} == inn
+
+    def test_invalid_arity(self):
+        with pytest.raises(GenerationError):
+            out_tree_edges(5, arity=0)
+
+
+class TestLayeredAndRandom:
+    @pytest.mark.parametrize("builder", [layered_edges, random_dag_edges])
+    @pytest.mark.parametrize("num_tasks", [1, 2, 5, 20, 60])
+    def test_produces_a_valid_dag(self, builder, num_tasks):
+        rng = np.random.default_rng(0)
+        edges = builder(num_tasks, rng)
+        assert edges_form_a_dag(num_tasks, edges)
+        assert all(0 <= a < num_tasks and 0 <= b < num_tasks for a, b in edges)
+        if num_tasks > 3:
+            # the default layer width is 3, so 4+ tasks span at least two
+            # layers and must be linked by at least one precedence edge
+            assert edges
+
+    def test_random_dag_every_later_task_has_a_predecessor(self):
+        edges = random_dag_edges(30, np.random.default_rng(2))
+        targets = {succ for _, succ in edges}
+        assert targets == set(range(1, 30))
+
+    def test_layered_width_validation(self):
+        with pytest.raises(GenerationError):
+            layered_edges(10, np.random.default_rng(0), width=0)
+
+    def test_random_dag_deterministic_for_seed(self):
+        a = random_dag_edges(15, np.random.default_rng(3))
+        b = random_dag_edges(15, np.random.default_rng(3))
+        assert a == b
+
+
+class TestBuildEdges:
+    def test_all_registered_topologies_work(self):
+        for name in TOPOLOGY_BUILDERS:
+            edges = build_edges(name, 8, np.random.default_rng(1))
+            assert edges_form_a_dag(8, edges)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(GenerationError):
+            build_edges("moebius", 5)
+
+    def test_non_positive_task_count_rejected(self):
+        with pytest.raises(GenerationError):
+            build_edges("chain", 0)

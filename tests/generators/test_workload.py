@@ -1,0 +1,104 @@
+"""Tests for the named workload settings and configuration generation."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.generators import (
+    PAPER_SETTINGS,
+    generate_configuration,
+    generate_configurations,
+    get_setting,
+)
+
+
+class TestPaperSettings:
+    def test_all_four_settings_exist(self):
+        assert set(PAPER_SETTINGS) == {"small", "medium", "large", "xlarge"}
+
+    def test_small_setting_matches_section_viii_c(self):
+        small = get_setting("small")
+        assert small.num_recipes == 20
+        assert (small.min_tasks, small.max_tasks) == (5, 8)
+        assert small.mutation_fraction == 0.5
+        assert small.num_types == 5
+        assert small.throughput_range == (10, 100)
+        assert small.cost_range == (1, 100)
+        assert small.num_configurations == 100
+
+    def test_medium_setting_matches_section_viii_d(self):
+        medium = get_setting("medium")
+        assert (medium.min_tasks, medium.max_tasks) == (10, 20)
+        assert medium.mutation_fraction == 0.3
+        assert medium.num_types == 8
+
+    def test_large_setting_matches_section_viii_e(self):
+        large = get_setting("large")
+        assert (large.min_tasks, large.max_tasks) == (50, 100)
+        assert large.throughput_range == (10, 50)
+
+    def test_xlarge_setting_matches_ilp_stress_experiment(self):
+        xlarge = get_setting("xlarge")
+        assert xlarge.num_recipes == 10
+        assert (xlarge.min_tasks, xlarge.max_tasks) == (100, 200)
+        assert xlarge.num_types == 50
+        assert xlarge.throughput_range == (5, 25)
+
+    def test_lookup_is_case_insensitive(self):
+        assert get_setting("SMALL").name == "small"
+
+    def test_unknown_setting_rejected(self):
+        with pytest.raises(ConfigurationError):
+            get_setting("gigantic")
+
+    def test_target_throughputs_default_sweep(self):
+        assert get_setting("small").target_throughputs == tuple(range(20, 201, 10))
+
+    def test_scaled_copy(self):
+        scaled = get_setting("small").scaled(num_configurations=3, target_throughputs=(50,))
+        assert scaled.num_configurations == 3
+        assert scaled.target_throughputs == (50,)
+        assert get_setting("small").num_configurations == 100  # original untouched
+
+
+class TestConfigurationGeneration:
+    def test_single_configuration_structure(self):
+        setting = get_setting("small")
+        configuration = generate_configuration(setting, seed=4)
+        assert configuration.application.num_recipes == setting.num_recipes
+        assert configuration.platform.num_types == setting.num_types
+        configuration.application.validate()
+
+    def test_problem_factory(self):
+        configuration = generate_configuration(get_setting("small"), seed=4)
+        problem = configuration.problem(120)
+        assert problem.target_throughput == 120
+        assert problem.num_recipes == 20
+
+    def test_generate_configurations_count_and_determinism(self):
+        setting = get_setting("small")
+        first = list(generate_configurations(setting, base_seed=1, count=3))
+        second = list(generate_configurations(setting, base_seed=1, count=3))
+        assert len(first) == 3
+        for a, b in zip(first, second):
+            assert a.application.type_counts() == b.application.type_counts()
+            assert [
+                (p.cost, p.throughput) for p in a.platform
+            ] == [(p.cost, p.throughput) for p in b.platform]
+
+    def test_different_base_seeds_differ(self):
+        setting = get_setting("small")
+        a = next(iter(generate_configurations(setting, base_seed=1, count=1)))
+        b = next(iter(generate_configurations(setting, base_seed=2, count=1)))
+        assert a.application.type_counts() != b.application.type_counts() or [
+            (p.cost, p.throughput) for p in a.platform
+        ] != [(p.cost, p.throughput) for p in b.platform]
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            list(generate_configurations(get_setting("small"), count=0))
+
+    def test_every_generated_problem_is_solvable(self):
+        # The platform always offers types 1..Q and recipes only use those,
+        # so building the MinCOST problem never raises.
+        for configuration in generate_configurations(get_setting("small"), base_seed=0, count=3):
+            configuration.problem(100)

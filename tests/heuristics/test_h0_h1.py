@@ -1,0 +1,82 @@
+"""Tests for the H0 (random) and H1 (best graph) heuristics."""
+
+import numpy as np
+import pytest
+
+from repro.core import MinCostProblem
+from repro.experiments.tables import PAPER_TABLE3_H1_COSTS, illustrating_problem
+from repro.heuristics import H0RandomSolver, H1BestGraphSolver, best_single_recipe_split
+
+
+class TestH0Random:
+    def test_split_is_feasible_and_reaches_target(self, illustrating_problem_70):
+        result = H0RandomSolver(seed=0).solve(illustrating_problem_70)
+        assert result.allocation.split.total == pytest.approx(70)
+        assert illustrating_problem_70.is_allocation_feasible(result.allocation)
+
+    def test_deterministic_for_fixed_seed(self, illustrating_problem_70):
+        a = H0RandomSolver(seed=5).solve(illustrating_problem_70)
+        b = H0RandomSolver(seed=5).solve(illustrating_problem_70)
+        assert a.allocation.split == b.allocation.split
+
+    def test_different_seeds_generally_differ(self, illustrating_problem_70):
+        splits = {
+            H0RandomSolver(seed=s).solve(illustrating_problem_70).allocation.split.as_tuple()
+            for s in range(8)
+        }
+        assert len(splits) > 1
+
+    def test_multiple_samples_never_worse_than_single(self, illustrating_problem_70):
+        single = H0RandomSolver(seed=3, samples=1).solve(illustrating_problem_70)
+        multi = H0RandomSolver(seed=3, samples=20).solve(illustrating_problem_70)
+        assert multi.cost <= single.cost
+
+    def test_step_respected(self, illustrating_problem_70):
+        result = H0RandomSolver(seed=1, step=10).solve(illustrating_problem_70)
+        assert np.allclose(np.array(result.allocation.split.values) % 10, 0)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            H0RandomSolver(step=0)
+        with pytest.raises(ValueError):
+            H0RandomSolver(samples=0)
+
+    def test_never_better_than_optimum(self, illustrating_problem_70):
+        for seed in range(5):
+            assert H0RandomSolver(seed=seed).solve(illustrating_problem_70).cost >= 124
+
+
+class TestH1BestGraph:
+    def test_reproduces_paper_h1_column(self):
+        solver = H1BestGraphSolver()
+        for rho, expected in PAPER_TABLE3_H1_COSTS.items():
+            assert solver.solve(illustrating_problem(rho)).cost == pytest.approx(expected), rho
+
+    def test_uses_exactly_one_recipe(self, illustrating_problem_70):
+        result = H1BestGraphSolver().solve(illustrating_problem_70)
+        assert result.allocation.split.num_active() == 1
+        assert result.allocation.split.total == 70
+
+    def test_chooses_cheapest_recipe(self, illustrating_problem_70):
+        result = H1BestGraphSolver().solve(illustrating_problem_70)
+        chosen = result.meta["chosen_recipe"]
+        costs = H1BestGraphSolver.per_recipe_costs(illustrating_problem_70)
+        assert costs[chosen] == pytest.approx(costs.min())
+
+    def test_exact_for_single_recipe_instances(self, single_recipe_problem):
+        result = H1BestGraphSolver().solve(single_recipe_problem)
+        assert result.optimal
+        assert result.cost == 80
+
+    def test_bucket_behaviour_between_consecutive_throughputs(self):
+        # Paper: "the same solution may be chosen for one or more consecutive
+        # throughputs until no more idle capacity is available": H1's cost at
+        # rho=70 and rho=80 is the same 138 (Table III).
+        assert H1BestGraphSolver().solve(illustrating_problem(70)).cost == 138
+        assert H1BestGraphSolver().solve(illustrating_problem(80)).cost == 138
+
+    def test_best_single_recipe_split_helper(self, illustrating_problem_70):
+        split, index, cost = best_single_recipe_split(illustrating_problem_70)
+        assert split.sum() == 70
+        assert split[index] == 70
+        assert cost == 138

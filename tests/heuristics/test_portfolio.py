@@ -1,0 +1,42 @@
+"""Tests for the portfolio meta-heuristic."""
+
+import pytest
+
+from repro.core import ProblemError
+from repro.heuristics import H1BestGraphSolver, H2RandomWalkSolver, PortfolioSolver
+from repro.solvers import BlackBoxKnapsackSolver, MilpSolver
+
+
+class TestPortfolio:
+    def test_returns_best_member_result(self, illustrating_problem_70):
+        portfolio = PortfolioSolver(
+            [H1BestGraphSolver(), H2RandomWalkSolver(iterations=500, delta=10, seed=1), MilpSolver()]
+        )
+        result = portfolio.solve(illustrating_problem_70)
+        assert result.cost == 124
+        # Both H2 (seeded) and the ILP reach 124 here; the first one seen wins.
+        assert result.meta["winner"] in {"H2", "ILP"}
+        assert len(result.meta["members"]) == 3
+
+    def test_skips_failing_members(self, illustrating_problem_70):
+        # The knapsack solver rejects multi-task recipes but the portfolio
+        # still succeeds through H1.
+        portfolio = PortfolioSolver([BlackBoxKnapsackSolver(), H1BestGraphSolver()])
+        result = portfolio.solve(illustrating_problem_70)
+        assert result.cost == 138
+        assert any("Knapsack" in err for err in result.meta["errors"])
+
+    def test_all_members_failing_raises(self, illustrating_problem_70):
+        portfolio = PortfolioSolver([BlackBoxKnapsackSolver()])
+        with pytest.raises(RuntimeError):
+            portfolio.solve(illustrating_problem_70)
+
+    def test_empty_portfolio_rejected(self):
+        with pytest.raises(ValueError):
+            PortfolioSolver([])
+
+    def test_optimality_flag_propagated(self, illustrating_problem_70):
+        result = PortfolioSolver([MilpSolver()]).solve(illustrating_problem_70)
+        assert result.optimal
+        result = PortfolioSolver([H1BestGraphSolver()]).solve(illustrating_problem_70)
+        assert not result.optimal

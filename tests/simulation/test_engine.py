@@ -1,0 +1,117 @@
+"""Tests for the discrete-event engine and the allocation validation helpers."""
+
+import pytest
+
+from repro.core import Allocation, MinCostProblem, SimulationError, ThroughputSplit
+from repro.simulation import (
+    SimulationReport,
+    StreamSimulator,
+    simulate_allocation,
+    static_check,
+    validate_allocation,
+)
+from repro.solvers import MilpSolver
+
+
+class TestStreamSimulator:
+    def test_optimal_allocation_sustains_target(self, illustrating_problem_70):
+        allocation = MilpSolver().solve(illustrating_problem_70).allocation
+        report = StreamSimulator(illustrating_problem_70, allocation).run(horizon=20.0)
+        assert report.sustains_target(tolerance=0.05)
+        assert report.arrivals >= report.completed
+        assert report.completed > 0
+        assert 0 < report.mean_latency <= report.max_latency
+
+    def test_recipe_mix_follows_split(self, illustrating_problem_70):
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        report = StreamSimulator(illustrating_problem_70, allocation).run(horizon=10.0)
+        assert report.recipe_mix[0] == pytest.approx(10 / 70, abs=0.02)
+        assert report.recipe_mix[1] == pytest.approx(30 / 70, abs=0.02)
+
+    def test_utilization_bounded_by_one(self, illustrating_problem_70):
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        report = StreamSimulator(illustrating_problem_70, allocation).run(horizon=10.0)
+        assert all(0 <= u <= 1 for u in report.utilization.values())
+
+    def test_overprovisioned_platform_has_low_utilization(self, illustrating_problem_70):
+        generous = illustrating_problem_70.allocation_for([10, 30, 30])
+        doubled = Allocation(
+            split=generous.split,
+            machines={t: 2 * c for t, c in generous.machines.items()},
+            cost=2 * generous.cost,
+        )
+        report = StreamSimulator(illustrating_problem_70, doubled).run(horizon=10.0)
+        assert all(u <= 0.75 for u in report.utilization.values())
+        assert report.sustains_target()
+
+    def test_underprovisioned_allocation_detected(self, illustrating_problem_70):
+        good = illustrating_problem_70.allocation_for([0, 0, 70])
+        starved = Allocation(
+            split=good.split,
+            machines={**good.machines, 1: good.machines[1] - 2},
+            cost=good.cost,
+        )
+        report = StreamSimulator(illustrating_problem_70, starved).run(horizon=15.0)
+        assert not report.sustains_target(tolerance=0.05)
+        assert report.backlog > 0
+
+    def test_max_datasets_limits_arrivals(self, illustrating_problem_70):
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        report = StreamSimulator(illustrating_problem_70, allocation).run(horizon=10.0, max_datasets=5)
+        assert report.arrivals == 5
+
+    def test_zero_split_rejected(self, illustrating_problem_70):
+        empty = Allocation(split=ThroughputSplit.zeros(3), machines={}, cost=0)
+        with pytest.raises(SimulationError):
+            StreamSimulator(illustrating_problem_70, empty)
+
+    def test_invalid_horizon_rejected(self, illustrating_problem_70):
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        with pytest.raises(SimulationError):
+            StreamSimulator(illustrating_problem_70, allocation).run(horizon=0)
+
+    def test_invalid_warmup_rejected(self, illustrating_problem_70):
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        with pytest.raises(SimulationError):
+            StreamSimulator(illustrating_problem_70, allocation, warmup_fraction=1.0)
+
+    def test_report_summary_text(self, illustrating_problem_70):
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        report = StreamSimulator(illustrating_problem_70, allocation).run(horizon=5.0)
+        text = report.summary()
+        assert "throughput" in text and "utilization" in text
+
+
+class TestValidationHelpers:
+    def test_static_check_agrees_with_problem(self, illustrating_problem_70):
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        assert static_check(illustrating_problem_70, allocation)
+
+    def test_validate_allocation_full_pipeline(self, illustrating_problem_70):
+        allocation = MilpSolver().solve(illustrating_problem_70).allocation
+        validation = validate_allocation(illustrating_problem_70, allocation, horizon=15.0)
+        assert validation.valid
+        assert validation.report is not None
+
+    def test_validate_statically_infeasible_skips_simulation(self, illustrating_problem_70):
+        bad = Allocation(split=ThroughputSplit.from_sequence([0, 0, 70]), machines={}, cost=0)
+        validation = validate_allocation(illustrating_problem_70, bad)
+        assert not validation.valid
+        assert validation.report is None
+
+    def test_simulate_allocation_wrapper(self, illustrating_problem_70):
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        report = simulate_allocation(illustrating_problem_70, allocation, horizon=5.0)
+        assert isinstance(report, SimulationReport)
+
+    def test_latency_stats_empty(self):
+        assert SimulationReport.latency_stats([]) == (0.0, 0.0)
+
+    def test_every_solver_allocation_survives_simulation(self, illustrating_problem_70):
+        from repro import create_solver
+
+        for name in ("ILP", "H1", "H2", "H32Jump"):
+            solver = create_solver(name, seed=3) if name in ("H2", "H32Jump") else create_solver(name)
+            allocation = solver.solve(illustrating_problem_70).allocation
+            validation = validate_allocation(illustrating_problem_70, allocation, horizon=10.0)
+            assert validation.valid, name

@@ -1,0 +1,103 @@
+"""Tests for the event queue and processor pool of the stream simulator."""
+
+import pytest
+
+from repro.core import Allocation, SimulationError, ThroughputSplit
+from repro.simulation import EventKind, EventQueue, PendingTask, ProcessorInstance, ProcessorPool
+
+
+class TestEventQueue:
+    def test_events_pop_in_time_order(self):
+        queue = EventQueue()
+        queue.push(5.0, EventKind.ARRIVAL, dataset_id=1)
+        queue.push(1.0, EventKind.ARRIVAL, dataset_id=0)
+        queue.push(3.0, EventKind.TASK_COMPLETE)
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 3.0, 5.0]
+
+    def test_ties_break_by_insertion_order(self):
+        queue = EventQueue()
+        first = queue.push(2.0, EventKind.ARRIVAL, tag="a")
+        second = queue.push(2.0, EventKind.ARRIVAL, tag="b")
+        assert queue.pop().payload["tag"] == "a"
+        assert queue.pop().payload["tag"] == "b"
+        assert first.sequence < second.sequence
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().push(-1.0, EventKind.ARRIVAL)
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            EventQueue().pop()
+
+    def test_peek_and_len(self):
+        queue = EventQueue()
+        assert queue.peek_time() is None and not queue
+        queue.push(4.0, EventKind.ARRIVAL)
+        assert queue.peek_time() == 4.0 and len(queue) == 1
+
+
+class TestProcessorInstance:
+    def test_service_time_follows_throughput(self):
+        instance = ProcessorInstance(0, 1, throughput=4.0)
+        assert instance.service_time(PendingTask(0, 0, work=1.0)) == 0.25
+        assert instance.service_time(PendingTask(0, 0, work=2.0)) == 0.5
+
+    def test_fifo_processing(self):
+        instance = ProcessorInstance(0, 1, throughput=1.0)
+        instance.enqueue(PendingTask(0, 0, 1.0))
+        instance.enqueue(PendingTask(1, 0, 1.0))
+        task, done = instance.start_next(0.0)
+        assert task.dataset_id == 0 and done == 1.0
+        assert instance.start_next(0.0) is None  # busy
+        finished = instance.finish_current(1.0)
+        assert finished.dataset_id == 0
+        task, done = instance.start_next(1.0)
+        assert task.dataset_id == 1 and done == 2.0
+
+    def test_finish_without_current_rejected(self):
+        with pytest.raises(SimulationError):
+            ProcessorInstance(0, 1, 1.0).finish_current(0.0)
+
+    def test_pending_work_and_utilization(self):
+        instance = ProcessorInstance(0, 1, throughput=2.0)
+        instance.enqueue(PendingTask(0, 0, 1.0))
+        instance.enqueue(PendingTask(1, 0, 1.0))
+        assert instance.pending_work == 2.0
+        instance.start_next(0.0)
+        instance.finish_current(0.5)
+        assert instance.utilization(1.0) == 0.5
+
+    def test_invalid_throughput_rejected(self):
+        with pytest.raises(SimulationError):
+            ProcessorInstance(0, 1, throughput=0)
+
+
+class TestProcessorPool:
+    def build_pool(self, illustrating_app, illustrating_cloud) -> ProcessorPool:
+        allocation = Allocation.from_split(illustrating_app, illustrating_cloud, [10, 30, 30])
+        return ProcessorPool(illustrating_cloud, allocation)
+
+    def test_instance_counts_match_allocation(self, illustrating_app, illustrating_cloud):
+        pool = self.build_pool(illustrating_app, illustrating_cloud)
+        assert pool.num_instances == 7
+        assert len(pool.instances_of(1)) == 3
+        assert len(pool.instances_of(4)) == 1
+        assert pool.has_type(2) and not pool.has_type(99)
+
+    def test_select_instance_prefers_least_loaded(self, illustrating_app, illustrating_cloud):
+        pool = self.build_pool(illustrating_app, illustrating_cloud)
+        first = pool.select_instance(1)
+        first.enqueue(PendingTask(0, 0, 5.0))
+        second = pool.select_instance(1)
+        assert second is not first
+
+    def test_select_unknown_type_rejected(self, illustrating_app, illustrating_cloud):
+        pool = self.build_pool(illustrating_app, illustrating_cloud)
+        with pytest.raises(SimulationError):
+            pool.select_instance(99)
+
+    def test_utilization_by_type_initially_zero(self, illustrating_app, illustrating_cloud):
+        pool = self.build_pool(illustrating_app, illustrating_cloud)
+        assert all(u == 0 for u in pool.utilization_by_type(10.0).values())

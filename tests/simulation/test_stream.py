@@ -1,0 +1,105 @@
+"""Tests for data-set instances, recipe routing and the reorder buffer."""
+
+import numpy as np
+import pytest
+
+from repro.core import RecipeGraph, SimulationError, Task, ThroughputSplit
+from repro.simulation import DataSetInstance, RecipeRouter, ReorderBuffer
+
+
+def diamond_recipe() -> RecipeGraph:
+    recipe = RecipeGraph(name="diamond")
+    for i, t in enumerate([1, 2, 3, 4]):
+        recipe.add_task(Task(i, t))
+    recipe.add_edge(0, 1)
+    recipe.add_edge(0, 2)
+    recipe.add_edge(1, 3)
+    recipe.add_edge(2, 3)
+    return recipe
+
+
+class TestDataSetInstance:
+    def test_initial_tasks_are_sources(self):
+        dataset = DataSetInstance(0, 0, diamond_recipe(), arrival_time=0.0)
+        assert dataset.initial_tasks() == [0]
+        assert not dataset.is_complete
+
+    def test_dependency_progression(self):
+        dataset = DataSetInstance(0, 0, diamond_recipe(), arrival_time=0.0)
+        dataset.mark_started(0)
+        ready = dataset.complete_task(0, 1.0)
+        assert set(ready) == {1, 2}
+        dataset.mark_started(1)
+        dataset.mark_started(2)
+        assert dataset.complete_task(1, 2.0) == []  # task 3 still waits for 2
+        ready = dataset.complete_task(2, 3.0)
+        assert ready == [3]
+        dataset.mark_started(3)
+        dataset.complete_task(3, 4.0)
+        assert dataset.is_complete
+        assert dataset.completion_time == 4.0
+        assert dataset.latency == 4.0
+
+    def test_double_completion_rejected(self):
+        dataset = DataSetInstance(0, 0, diamond_recipe(), arrival_time=0.0)
+        dataset.mark_started(0)
+        dataset.complete_task(0, 1.0)
+        with pytest.raises(SimulationError):
+            dataset.complete_task(0, 2.0)
+
+    def test_double_start_rejected(self):
+        dataset = DataSetInstance(0, 0, diamond_recipe(), arrival_time=0.0)
+        dataset.mark_started(0)
+        with pytest.raises(SimulationError):
+            dataset.mark_started(0)
+
+    def test_latency_none_until_complete(self):
+        dataset = DataSetInstance(0, 0, diamond_recipe(), arrival_time=1.0)
+        assert dataset.latency is None
+
+
+class TestRecipeRouter:
+    def test_proportional_routing(self):
+        router = RecipeRouter(ThroughputSplit.from_sequence([10, 30, 0]))
+        counts = np.zeros(3, dtype=int)
+        for _ in range(40):
+            counts[router.route()] += 1
+        assert counts[2] == 0
+        assert counts[0] == 10 and counts[1] == 30
+        assert np.allclose(router.mix(), [0.25, 0.75, 0.0])
+
+    def test_single_active_recipe(self):
+        router = RecipeRouter(ThroughputSplit.from_sequence([0, 5]))
+        assert all(router.route() == 1 for _ in range(10))
+
+    def test_all_zero_split_rejected(self):
+        with pytest.raises(SimulationError):
+            RecipeRouter(ThroughputSplit.from_sequence([0, 0]))
+
+    def test_mix_before_any_routing(self):
+        router = RecipeRouter(ThroughputSplit.from_sequence([1, 1]))
+        assert np.allclose(router.mix(), [0, 0])
+
+
+class TestReorderBuffer:
+    def test_in_order_completions_release_immediately(self):
+        buffer = ReorderBuffer()
+        assert buffer.complete(0) == [0]
+        assert buffer.complete(1) == [1]
+        assert buffer.peak_occupancy == 1
+        assert buffer.released == 2
+
+    def test_out_of_order_completions_are_held(self):
+        buffer = ReorderBuffer()
+        assert buffer.complete(2) == []
+        assert buffer.complete(1) == []
+        assert buffer.occupancy == 2
+        assert buffer.complete(0) == [0, 1, 2]
+        assert buffer.peak_occupancy == 3
+        assert buffer.occupancy == 0
+
+    def test_duplicate_completion_rejected(self):
+        buffer = ReorderBuffer()
+        buffer.complete(0)
+        with pytest.raises(SimulationError):
+            buffer.complete(0)

@@ -1,0 +1,57 @@
+"""Tests for the Solver/SolverResult base machinery."""
+
+import pytest
+
+from repro.core import ThroughputSplit
+from repro.solvers.base import Solver, SolverResult, SplitSolver
+
+
+class ConstantSplitSolver(SplitSolver):
+    """Test double returning a fixed split."""
+
+    name = "Constant"
+
+    def __init__(self, split, optimal=False):
+        self._split = split
+        self._optimal = optimal
+
+    def solve_split(self, problem):
+        return ThroughputSplit.from_sequence(self._split), {"optimal": self._optimal, "iterations": 3}
+
+
+class InfeasibleSolver(Solver):
+    """Test double returning an allocation that misses the target throughput."""
+
+    name = "Broken"
+
+    def _solve(self, problem):
+        allocation = problem.allocation_for([0] * problem.num_recipes)
+        return SolverResult(solver_name=self.name, allocation=allocation, cost=allocation.cost)
+
+
+class TestSolverWrapper:
+    def test_solve_records_time_and_checks_feasibility(self, illustrating_problem_70):
+        solver = ConstantSplitSolver([10, 30, 30], optimal=True)
+        result = solver.solve(illustrating_problem_70)
+        assert result.cost == 124
+        assert result.optimal
+        assert result.iterations == 3
+        assert result.solve_time >= 0
+        assert result.split.values == (10.0, 30.0, 30.0)
+
+    def test_infeasible_result_raises_when_checked(self, illustrating_problem_70):
+        with pytest.raises(AssertionError):
+            InfeasibleSolver().solve(illustrating_problem_70)
+
+    def test_check_can_be_disabled(self, illustrating_problem_70):
+        result = InfeasibleSolver().solve(illustrating_problem_70, check=False)
+        assert result.cost == 0
+
+    def test_result_metadata_defaults(self, illustrating_problem_70):
+        result = ConstantSplitSolver([70, 0, 0]).solve(illustrating_problem_70)
+        assert result.meta["optimal"] is False
+        assert not result.optimal
+
+    def test_summary_contains_solver_name(self, illustrating_problem_70):
+        result = ConstantSplitSolver([70, 0, 0]).solve(illustrating_problem_70)
+        assert "Constant" in result.summary()

@@ -1,0 +1,77 @@
+"""Tests for the self-contained branch-and-bound MILP solver (Gurobi substitute)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Application, CloudPlatform, MinCostProblem
+from repro.experiments.tables import PAPER_TABLE3_OPTIMAL_COSTS, illustrating_problem
+from repro.solvers import BranchAndBoundSolver, ExhaustiveSolver, MilpSolver
+
+
+class TestBranchAndBound:
+    def test_reproduces_table3_optima(self):
+        solver = BranchAndBoundSolver()
+        for rho in (10, 40, 70, 120, 160, 200):
+            result = solver.solve(illustrating_problem(rho))
+            assert result.cost == pytest.approx(PAPER_TABLE3_OPTIMAL_COSTS[rho]), f"rho={rho}"
+            assert result.optimal
+
+    def test_agrees_with_highs_backend(self, disjoint_types_problem, black_box_problem):
+        for problem in (disjoint_types_problem, black_box_problem):
+            assert BranchAndBoundSolver().solve(problem).cost == pytest.approx(
+                MilpSolver().solve(problem).cost
+            )
+
+    def test_returns_feasible_allocation(self, illustrating_problem_70):
+        result = BranchAndBoundSolver().solve(illustrating_problem_70)
+        assert illustrating_problem_70.is_allocation_feasible(result.allocation)
+
+    def test_node_limit_falls_back_to_incumbent(self, illustrating_problem_70):
+        result = BranchAndBoundSolver(max_nodes=1).solve(illustrating_problem_70)
+        # With a single explored node the incumbent is the H1 warm start.
+        assert result.cost >= 124
+        assert not result.optimal
+        assert illustrating_problem_70.is_allocation_feasible(result.allocation)
+
+    def test_time_limit_produces_incumbent(self, illustrating_problem_70):
+        result = BranchAndBoundSolver(time_limit=1e-6).solve(illustrating_problem_70)
+        assert illustrating_problem_70.is_allocation_feasible(result.allocation)
+        assert result.cost >= 124 - 1e-9
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BranchAndBoundSolver(time_limit=0)
+        with pytest.raises(ValueError):
+            BranchAndBoundSolver(max_nodes=0)
+
+    def test_warm_start_is_best_single_recipe(self, illustrating_problem_70):
+        split = BranchAndBoundSolver._warm_start_split(illustrating_problem_70)
+        assert split.sum() == 70
+        # phi1 is the cheapest single recipe at rho=70 (cost 138)
+        assert split[0] == 70
+
+    def test_most_fractional_selection(self):
+        mask = np.array([True, True, False])
+        solution = np.array([1.2, 2.0, 3.7])
+        assert BranchAndBoundSolver._most_fractional(solution, mask) == 0
+        assert BranchAndBoundSolver._most_fractional(np.array([1.0, 2.0, 3.5]), mask) is None
+
+    @given(
+        rho=st.integers(min_value=1, max_value=30),
+        seed=st.integers(min_value=0, max_value=500),
+    )
+    @settings(max_examples=10, deadline=None)
+    def test_bnb_matches_exhaustive_on_random_instances(self, rho, seed):
+        rng = np.random.default_rng(seed)
+        app = Application.from_type_sequences(
+            [list(rng.integers(1, 4, size=rng.integers(1, 3))) for _ in range(2)]
+        )
+        platform = CloudPlatform.from_table(
+            [(q, int(rng.integers(1, 12)), int(rng.integers(1, 15))) for q in (1, 2, 3)]
+        )
+        problem = MinCostProblem(app, platform, target_throughput=rho)
+        bnb = BranchAndBoundSolver().solve(problem)
+        brute = ExhaustiveSolver().solve(problem)
+        assert bnb.cost == pytest.approx(brute.cost)

@@ -1,0 +1,71 @@
+"""Tests for the Section IV closed forms (single graph, independent applications)."""
+
+import pytest
+
+from repro.core import Application, CloudPlatform, MinCostProblem, ProblemError, RecipeGraph
+from repro.solvers import SingleGraphSolver, solve_independent_applications
+
+
+class TestSingleGraphSolver:
+    def test_single_recipe_optimum(self, single_recipe_problem):
+        result = SingleGraphSolver().solve(single_recipe_problem)
+        # recipe types [1, 2, 2, 3], rho=40, rates (10, 20, 25), costs (5, 9, 12):
+        # x1=ceil(40/10)=4 (20), x2=ceil(80/20)=4 (36), x3=ceil(40/25)=2 (24) -> 80
+        assert result.cost == 80
+        assert result.optimal
+        assert result.allocation.split.values == (40.0,)
+
+    def test_rejects_multi_recipe_instances(self, illustrating_problem_70):
+        with pytest.raises(ProblemError):
+            SingleGraphSolver().solve(illustrating_problem_70)
+
+    def test_matches_paper_h1_values_on_single_recipe(self, illustrating_app, illustrating_cloud):
+        # Applying the closed form to phi2 alone at rho=30 gives the Table III
+        # optimal value 58 (the ILP picks phi2 alone there).
+        problem = MinCostProblem(
+            Application([illustrating_app[1].copy()]), illustrating_cloud, target_throughput=30
+        )
+        assert SingleGraphSolver().solve(problem).cost == 58
+
+
+class TestIndependentApplications:
+    def test_machines_are_pooled_across_graphs(self, illustrating_app, illustrating_cloud):
+        allocation = solve_independent_applications(
+            illustrating_app, illustrating_cloud, [10, 30, 30]
+        )
+        # Same numbers as the shared formula of the paper's example at (10,30,30).
+        assert allocation.machines == {1: 3, 2: 2, 3: 1, 4: 1}
+        assert allocation.cost == 124
+
+    def test_mapping_input_with_missing_entries(self, illustrating_app, illustrating_cloud):
+        allocation = solve_independent_applications(
+            illustrating_app, illustrating_cloud, {2: 10}
+        )
+        assert allocation.split.values == (0.0, 0.0, 10.0)
+        assert allocation.cost == 28
+
+    def test_wrong_length_rejected(self, illustrating_app, illustrating_cloud):
+        with pytest.raises(ProblemError):
+            solve_independent_applications(illustrating_app, illustrating_cloud, [1, 2])
+
+    def test_negative_throughput_rejected(self, illustrating_app, illustrating_cloud):
+        with pytest.raises(ProblemError):
+            solve_independent_applications(illustrating_app, illustrating_cloud, [-1, 0, 0])
+
+    def test_sharing_vs_no_sharing(self, illustrating_app, illustrating_cloud):
+        shared = solve_independent_applications(
+            illustrating_app, illustrating_cloud, [15, 15, 15], share_machines=True
+        )
+        unshared = solve_independent_applications(
+            illustrating_app, illustrating_cloud, [15, 15, 15], share_machines=False
+        )
+        assert shared.cost <= unshared.cost
+        # Pooling saves machines on the shared types 2 and 4 in this example.
+        assert shared.total_machines <= unshared.total_machines
+
+    def test_unshared_allocation_metadata(self, illustrating_app, illustrating_cloud):
+        allocation = solve_independent_applications(
+            illustrating_app, illustrating_cloud, [15, 15, 15], share_machines=False
+        )
+        assert allocation.metadata["shared"] is False
+        assert allocation.cost == allocation.cost_recomputed(illustrating_cloud)

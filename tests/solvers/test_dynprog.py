@@ -1,0 +1,64 @@
+"""Tests for the Section V-B pseudo-polynomial dynamic program."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Application, CloudPlatform, MinCostProblem, ProblemError
+from repro.solvers import ExhaustiveSolver, MilpSolver, NonSharedDynamicProgramSolver
+
+
+class TestNonSharedDP:
+    def test_optimal_on_disjoint_instance(self, disjoint_types_problem):
+        dp = NonSharedDynamicProgramSolver().solve(disjoint_types_problem)
+        exact = MilpSolver().solve(disjoint_types_problem)
+        assert dp.cost == pytest.approx(exact.cost)
+        assert dp.optimal
+
+    def test_split_reaches_target(self, disjoint_types_problem):
+        dp = NonSharedDynamicProgramSolver().solve(disjoint_types_problem)
+        assert dp.allocation.split.total >= disjoint_types_problem.target_throughput
+
+    def test_matches_exhaustive_on_small_instance(self):
+        app = Application.from_type_sequences([[1, 2], [3]], name="tiny")
+        platform = CloudPlatform.from_table([(1, 5, 3), (2, 8, 4), (3, 6, 5)])
+        problem = MinCostProblem(app, platform, target_throughput=17)
+        dp = NonSharedDynamicProgramSolver().solve(problem)
+        brute = ExhaustiveSolver().solve(problem)
+        assert dp.cost == pytest.approx(brute.cost)
+
+    def test_rejects_shared_types_by_default(self, illustrating_problem_70):
+        with pytest.raises(ProblemError):
+            NonSharedDynamicProgramSolver().solve(illustrating_problem_70)
+
+    def test_heuristic_mode_on_shared_types(self, illustrating_problem_70):
+        dp = NonSharedDynamicProgramSolver(allow_shared_types=True).solve(illustrating_problem_70)
+        # Upper bound on the optimum (124), never below it, and feasible.
+        assert dp.cost >= 124 - 1e-9
+        assert not dp.optimal
+        assert illustrating_problem_70.is_allocation_feasible(dp.allocation)
+
+    def test_invalid_step_rejected(self):
+        with pytest.raises(ValueError):
+            NonSharedDynamicProgramSolver(step=0)
+
+    def test_single_recipe_reduces_to_closed_form(self, single_recipe_problem):
+        dp = NonSharedDynamicProgramSolver().solve(single_recipe_problem)
+        assert dp.cost == 80  # same value as the SingleGraphSolver test
+
+    @given(
+        rho=st.integers(min_value=1, max_value=60),
+        rates=st.lists(st.integers(min_value=1, max_value=20), min_size=4, max_size=4),
+        costs=st.lists(st.integers(min_value=1, max_value=20), min_size=4, max_size=4),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_dp_equals_brute_force_on_random_disjoint_instances(self, rho, rates, costs):
+        # Two recipes over disjoint types {1,2} and {3,4}.
+        app = Application.from_type_sequences([[1, 2], [3, 4]])
+        platform = CloudPlatform.from_table(
+            [(q + 1, rates[q], costs[q]) for q in range(4)]
+        )
+        problem = MinCostProblem(app, platform, target_throughput=rho)
+        dp = NonSharedDynamicProgramSolver().solve(problem)
+        brute = ExhaustiveSolver().solve(problem)
+        assert dp.cost == pytest.approx(brute.cost)

@@ -1,0 +1,62 @@
+"""Tests for the brute-force split enumerator (the oracle of the test suite)."""
+
+import math
+
+import pytest
+
+from repro.core import SolverError
+from repro.solvers import ExhaustiveSolver, enumerate_splits
+
+
+class TestEnumerateSplits:
+    def test_single_part(self):
+        assert list(enumerate_splits(5, 1)) == [(5,)]
+
+    def test_two_parts(self):
+        assert set(enumerate_splits(2, 2)) == {(0, 2), (1, 1), (2, 0)}
+
+    def test_count_matches_stars_and_bars(self):
+        splits = list(enumerate_splits(6, 3))
+        assert len(splits) == math.comb(6 + 2, 2)
+        assert all(sum(s) == 6 for s in splits)
+
+    def test_zero_units(self):
+        assert list(enumerate_splits(0, 3)) == [(0, 0, 0)]
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            list(enumerate_splits(3, 0))
+        with pytest.raises(ValueError):
+            list(enumerate_splits(-1, 2))
+
+
+class TestExhaustiveSolver:
+    def test_finds_paper_optimum(self, illustrating_problem_70):
+        result = ExhaustiveSolver(step=10).solve(illustrating_problem_70)
+        assert result.cost == 124
+        assert result.optimal
+
+    def test_finer_step_is_never_worse(self, illustrating_problem_70):
+        coarse = ExhaustiveSolver(step=10).solve(illustrating_problem_70)
+        fine = ExhaustiveSolver(step=5).solve(illustrating_problem_70)
+        assert fine.cost <= coarse.cost
+
+    def test_candidate_cap_enforced(self, illustrating_problem_70):
+        with pytest.raises(SolverError):
+            ExhaustiveSolver(step=0.001, max_candidates=100).solve(illustrating_problem_70)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ExhaustiveSolver(step=0)
+        with pytest.raises(ValueError):
+            ExhaustiveSolver(max_candidates=0)
+
+    def test_iterations_counted(self, illustrating_problem_70):
+        result = ExhaustiveSolver(step=10).solve(illustrating_problem_70)
+        assert result.iterations == math.comb(7 + 2, 2)
+
+    def test_split_sums_to_target(self, black_box_problem):
+        result = ExhaustiveSolver().solve(black_box_problem)
+        assert result.allocation.split.total == pytest.approx(
+            black_box_problem.target_throughput
+        )

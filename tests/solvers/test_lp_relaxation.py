@@ -1,0 +1,74 @@
+"""Tests for the LP relaxation (lower bounds and branch-and-bound node solver)."""
+
+import numpy as np
+import pytest
+
+from repro.solvers import MilpSolver, relaxed_cost, solve_lp_relaxation
+from repro.solvers.milp import build_formulation
+
+
+class TestRelaxedCost:
+    def test_matches_problem_lower_bound(self, illustrating_problem_70):
+        assert relaxed_cost(illustrating_problem_70) == pytest.approx(
+            illustrating_problem_70.lower_bound()
+        )
+
+    def test_below_integer_optimum(self, illustrating_problem_70):
+        assert relaxed_cost(illustrating_problem_70) <= 124 + 1e-9
+
+    def test_scales_with_target(self, illustrating_problem_70):
+        double = illustrating_problem_70.with_target(140)
+        assert relaxed_cost(double) == pytest.approx(2 * relaxed_cost(illustrating_problem_70))
+
+
+class TestSolveLpRelaxation:
+    def test_root_relaxation_matches_closed_form(self, illustrating_problem_70):
+        solution = solve_lp_relaxation(illustrating_problem_70)
+        assert solution.feasible
+        assert solution.cost == pytest.approx(relaxed_cost(illustrating_problem_70))
+        # The relaxed split still covers the target.
+        assert solution.split.sum() >= 70 - 1e-6
+
+    def test_relaxation_lower_bounds_the_milp(self, disjoint_types_problem, black_box_problem):
+        for problem in (disjoint_types_problem, black_box_problem):
+            lp = solve_lp_relaxation(problem)
+            milp = MilpSolver().solve(problem)
+            assert lp.cost <= milp.cost + 1e-9
+
+    def test_bound_overrides_tighten_the_node(self, illustrating_problem_70):
+        formulation = build_formulation(illustrating_problem_70)
+        n = formulation.num_types + formulation.num_recipes
+        lower = np.zeros(n)
+        upper = np.full(n, np.inf)
+        # Force at least 5 machines of type 1 (index 0): cost can only go up.
+        lower[0] = 5
+        constrained = solve_lp_relaxation(
+            illustrating_problem_70, formulation=formulation, lower_bounds=lower, upper_bounds=upper
+        )
+        free = solve_lp_relaxation(illustrating_problem_70, formulation=formulation)
+        assert constrained.feasible
+        assert constrained.cost >= free.cost - 1e-9
+        assert constrained.machines[0] >= 5 - 1e-9
+
+    def test_contradictory_bounds_are_infeasible(self, illustrating_problem_70):
+        formulation = build_formulation(illustrating_problem_70)
+        n = formulation.num_types + formulation.num_recipes
+        lower = np.zeros(n)
+        upper = np.full(n, np.inf)
+        lower[0], upper[0] = 3, 2
+        node = solve_lp_relaxation(
+            illustrating_problem_70, formulation=formulation, lower_bounds=lower, upper_bounds=upper
+        )
+        assert not node.feasible
+        assert node.cost == np.inf
+
+    def test_zero_machine_bound_forces_other_recipes(self, illustrating_problem_70):
+        formulation = build_formulation(illustrating_problem_70)
+        n = formulation.num_types + formulation.num_recipes
+        upper = np.full(n, np.inf)
+        # Forbid machines of type 2 (index 1): recipes phi1 and phi3 become unusable,
+        # so the whole throughput must go to phi2.
+        upper[1] = 0
+        node = solve_lp_relaxation(illustrating_problem_70, formulation=formulation, upper_bounds=upper)
+        assert node.feasible
+        assert node.split[1] == pytest.approx(70, rel=1e-6)

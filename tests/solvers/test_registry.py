@@ -1,0 +1,58 @@
+"""Tests for the solver registry."""
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.solvers import Solver, available_solvers, create_solver, create_solvers, register_solver
+from repro.solvers.registry import _REGISTRY
+
+
+class TestRegistry:
+    def test_paper_algorithms_are_registered(self):
+        names = available_solvers()
+        for expected in ("ILP", "H1", "H2", "H31", "H32", "H32Jump", "DP", "B&B"):
+            assert expected in names
+
+    def test_create_solver_by_name_case_insensitive(self):
+        assert create_solver("ilp").name == "ILP"
+        assert create_solver("ILP").name == "ILP"
+        assert create_solver("h32jump").name == "H32Jump"
+
+    def test_create_solver_forwards_kwargs(self):
+        solver = create_solver("H2", iterations=42, seed=7)
+        assert solver.iterations == 42
+
+    def test_unknown_solver_rejected(self):
+        with pytest.raises(ConfigurationError):
+            create_solver("definitely-not-a-solver")
+
+    def test_create_solvers_filters_kwargs_per_factory(self):
+        # 'time_limit' only applies to the exact solvers; heuristics ignore it.
+        solvers = create_solvers(["ILP", "H1"], time_limit=5)
+        assert solvers[0].time_limit == 5
+        assert solvers[1].name == "H1"
+
+    def test_create_solvers_unknown_name(self):
+        with pytest.raises(ConfigurationError):
+            create_solvers(["H1", "nope"])
+
+    def test_register_custom_solver_and_overwrite_protection(self):
+        class Dummy(Solver):
+            name = "Dummy"
+
+            def _solve(self, problem):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        register_solver("dummy-test-solver", Dummy)
+        try:
+            assert create_solver("dummy-test-solver").name == "Dummy"
+            with pytest.raises(ConfigurationError):
+                register_solver("dummy-test-solver", Dummy)
+            register_solver("dummy-test-solver", Dummy, overwrite=True)
+        finally:
+            _REGISTRY.pop("dummy-test-solver", None)
+
+    def test_solver_result_summary(self, illustrating_problem_70):
+        result = create_solver("H1").solve(illustrating_problem_70)
+        text = result.summary()
+        assert "H1" in text and "cost=138" in text

@@ -1,0 +1,111 @@
+"""Tests for the capacity-planning analyses (trade-off curves, budget dual)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    cost_curve,
+    cost_per_unit,
+    efficient_throughputs,
+    marginal_costs,
+    max_throughput_for_budget,
+)
+from repro.core import ProblemError
+from repro.experiments.tables import PAPER_TABLE3_OPTIMAL_COSTS
+from repro.heuristics import H1BestGraphSolver
+from repro.solvers import MilpSolver
+
+
+class TestCostCurve:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        from repro.experiments.tables import illustrating_problem
+
+        return cost_curve(illustrating_problem(70), list(range(10, 201, 10)))
+
+    def test_curve_matches_table3_column(self, curve):
+        expected = [PAPER_TABLE3_OPTIMAL_COSTS[int(r)] for r in curve.throughputs]
+        assert np.allclose(curve.costs, expected)
+
+    def test_curve_is_non_decreasing(self, curve):
+        assert np.all(np.diff(curve.costs) >= -1e-9)
+
+    def test_cost_at_lookup(self, curve):
+        assert curve.cost_at(70) == 124
+        assert curve.cost_at(65) == 124  # covered by the rho=70 point
+        with pytest.raises(ValueError):
+            curve.cost_at(500)
+
+    def test_marginal_costs_sum_to_total(self, curve):
+        marginals = marginal_costs(curve)
+        assert marginals.sum() == pytest.approx(curve.costs[-1])
+        assert np.all(marginals >= -1e-9)
+
+    def test_efficient_throughputs_are_plateau_edges(self, curve):
+        edges = efficient_throughputs(curve)
+        assert edges[-1] == 200
+        # every edge's successor (if swept) is strictly more expensive
+        for edge in edges[:-1]:
+            idx = list(curve.throughputs).index(edge)
+            assert curve.costs[idx + 1] > curve.costs[idx]
+
+    def test_cost_per_unit_positive(self, curve):
+        per_unit = cost_per_unit(curve)
+        assert np.all(per_unit > 0)
+
+    def test_heuristic_curve_upper_bounds_exact_curve(self, illustrating_problem_70):
+        sweep = [20, 60, 100, 140]
+        exact = cost_curve(illustrating_problem_70, sweep, solver=MilpSolver())
+        heuristic = cost_curve(illustrating_problem_70, sweep, solver=H1BestGraphSolver())
+        assert np.all(heuristic.costs >= exact.costs - 1e-9)
+
+    def test_invalid_sweeps_rejected(self, illustrating_problem_70):
+        with pytest.raises(ValueError):
+            cost_curve(illustrating_problem_70, [])
+        with pytest.raises(ValueError):
+            cost_curve(illustrating_problem_70, [10, 5])
+        with pytest.raises(ValueError):
+            cost_curve(illustrating_problem_70, [0, 10])
+
+
+class TestBudgetDual:
+    def test_budget_124_buys_70_units(self, illustrating_problem_70):
+        # Table III: 70 units cost 124 and 80 units cost 134, so a budget of
+        # 130 buys exactly 70 units of throughput.
+        result = max_throughput_for_budget(illustrating_problem_70, budget=130)
+        assert result.throughput == 70
+        assert result.cost <= 130
+        assert result.feasible
+        assert illustrating_problem_70.with_target(70).is_allocation_feasible(result.allocation)
+
+    def test_budget_exactly_at_staircase_step(self, illustrating_problem_70):
+        result = max_throughput_for_budget(illustrating_problem_70, budget=134)
+        assert result.throughput == 80
+
+    def test_tiny_budget_is_infeasible(self, illustrating_problem_70):
+        result = max_throughput_for_budget(illustrating_problem_70, budget=5)
+        assert result.throughput == 0
+        assert not result.feasible
+
+    def test_throughput_monotone_in_budget(self, illustrating_problem_70):
+        budgets = [50, 100, 200, 300]
+        throughputs = [
+            max_throughput_for_budget(illustrating_problem_70, budget=b).throughput for b in budgets
+        ]
+        assert throughputs == sorted(throughputs)
+
+    def test_step_granularity(self, illustrating_problem_70):
+        coarse = max_throughput_for_budget(illustrating_problem_70, budget=130, step=10)
+        fine = max_throughput_for_budget(illustrating_problem_70, budget=130, step=1)
+        assert fine.throughput >= coarse.throughput
+
+    def test_probe_count_is_logarithmic(self, illustrating_problem_70):
+        result = max_throughput_for_budget(illustrating_problem_70, budget=130, step=1)
+        # bisection over at most ~budget/unit_cost values stays well under 30 probes
+        assert result.probes <= 30
+
+    def test_invalid_arguments_rejected(self, illustrating_problem_70):
+        with pytest.raises(ProblemError):
+            max_throughput_for_budget(illustrating_problem_70, budget=0)
+        with pytest.raises(ProblemError):
+            max_throughput_for_budget(illustrating_problem_70, budget=10, step=0)

@@ -1,0 +1,56 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_subcommands(self):
+        parser = build_parser()
+        for args in (["settings"], ["table3"], ["figure", "figure3"], ["solve"]):
+            parser.parse_args(args)
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "figure99"])
+
+
+class TestCommands:
+    def test_settings_lists_algorithms(self, capsys):
+        assert main(["settings"]) == 0
+        out = capsys.readouterr().out
+        assert "small" in out and "xlarge" in out
+        assert "H32Jump" in out and "ILP" in out
+
+    def test_solve_illustrating_example(self, capsys):
+        assert main(["solve", "--algorithm", "ILP", "--rho", "70"]) == 0
+        out = capsys.readouterr().out
+        assert "cost=124" in out
+
+    def test_solve_with_heuristic_and_simulation(self, capsys):
+        assert main(["solve", "--algorithm", "H1", "--rho", "30", "--simulate"]) == 0
+        out = capsys.readouterr().out
+        assert "sustains the target throughput: True" in out
+
+    def test_solve_generated_instance(self, capsys):
+        assert main(["solve", "--setting", "small", "--seed", "3", "--rho", "50", "--algorithm", "H1"]) == 0
+        out = capsys.readouterr().out
+        assert "20 recipes" in out
+
+    def test_figure_command_scaled_down(self, capsys):
+        code = main(
+            ["figure", "figure3", "--configurations", "1", "--throughputs", "60", "--iterations", "60", "--quiet"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "normalised cost" in out and "H32Jump" in out
+
+    def test_table3_command(self, capsys):
+        assert main(["table3", "--iterations", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "20 matches" in out

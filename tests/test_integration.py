@@ -1,0 +1,110 @@
+"""End-to-end integration and cross-solver consistency tests.
+
+These tests exercise the full pipeline — generation, every solver family, the
+cost model and the stream simulator — on shared random instances, checking the
+invariants that tie the subsystems together:
+
+* exact solvers agree with each other and with the brute-force oracle,
+* heuristics are sandwiched between the optimum and the H1 cost,
+* every returned allocation is statically feasible and survives simulation,
+* the fractional lower bound never exceeds any solver's cost.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import MinCostProblem, create_solver
+from repro.core import Application, CloudPlatform
+from repro.generators import RecipeSetSpec, PlatformSpec, generate_application, generate_platform
+from repro.simulation import validate_allocation
+from repro.solvers import BranchAndBoundSolver, ExhaustiveSolver, MilpSolver
+
+
+def random_instance(seed: int, rho: float = 50.0) -> MinCostProblem:
+    """A small random instance following the paper's generation protocol."""
+    recipe_spec = RecipeSetSpec(
+        num_recipes=5, min_tasks=3, max_tasks=6, num_types=4, mutation_fraction=0.5
+    )
+    platform_spec = PlatformSpec(num_types=4, throughput_range=(5, 30), cost_range=(1, 40))
+    application = generate_application(recipe_spec, seed)
+    platform = generate_platform(platform_spec, seed + 10_000)
+    return MinCostProblem(application, platform, target_throughput=rho)
+
+
+class TestExactSolverAgreement:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_milp_and_bnb_agree(self, seed):
+        problem = random_instance(seed)
+        milp = MilpSolver().solve(problem)
+        bnb = BranchAndBoundSolver().solve(problem)
+        assert milp.cost == pytest.approx(bnb.cost)
+
+    @pytest.mark.parametrize("seed", [5, 6, 7])
+    def test_exact_solvers_match_exhaustive_oracle(self, seed):
+        problem = random_instance(seed, rho=20)
+        exact = MilpSolver().solve(problem).cost
+        oracle = ExhaustiveSolver().solve(problem).cost
+        assert exact == pytest.approx(oracle)
+
+
+class TestHeuristicSandwich:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4, 5, 6, 7])
+    def test_heuristics_between_optimum_and_h1(self, seed):
+        problem = random_instance(seed)
+        optimum = MilpSolver().solve(problem).cost
+        h1 = create_solver("H1").solve(problem).cost
+        lower_bound = problem.lower_bound()
+        assert lower_bound <= optimum + 1e-9
+        for name in ("H2", "H31", "H32", "H32Jump"):
+            solver = create_solver(name, seed=seed) if name != "H32" else create_solver(name)
+            cost = solver.solve(problem).cost
+            assert optimum - 1e-9 <= cost <= h1 + 1e-9, name
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_h0_is_valid_but_usually_worse(self, seed):
+        problem = random_instance(seed)
+        optimum = MilpSolver().solve(problem).cost
+        h0 = create_solver("H0", seed=seed).solve(problem).cost
+        assert h0 >= optimum - 1e-9
+
+
+class TestAllocationsSurviveSimulation:
+    @pytest.mark.parametrize("algorithm", ["ILP", "H1", "H32Jump"])
+    def test_simulated_throughput_meets_target(self, algorithm):
+        problem = random_instance(11, rho=40)
+        solver = create_solver(algorithm, seed=1) if algorithm == "H32Jump" else create_solver(algorithm)
+        allocation = solver.solve(problem).allocation
+        validation = validate_allocation(problem, allocation, horizon=15.0, tolerance=0.06)
+        assert validation.valid
+
+
+class TestCostModelConsistency:
+    @given(seed=st.integers(min_value=0, max_value=100), rho=st.integers(min_value=5, max_value=80))
+    @settings(max_examples=15, deadline=None)
+    def test_solver_cost_equals_reevaluated_split_cost(self, seed, rho):
+        problem = random_instance(seed, rho=float(rho))
+        result = MilpSolver().solve(problem)
+        assert result.cost == pytest.approx(problem.evaluate_split(result.allocation.split))
+        assert result.cost == pytest.approx(result.allocation.cost_recomputed(problem.platform))
+
+    @given(seed=st.integers(min_value=0, max_value=60))
+    @settings(max_examples=10, deadline=None)
+    def test_cost_monotone_in_target_throughput(self, seed):
+        low = MilpSolver().solve(random_instance(seed, rho=20)).cost
+        high = MilpSolver().solve(random_instance(seed, rho=60)).cost
+        assert high >= low - 1e-9
+
+
+class TestScalability:
+    def test_medium_generated_instance_end_to_end(self):
+        spec = RecipeSetSpec(num_recipes=10, min_tasks=10, max_tasks=20, num_types=8, mutation_fraction=0.3)
+        application = generate_application(spec, 42)
+        platform = generate_platform(PlatformSpec(num_types=8), 43)
+        problem = MinCostProblem(application, platform, target_throughput=150)
+        exact = MilpSolver().solve(problem)
+        h2 = create_solver("H2", seed=0).solve(problem)
+        assert exact.cost <= h2.cost <= create_solver("H1").solve(problem).cost
+        assert problem.is_allocation_feasible(exact.allocation)
+        assert problem.is_allocation_feasible(h2.allocation)

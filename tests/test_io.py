@@ -1,0 +1,106 @@
+"""Tests for the JSON serialisation of problems and allocations."""
+
+import json
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.io import (
+    allocation_from_dict,
+    allocation_to_dict,
+    application_from_dict,
+    application_to_dict,
+    load_allocation,
+    load_problem,
+    platform_from_dict,
+    platform_to_dict,
+    problem_from_dict,
+    problem_to_dict,
+    save_allocation,
+    save_problem,
+)
+from repro.solvers import MilpSolver
+
+
+class TestApplicationRoundTrip:
+    def test_round_trip_preserves_structure(self, illustrating_app):
+        data = application_to_dict(illustrating_app)
+        back = application_from_dict(data)
+        assert back.num_recipes == illustrating_app.num_recipes
+        assert [r.type_counts() for r in back] == [r.type_counts() for r in illustrating_app]
+        assert [r.edges() for r in back] == [r.edges() for r in illustrating_app]
+
+    def test_data_is_json_serialisable(self, illustrating_app):
+        json.dumps(application_to_dict(illustrating_app))
+
+    def test_missing_recipes_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            application_from_dict({"name": "x"})
+
+    def test_missing_task_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            application_from_dict({"recipes": [{"tasks": [{"id": 0}]}]})
+
+
+class TestPlatformRoundTrip:
+    def test_round_trip(self, illustrating_cloud):
+        back = platform_from_dict(platform_to_dict(illustrating_cloud))
+        assert [(p.type_id, p.cost, p.throughput) for p in back] == [
+            (p.type_id, p.cost, p.throughput) for p in illustrating_cloud
+        ]
+
+    def test_missing_processors_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            platform_from_dict({"name": "cloud"})
+
+    def test_missing_cost_field_rejected(self):
+        with pytest.raises(ConfigurationError):
+            platform_from_dict({"processors": [{"type": 1, "throughput": 5}]})
+
+
+class TestProblemRoundTrip:
+    def test_round_trip_preserves_costs(self, illustrating_problem_70):
+        back = problem_from_dict(problem_to_dict(illustrating_problem_70))
+        assert back.target_throughput == 70
+        assert back.evaluate_split([10, 30, 30]) == 124
+
+    def test_file_round_trip(self, illustrating_problem_70, tmp_path):
+        path = save_problem(illustrating_problem_70, tmp_path / "problem.json")
+        assert path.exists()
+        back = load_problem(path)
+        assert MilpSolver().solve(back).cost == 124
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            problem_from_dict({"application": {}, "platform": {}})
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            load_problem(path)
+
+
+class TestAllocationRoundTrip:
+    def test_round_trip(self, illustrating_problem_70, tmp_path):
+        allocation = MilpSolver().solve(illustrating_problem_70).allocation
+        path = save_allocation(allocation, tmp_path / "allocation.json")
+        back = load_allocation(path)
+        assert back.cost == allocation.cost
+        assert back.machines == allocation.machines
+        assert back.split == allocation.split
+        assert illustrating_problem_70.is_allocation_feasible(back)
+
+    def test_dict_round_trip(self, illustrating_problem_70):
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        assert allocation_from_dict(allocation_to_dict(allocation)).cost == 124
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            allocation_from_dict({"split": [1, 2]})
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("]")
+        with pytest.raises(ConfigurationError):
+            load_allocation(path)

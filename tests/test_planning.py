@@ -1,0 +1,100 @@
+"""Tests for the time-varying rental planning extension."""
+
+import pytest
+
+from repro.core import ProblemError
+from repro.heuristics import H1BestGraphSolver
+from repro.planning import DemandWindow, plan_rental, static_peak_plan
+
+
+DAILY_PROFILE = [
+    DemandWindow(duration=8, throughput=30, label="night"),
+    DemandWindow(duration=8, throughput=120, label="day"),
+    DemandWindow(duration=8, throughput=70, label="evening"),
+]
+
+
+class TestDemandWindow:
+    def test_valid_window(self):
+        window = DemandWindow(duration=2, throughput=10)
+        assert window.duration == 2 and window.throughput == 10
+
+    def test_invalid_duration(self):
+        with pytest.raises(ProblemError):
+            DemandWindow(duration=0, throughput=10)
+
+    def test_negative_throughput(self):
+        with pytest.raises(ProblemError):
+            DemandWindow(duration=1, throughput=-1)
+
+    def test_zero_throughput_allowed(self):
+        assert DemandWindow(duration=1, throughput=0).throughput == 0
+
+
+class TestPlanRental:
+    def test_per_window_costs_follow_table3(self, illustrating_problem_70):
+        plan = plan_rental(illustrating_problem_70, DAILY_PROFILE)
+        # Optimal hourly costs from Table III: rho=30 -> 58, rho=120 -> 199, rho=70 -> 124.
+        assert [w.hourly_cost for w in plan.windows] == [58, 199, 124]
+        assert plan.total_cost == 8 * (58 + 199 + 124)
+        assert plan.total_duration == 24
+        assert plan.peak_hourly_cost == 199
+
+    def test_zero_demand_window_costs_nothing(self, illustrating_problem_70):
+        profile = [DemandWindow(4, 0), DemandWindow(4, 50)]
+        plan = plan_rental(illustrating_problem_70, profile)
+        assert plan.windows[0].hourly_cost == 0
+        assert plan.windows[0].allocation is None
+        assert plan.windows[1].hourly_cost == 86
+
+    def test_every_window_allocation_is_feasible(self, illustrating_problem_70):
+        plan = plan_rental(illustrating_problem_70, DAILY_PROFILE)
+        for window_plan in plan.windows:
+            assert window_plan.allocation is not None
+            problem = illustrating_problem_70.with_target(window_plan.window.throughput)
+            assert problem.is_allocation_feasible(window_plan.allocation)
+
+    def test_scaling_actions_telescope(self, illustrating_problem_70):
+        plan = plan_rental(illustrating_problem_70, DAILY_PROFILE)
+        actions = plan.scaling_actions()
+        assert len(actions) == len(DAILY_PROFILE)
+        # Applying all deltas starting from an empty platform lands on the last
+        # window's machine counts.
+        state: dict = {}
+        for delta in actions:
+            for type_id, change in delta.items():
+                state[type_id] = state.get(type_id, 0) + change
+        state = {t: c for t, c in state.items() if c}
+        assert state == plan.windows[-1].machines()
+
+    def test_heuristic_plan_never_cheaper_than_exact(self, illustrating_problem_70):
+        exact = plan_rental(illustrating_problem_70, DAILY_PROFILE)
+        heuristic = plan_rental(illustrating_problem_70, DAILY_PROFILE, solver=H1BestGraphSolver())
+        assert heuristic.total_cost >= exact.total_cost - 1e-9
+
+    def test_empty_profile_rejected(self, illustrating_problem_70):
+        with pytest.raises(ProblemError):
+            plan_rental(illustrating_problem_70, [])
+
+
+class TestStaticPeakComparison:
+    def test_elastic_plan_saves_over_static_peak(self, illustrating_problem_70):
+        plan = plan_rental(illustrating_problem_70, DAILY_PROFILE)
+        peak_hourly, static_total = static_peak_plan(illustrating_problem_70, DAILY_PROFILE)
+        assert peak_hourly == 199
+        assert static_total == 199 * 24
+        savings = plan.savings_vs_static_peak(peak_hourly)
+        assert 0 < savings < 1
+        assert plan.total_cost < static_total
+
+    def test_flat_profile_has_no_savings(self, illustrating_problem_70):
+        profile = [DemandWindow(4, 70), DemandWindow(4, 70)]
+        plan = plan_rental(illustrating_problem_70, profile)
+        peak_hourly, _ = static_peak_plan(illustrating_problem_70, profile)
+        assert plan.savings_vs_static_peak(peak_hourly) == pytest.approx(0.0)
+
+    def test_zero_profile(self, illustrating_problem_70):
+        profile = [DemandWindow(4, 0)]
+        peak_hourly, total = static_peak_plan(illustrating_problem_70, profile)
+        assert peak_hourly == 0 and total == 0
+        assert plan_rental(illustrating_problem_70, profile).savings_vs_static_peak(0) == 0

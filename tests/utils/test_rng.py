@@ -1,0 +1,80 @@
+"""Tests for the seeded RNG helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils import as_generator, derive_seed, random_partition, spawn_generators
+
+
+class TestAsGenerator:
+    def test_from_int_is_deterministic(self):
+        assert as_generator(3).integers(1000) == as_generator(3).integers(1000)
+
+    def test_existing_generator_passthrough(self):
+        rng = np.random.default_rng(0)
+        assert as_generator(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_generator(None), np.random.Generator)
+
+
+class TestSpawnGenerators:
+    def test_count_and_independence(self):
+        children = spawn_generators(5, 3)
+        assert len(children) == 3
+        values = [child.integers(10**9) for child in children]
+        assert len(set(values)) == 3
+
+    def test_deterministic_from_seed(self):
+        a = [g.integers(10**9) for g in spawn_generators(5, 3)]
+        b = [g.integers(10**9) for g in spawn_generators(5, 3)]
+        assert a == b
+
+    def test_from_existing_generator(self):
+        children = spawn_generators(np.random.default_rng(1), 2)
+        assert len(children) == 2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_generators(0, -1)
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_distinct(self):
+        assert derive_seed(1, 2, 3) == derive_seed(1, 2, 3)
+        assert derive_seed(1, 2, 3) != derive_seed(1, 2, 4)
+
+    def test_non_negative(self):
+        assert all(derive_seed(7, i) >= 0 for i in range(50))
+
+
+class TestRandomPartition:
+    @given(
+        total=st.integers(min_value=0, max_value=500),
+        parts=st.integers(min_value=1, max_value=10),
+        seed=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_sums_to_total(self, total, parts, seed):
+        values = random_partition(np.random.default_rng(seed), float(total), parts)
+        assert len(values) == parts
+        assert sum(values) == pytest.approx(total)
+        assert all(v >= 0 for v in values)
+
+    def test_step_lattice(self):
+        values = random_partition(np.random.default_rng(0), 100.0, 4, step=10.0)
+        assert all(v % 10 == pytest.approx(0) for v in values)
+
+    def test_invalid_arguments(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            random_partition(rng, 10, 0)
+        with pytest.raises(ValueError):
+            random_partition(rng, -1, 2)
+        with pytest.raises(ValueError):
+            random_partition(rng, 10, 2, step=0)
+
+    def test_single_part_gets_everything(self):
+        assert random_partition(np.random.default_rng(0), 42.0, 1) == [42.0]

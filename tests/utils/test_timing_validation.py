@@ -1,0 +1,112 @@
+"""Tests for timing helpers and argument validation utilities."""
+
+import time
+
+import pytest
+
+from repro.utils import (
+    Deadline,
+    Stopwatch,
+    require_in_range,
+    require_interval,
+    require_non_negative,
+    require_positive,
+    require_positive_int,
+    require_probability,
+    timed,
+)
+
+
+class TestStopwatch:
+    def test_accumulates_elapsed_time(self):
+        sw = Stopwatch()
+        sw.start()
+        time.sleep(0.01)
+        first = sw.stop()
+        assert first >= 0.01
+        sw.start()
+        time.sleep(0.01)
+        assert sw.stop() >= first
+
+    def test_current_without_stopping(self):
+        sw = Stopwatch().start()
+        time.sleep(0.005)
+        assert sw.current() > 0
+        assert sw.running
+        sw.stop()
+        assert not sw.running
+
+    def test_reset(self):
+        sw = Stopwatch().start()
+        sw.stop()
+        sw.reset()
+        assert sw.elapsed == 0
+
+    def test_double_start_is_idempotent(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.start()
+        assert sw.stop() >= 0
+
+
+class TestDeadline:
+    def test_no_limit_never_expires(self):
+        deadline = Deadline(None)
+        assert not deadline.expired()
+        assert deadline.remaining() is None
+
+    def test_expiry(self):
+        deadline = Deadline(0.01)
+        time.sleep(0.02)
+        assert deadline.expired()
+        assert deadline.remaining() == 0
+
+    def test_invalid_limit(self):
+        with pytest.raises(ValueError):
+            Deadline(0)
+
+
+class TestTimedContext:
+    def test_measures_elapsed(self):
+        with timed() as holder:
+            time.sleep(0.005)
+        assert holder[0] >= 0.005
+
+
+class TestValidationHelpers:
+    def test_require_positive(self):
+        assert require_positive(3, "x") == 3
+        with pytest.raises(ValueError):
+            require_positive(0, "x")
+
+    def test_require_non_negative(self):
+        assert require_non_negative(0, "x") == 0
+        with pytest.raises(ValueError):
+            require_non_negative(-1, "x")
+
+    def test_require_in_range(self):
+        assert require_in_range(5, 0, 10, "x") == 5
+        with pytest.raises(ValueError):
+            require_in_range(11, 0, 10, "x")
+
+    def test_require_probability(self):
+        assert require_probability(0.5, "p") == 0.5
+        with pytest.raises(ValueError):
+            require_probability(1.5, "p")
+
+    def test_require_positive_int(self):
+        assert require_positive_int(2, "n") == 2
+        for bad in (0, -1, 1.5, True, "a"):
+            with pytest.raises(ValueError):
+                require_positive_int(bad, "n")
+
+    def test_require_interval(self):
+        assert require_interval((1, 5), "r") == (1, 5)
+        with pytest.raises(ValueError):
+            require_interval((5, 1), "r")
+        with pytest.raises(ValueError):
+            require_interval((0, 5), "r")
+        with pytest.raises(ValueError):
+            require_interval((1, 2, 3), "r")
+        with pytest.raises(ValueError):
+            require_interval((1.5, 2), "r", integer=True)
