@@ -1,0 +1,268 @@
+"""Micro + end-to-end benchmark of the SplitEvaluator engine.
+
+Measures, on a J=50-recipe / Q=20-type shared-types instance:
+
+* **micro**: per-candidate cost of the seed scalar path
+  (``problem.evaluate_split`` on a fresh split copy) versus the evaluator's
+  incremental ``score_exchange`` and batched ``score_exchanges`` tiers;
+* **end-to-end**: wall-clock time of the H32 full-neighbourhood steepest
+  descent through the engine versus a faithful replica of the seed scalar
+  implementation (one ``transfer`` copy + one dense ``evaluate_split`` per
+  neighbour), asserting bitwise-identical best costs;
+* **Fig. 3 guard**: the engine-backed H32 reproduces bitwise-identical best
+  costs on paper-scale Fig. 3 (small-setting) configurations.
+
+Run directly to emit ``BENCH_evaluator.json`` next to this file so future PRs
+can track the perf trajectory::
+
+    PYTHONPATH=src python benchmarks/bench_evaluator.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import MinCostProblem
+from repro.generators.workload import generate_configuration, get_setting
+from repro.heuristics import H32SteepestGradientSolver, best_single_recipe_split
+from repro.heuristics.neighborhood import all_exchanges, exchange_move_arrays, transfer
+
+J_LARGE = 50
+Q_LARGE = 20
+RHO_LARGE = 100.0
+DELTA = 10.0
+
+
+# --------------------------------------------------------------------------- #
+# instance construction
+# --------------------------------------------------------------------------- #
+
+
+def make_large_instance(seed: int = 0) -> MinCostProblem:
+    """A J=50 / Q=20 shared-types instance (the acceptance-criteria scale)."""
+    from repro.core import Application, CloudPlatform
+
+    rng = np.random.default_rng(seed)
+    sequences = [
+        [int(t) for t in rng.integers(1, Q_LARGE + 1, size=int(rng.integers(4, 9)))]
+        for _ in range(J_LARGE)
+    ]
+    app = Application.from_type_sequences(sequences, name="bench-large")
+    rows = [
+        (t, int(rng.integers(5, 40)), int(rng.integers(1, 100)))
+        for t in range(1, Q_LARGE + 1)
+    ]
+    platform = CloudPlatform.from_table(rows, name="bench-cloud")
+    return MinCostProblem(app, platform, target_throughput=RHO_LARGE, name="bench-large")
+
+
+# --------------------------------------------------------------------------- #
+# the seed scalar path, preserved verbatim as the comparison baseline
+# --------------------------------------------------------------------------- #
+
+
+def seed_steepest_descent(
+    problem: MinCostProblem,
+    start: np.ndarray,
+    start_cost: float,
+    delta: float,
+    max_rounds: int,
+) -> tuple[np.ndarray, float, int]:
+    """The pre-engine H32 inner loop: O(J) copy + dense matvec per neighbour."""
+    current = start.copy()
+    current_cost = start_cost
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        best_candidate = None
+        best_candidate_cost = current_cost
+        for candidate, _src, _dst in all_exchanges(current, delta):
+            cost = problem.evaluate_split(candidate)
+            if cost < best_candidate_cost - 1e-12:
+                best_candidate_cost = cost
+                best_candidate = candidate
+        if best_candidate is None:
+            break
+        current = best_candidate
+        current_cost = best_candidate_cost
+    return current, current_cost, rounds
+
+
+def engine_steepest_descent(
+    problem: MinCostProblem,
+    start: np.ndarray,
+    start_cost: float,
+    delta: float,
+    max_rounds: int,
+) -> tuple[np.ndarray, float, int]:
+    from repro.heuristics import steepest_descent
+
+    return steepest_descent(problem, start, start_cost, delta, max_rounds)
+
+
+# --------------------------------------------------------------------------- #
+# measurements
+# --------------------------------------------------------------------------- #
+
+
+def _best_of(fn, repeats: int) -> tuple[float, object]:
+    best = np.inf
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_h32_descent(problem: MinCostProblem, repeats: int) -> dict:
+    start, _, start_cost = best_single_recipe_split(problem)
+
+    seed_time, seed_out = _best_of(
+        lambda: seed_steepest_descent(problem, start, start_cost, DELTA, 1000), repeats
+    )
+    engine_time, engine_out = _best_of(
+        lambda: engine_steepest_descent(problem, start, start_cost, DELTA, 1000), repeats
+    )
+    _, seed_cost, seed_rounds = seed_out
+    _, engine_cost, engine_rounds = engine_out
+    identical = seed_cost == engine_cost and seed_rounds == engine_rounds
+    return {
+        "instance": {"J": problem.num_recipes, "Q": problem.num_types, "rho": problem.rho},
+        "seed_scalar_seconds": seed_time,
+        "engine_seconds": engine_time,
+        "speedup": seed_time / engine_time if engine_time > 0 else float("inf"),
+        "rounds": engine_rounds,
+        "best_cost": engine_cost,
+        "best_cost_identical": identical,
+    }
+
+
+def bench_micro(problem: MinCostProblem, repeats: int) -> dict:
+    # A split spread over every recipe gives the full O(J^2) neighbourhood.
+    rng = np.random.default_rng(42)
+    weights = rng.dirichlet(np.ones(problem.num_recipes))
+    start = np.floor(weights * problem.rho)
+    start[0] += problem.rho - start.sum()
+    start = np.maximum(start, 1.0)
+    # A memo-free evaluator isolates the incremental tier from cache effects;
+    # one warmup pass builds the per-pair sparse masks outside the timing.
+    from repro.core import SplitEvaluator
+
+    evaluator = SplitEvaluator.from_problem(problem)
+    evaluator.reset(start)
+    srcs, dsts, moveds = exchange_move_arrays(start, DELTA)
+    neighbourhood = int(srcs.size)
+    for k in range(neighbourhood):
+        evaluator.score_exchange(int(srcs[k]), int(dsts[k]), DELTA)
+
+    def scalar_pass():
+        for candidate, _s, _d in all_exchanges(start, DELTA):
+            problem.evaluate_split(candidate)
+
+    def incremental_pass():
+        for k in range(neighbourhood):
+            evaluator.score_exchange(int(srcs[k]), int(dsts[k]), DELTA)
+
+    def batched_pass():
+        evaluator.score_exchanges(srcs, dsts, moveds)
+
+    scalar_t, _ = _best_of(scalar_pass, repeats)
+    incremental_t, _ = _best_of(incremental_pass, repeats)
+    batched_t, _ = _best_of(batched_pass, repeats)
+    per = lambda t: t / neighbourhood if neighbourhood else float("nan")
+    return {
+        "neighbourhood_size": neighbourhood,
+        "scalar_us_per_candidate": per(scalar_t) * 1e6,
+        "incremental_us_per_candidate": per(incremental_t) * 1e6,
+        "batched_us_per_candidate": per(batched_t) * 1e6,
+        "incremental_speedup": scalar_t / incremental_t if incremental_t > 0 else float("inf"),
+        "batched_speedup": scalar_t / batched_t if batched_t > 0 else float("inf"),
+    }
+
+
+def check_fig3_costs(num_configurations: int, throughputs: tuple[float, ...]) -> dict:
+    """Seed-path vs engine-path H32 best costs on Fig. 3 (small) configurations."""
+    setting = get_setting("small")
+    checked, mismatches = 0, []
+    for index in range(num_configurations):
+        config = generate_configuration(setting, seed=1000 + index, index=index)
+        for rho in throughputs:
+            problem = config.problem(rho)
+            start, _, start_cost = best_single_recipe_split(problem)
+            delta = H32SteepestGradientSolver(delta=10).effective_delta(problem)
+            _, seed_cost, _ = seed_steepest_descent(problem, start, start_cost, delta, 1000)
+            _, engine_cost, _ = engine_steepest_descent(problem, start, start_cost, delta, 1000)
+            checked += 1
+            if seed_cost != engine_cost:
+                mismatches.append({"config": index, "rho": rho,
+                                   "seed": seed_cost, "engine": engine_cost})
+    return {"checked": checked, "mismatches": mismatches,
+            "bitwise_identical": not mismatches}
+
+
+# --------------------------------------------------------------------------- #
+# entry point
+# --------------------------------------------------------------------------- #
+
+
+def run(smoke: bool = False) -> dict:
+    repeats = 1 if smoke else 3
+    problem = make_large_instance(seed=0)
+    report = {
+        "benchmark": "evaluator",
+        "smoke": smoke,
+        "h32_descent": bench_h32_descent(problem, repeats),
+        "micro": bench_micro(problem, repeats),
+        "fig3_equivalence": check_fig3_costs(
+            num_configurations=1 if smoke else 3,
+            throughputs=(40.0, 70.0) if smoke else (20.0, 40.0, 70.0, 100.0),
+        ),
+    }
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="reduced sizes for CI")
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).parent / "BENCH_evaluator.json"
+    )
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    descent = report["h32_descent"]
+    print(f"H32 descent  seed={descent['seed_scalar_seconds']:.4f}s  "
+          f"engine={descent['engine_seconds']:.4f}s  "
+          f"speedup={descent['speedup']:.1f}x  "
+          f"identical_cost={descent['best_cost_identical']}")
+    micro = report["micro"]
+    print(f"micro ({micro['neighbourhood_size']} candidates)  "
+          f"scalar={micro['scalar_us_per_candidate']:.2f}us  "
+          f"incremental={micro['incremental_us_per_candidate']:.2f}us  "
+          f"batched={micro['batched_us_per_candidate']:.3f}us")
+    fig3 = report["fig3_equivalence"]
+    print(f"fig3 equivalence  checked={fig3['checked']}  "
+          f"bitwise_identical={fig3['bitwise_identical']}")
+    print(f"report written to {args.out}")
+
+    ok = descent["best_cost_identical"] and fig3["bitwise_identical"]
+    if not ok:
+        print("FAIL: engine results diverge from the seed scalar path", file=sys.stderr)
+        return 1
+    if not args.smoke and descent["speedup"] < 5.0:
+        print(f"FAIL: H32 speedup {descent['speedup']:.1f}x below the 5x target",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

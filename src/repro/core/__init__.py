@@ -38,6 +38,7 @@ from .exceptions import (
     UnknownTaskError,
     UnknownTypeError,
 )
+from .evaluator import SplitEvaluator
 from .graph import RecipeGraph
 from .platform import CloudPlatform, ProcessorType
 from .problem import MinCostProblem, ProblemClass
@@ -52,6 +53,7 @@ __all__ = [
     "ProcessorType",
     "MinCostProblem",
     "ProblemClass",
+    "SplitEvaluator",
     "Task",
     "TaskType",
     # cost functions

@@ -10,7 +10,27 @@ Three levels of formulas are provided:
 
 All functions exist in two flavours: a readable dictionary-based one working on
 model objects, and a vectorised one working on numpy arrays (``n`` matrix,
-``r`` and ``c`` vectors) used in the hot loops of the heuristics.
+``r`` and ``c`` vectors).
+
+Performance architecture
+------------------------
+The evaluation funnel has a validated slow path and a trusted hot path:
+
+* ``MinCostProblem.evaluate_split`` (slow path) validates its input on every
+  call and computes one dense ``split @ counts`` matvec via
+  :func:`cost_scalar_for_split`.  It is the public API and the reference the
+  equivalence tests compare everything against.
+* :class:`repro.core.evaluator.SplitEvaluator` (hot path, reachable as
+  ``problem.evaluator``) skips validation and offers three tiers: O(Q)
+  *incremental* scoring of a single throughput exchange against a maintained
+  load vector, *batched* GEMM scoring of a whole candidate neighbourhood, and
+  an optional *memo* keyed on the quantised split for lattice searches that
+  revisit states.  All Section VI heuristics and the enumeration solvers
+  funnel through it.
+
+Both paths share the ceiling-snap rule implemented by
+:func:`machines_vector` / :func:`_ceil_div_exact`, so they agree to the model's
+1e-9 tolerance (bitwise on integer-cost instances).
 """
 
 from __future__ import annotations

@@ -23,6 +23,7 @@ import numpy as np
 from .allocation import Allocation, ThroughputSplit
 from .application import Application
 from .cost import cost_scalar_for_split, lower_bound_cost
+from .evaluator import SplitEvaluator
 from .exceptions import InfeasibleProblemError, ProblemError
 from .platform import CloudPlatform
 from .task import TaskType
@@ -129,6 +130,24 @@ class MinCostProblem:
         """``u_j = sum_q n^j_q c_q / r_q``: fractional cost of one unit of throughput."""
         return self.counts @ (self.costs / self.rates)
 
+    @cached_property
+    def evaluator(self) -> SplitEvaluator:
+        """The incremental/batched/memoised scoring engine over this instance.
+
+        All heuristics and enumeration solvers funnel their candidate scoring
+        through this evaluator (see :mod:`repro.core.evaluator`);
+        :meth:`evaluate_split` remains the validated slow-path API.  The
+        stateless tiers (``evaluate``, ``evaluate_batch``) may be used on this
+        shared instance directly; searches that need the stateful incremental
+        tier take a ``clone()`` so concurrent solver runs on the same problem
+        never share incremental search state (clones do share the immutable
+        precomputes and the lazily filled pair cache, whose fills are
+        idempotent).  The memo capacity bounds the cache of the
+        lattice searches that re-score revisited states (H31 stochastic
+        descent, simulated annealing).
+        """
+        return SplitEvaluator.from_problem(self, memo_capacity=1 << 16)
+
     # ------------------------------------------------------------------ #
     # classification
     # ------------------------------------------------------------------ #
@@ -162,7 +181,13 @@ class MinCostProblem:
             )
 
     def evaluate_split(self, split: Sequence[float] | ThroughputSplit) -> float:
-        """Rental cost of a split, with machine sharing (the MIP objective)."""
+        """Rental cost of a split, with machine sharing (the MIP objective).
+
+        This is the validated slow-path API: shape and sign checks run on every
+        call.  Optimisation loops that score many candidates should go through
+        :attr:`evaluator`, whose incremental and batched tiers compute the same
+        costs without the per-call overhead.
+        """
         values = split.as_array() if isinstance(split, ThroughputSplit) else np.asarray(split, dtype=float)
         if values.shape != (self.num_recipes,):
             raise ProblemError(

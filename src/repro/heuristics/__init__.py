@@ -8,7 +8,15 @@ from .h31_stochastic_descent import H31StochasticDescentSolver
 from .h32_jump import H32JumpSolver
 from .h32_steepest_gradient import H32SteepestGradientSolver, steepest_descent
 from .h4_simulated_annealing import H4SimulatedAnnealingSolver
-from .neighborhood import all_exchanges, random_exchange, random_split, transfer
+from .neighborhood import (
+    all_exchanges,
+    exchange_move_arrays,
+    exchange_moves,
+    random_exchange,
+    random_move,
+    random_split,
+    transfer,
+)
 from .portfolio import PortfolioSolver
 
 __all__ = [
@@ -26,7 +34,10 @@ __all__ = [
     "steepest_descent",
     "PortfolioSolver",
     "all_exchanges",
+    "exchange_move_arrays",
+    "exchange_moves",
     "random_exchange",
+    "random_move",
     "random_split",
     "transfer",
 ]

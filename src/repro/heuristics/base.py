@@ -27,7 +27,19 @@ from ..core.problem import MinCostProblem
 from ..solvers.base import SplitSolver
 from ..utils.rng import as_generator
 
-__all__ = ["best_single_recipe_split", "HeuristicTrace", "BaseHeuristic", "IterativeHeuristic"]
+__all__ = [
+    "single_recipe_costs",
+    "best_single_recipe_split",
+    "HeuristicTrace",
+    "BaseHeuristic",
+    "IterativeHeuristic",
+]
+
+
+def single_recipe_costs(problem: MinCostProblem) -> np.ndarray:
+    """Cost of serving the whole target with each recipe, in one batched pass."""
+    candidates = np.eye(problem.num_recipes) * problem.target_throughput
+    return problem.evaluator.evaluate_batch(candidates)
 
 
 def best_single_recipe_split(problem: MinCostProblem) -> tuple[np.ndarray, int, float]:
@@ -36,7 +48,7 @@ def best_single_recipe_split(problem: MinCostProblem) -> tuple[np.ndarray, int, 
     Returns the split vector, the chosen recipe index and its cost.  Ties are
     broken in favour of the lowest recipe index (deterministic).
     """
-    costs = np.array([problem.single_recipe_cost(j) for j in range(problem.num_recipes)])
+    costs = single_recipe_costs(problem)
     best_j = int(np.argmin(costs))
     split = np.zeros(problem.num_recipes)
     split[best_j] = problem.target_throughput

@@ -18,7 +18,7 @@ import numpy as np
 
 from ..core.allocation import ThroughputSplit
 from ..core.problem import MinCostProblem
-from .base import BaseHeuristic, best_single_recipe_split
+from .base import BaseHeuristic, best_single_recipe_split, single_recipe_costs
 
 __all__ = ["H1BestGraphSolver"]
 
@@ -41,4 +41,4 @@ class H1BestGraphSolver(BaseHeuristic):
     @staticmethod
     def per_recipe_costs(problem: MinCostProblem) -> np.ndarray:
         """Cost of serving the whole target with each recipe (diagnostic helper)."""
-        return np.array([problem.single_recipe_cost(j) for j in range(problem.num_recipes)])
+        return single_recipe_costs(problem)

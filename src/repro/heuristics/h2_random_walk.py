@@ -15,13 +15,18 @@ import numpy as np
 
 from ..core.problem import MinCostProblem
 from .base import HeuristicTrace, IterativeHeuristic
-from .neighborhood import random_exchange
+from .neighborhood import random_move
 
 __all__ = ["H2RandomWalkSolver"]
 
 
 class H2RandomWalkSolver(IterativeHeuristic):
-    """Random-walk heuristic (H2)."""
+    """Random-walk heuristic (H2).
+
+    Each step is scored through the O(Q) incremental tier of the problem's
+    :class:`~repro.core.evaluator.SplitEvaluator`; the walk mutates the
+    evaluator's state in place instead of allocating a split copy per move.
+    """
 
     name = "H2"
 
@@ -33,19 +38,19 @@ class H2RandomWalkSolver(IterativeHeuristic):
         rng: np.random.Generator,
     ) -> tuple[np.ndarray, float, dict[str, Any]]:
         delta = self.effective_delta(problem)
-        current = start
+        evaluator = problem.evaluator.clone()
+        evaluator.reset(start)
         best_split = start.copy()
         best_cost = start_cost
         trace = [start_cost] if self.record_trace else None
 
         for _ in range(self.iterations):
-            candidate, _src, _dst = random_exchange(current, delta, rng)
-            cost = problem.evaluate_split(candidate)
+            src, dst, _moved = random_move(evaluator.current_split, delta, rng)
+            # The walk continues from the candidate whether or not it improved.
+            cost, _ = evaluator.apply_exchange(src, dst, delta)
             if cost < best_cost:
                 best_cost = cost
-                best_split = candidate.copy()
-            # The walk continues from the candidate whether or not it improved.
-            current = candidate
+                best_split = evaluator.current_split.copy()
             if trace is not None:
                 trace.append(cost)
 

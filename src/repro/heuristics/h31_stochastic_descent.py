@@ -15,7 +15,7 @@ import numpy as np
 
 from ..core.problem import MinCostProblem
 from .base import HeuristicTrace, IterativeHeuristic
-from .neighborhood import random_exchange
+from .neighborhood import random_move
 
 __all__ = ["H31StochasticDescentSolver"]
 
@@ -56,7 +56,8 @@ class H31StochasticDescentSolver(IterativeHeuristic):
         rng: np.random.Generator,
     ) -> tuple[np.ndarray, float, dict[str, Any]]:
         delta = self.effective_delta(problem)
-        current = start
+        evaluator = problem.evaluator.clone()
+        evaluator.reset(start)
         current_cost = start_cost
         best_split = start.copy()
         best_cost = start_cost
@@ -66,14 +67,15 @@ class H31StochasticDescentSolver(IterativeHeuristic):
 
         for _ in range(self.iterations):
             performed += 1
-            candidate, _src, _dst = random_exchange(current, delta, rng)
-            cost = problem.evaluate_split(candidate)
+            src, dst, _moved = random_move(evaluator.current_split, delta, rng)
+            # Score through the O(Q) incremental tier; commit only improvements.
+            cost, _ = evaluator.score_exchange(src, dst, delta)
             if cost < current_cost:
-                current = candidate
+                evaluator.apply_exchange(src, dst, delta)
                 current_cost = cost
                 if cost < best_cost:
                     best_cost = cost
-                    best_split = candidate.copy()
+                    best_split = evaluator.current_split.copy()
                     stale = 0
                 else:
                     stale += 1

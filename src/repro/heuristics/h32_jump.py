@@ -87,7 +87,7 @@ class H32JumpSolver(IterativeHeuristic):
             perturbed = current.copy()
             for _ in range(self.jump_moves):
                 perturbed, _src, _dst = random_exchange(perturbed, delta, rng)
-            perturbed_cost = problem.evaluate_split(perturbed)
+            perturbed_cost = problem.evaluator.evaluate(perturbed)
             # Descent from the perturbed point.
             current, current_cost, rounds = steepest_descent(
                 problem, perturbed, perturbed_cost, delta, self.iterations

@@ -24,7 +24,7 @@ import numpy as np
 
 from ..core.problem import MinCostProblem
 from .base import HeuristicTrace, IterativeHeuristic
-from .neighborhood import random_exchange
+from .neighborhood import random_move
 
 __all__ = ["H4SimulatedAnnealingSolver"]
 
@@ -76,7 +76,8 @@ class H4SimulatedAnnealingSolver(IterativeHeuristic):
             if self.initial_temperature is not None
             else max(1e-9, 0.05 * start_cost)
         )
-        current = start
+        evaluator = problem.evaluator.clone()
+        evaluator.reset(start)
         current_cost = start_cost
         best_split = start.copy()
         best_cost = start_cost
@@ -84,16 +85,16 @@ class H4SimulatedAnnealingSolver(IterativeHeuristic):
         trace = [start_cost] if self.record_trace else None
 
         for _ in range(self.iterations):
-            candidate, _src, _dst = random_exchange(current, delta, rng)
-            cost = problem.evaluate_split(candidate)
+            src, dst, _moved = random_move(evaluator.current_split, delta, rng)
+            cost, _ = evaluator.score_exchange(src, dst, delta)
             worse_by = cost - current_cost
             if worse_by <= 0 or rng.random() < math.exp(-worse_by / temperature):
-                current = candidate
+                evaluator.apply_exchange(src, dst, delta)
                 current_cost = cost
                 accepted += 1
                 if cost < best_cost:
                     best_cost = cost
-                    best_split = candidate.copy()
+                    best_split = evaluator.current_split.copy()
             temperature *= self.cooling
             if trace is not None:
                 trace.append(current_cost)

@@ -79,8 +79,10 @@ class BranchAndBoundSolver(SplitSolver):
         integral_mask = formulation.integrality.astype(bool)
 
         # Warm start: best single recipe (H1-style) gives a feasible incumbent.
-        best_split = self._warm_start_split(problem)
-        best_cost = problem.evaluate_split(best_split)
+        # Candidate scoring funnels through the evaluator (trusted hot path);
+        # problem.evaluate_split stays the validated API for external input.
+        evaluator = problem.evaluator
+        best_split, best_cost = self._warm_start(problem)
 
         root_lb = np.zeros(n_vars)
         root_ub = np.full(n_vars, np.inf)
@@ -120,7 +122,7 @@ class BranchAndBoundSolver(SplitSolver):
                 deficit = problem.target_throughput - split_vals.sum()
                 if deficit > 1e-9:
                     split_vals[int(np.argmax(split_vals))] += deficit
-                cost = problem.evaluate_split(split_vals)
+                cost = evaluator.evaluate(split_vals)
                 if cost < best_cost - 1e-9:
                     best_cost = cost
                     best_split = split_vals.copy()
@@ -154,13 +156,12 @@ class BranchAndBoundSolver(SplitSolver):
 
     # ------------------------------------------------------------------ #
     @staticmethod
-    def _warm_start_split(problem: MinCostProblem) -> np.ndarray:
+    def _warm_start(problem: MinCostProblem) -> tuple[np.ndarray, float]:
         """Whole throughput on the cheapest single recipe (the H1 construction)."""
-        costs = [problem.single_recipe_cost(j) for j in range(problem.num_recipes)]
-        best_j = int(np.argmin(costs))
-        split = np.zeros(problem.num_recipes)
-        split[best_j] = problem.target_throughput
-        return split
+        from ..heuristics.base import best_single_recipe_split
+
+        split, _, cost = best_single_recipe_split(problem)
+        return split, cost
 
     @staticmethod
     def _most_fractional(solution: np.ndarray, integral_mask: np.ndarray) -> int | None:

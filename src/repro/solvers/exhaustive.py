@@ -7,6 +7,12 @@ processor throughputs are integers).  The complexity is combinatorial
 (``C(rho/step + J - 1, J - 1)`` candidate splits) so this solver is only usable
 on tiny instances, where it serves as the ground-truth oracle for the tests of
 the DP, MILP, branch-and-bound and heuristic solvers.
+
+Candidates are scored in chunks through the problem's
+:class:`~repro.core.evaluator.SplitEvaluator`, which also means the oracle now
+uses the same 1e-9 relative integer-snap rounding as ``evaluate_split`` (the
+previous inline formula used a ``ceil(load/rate - 1e-12)`` epsilon, a slightly
+different rule near machine-count boundaries for fractional steps).
 """
 
 from __future__ import annotations
@@ -54,13 +60,18 @@ class ExhaustiveSolver(SplitSolver):
     name = "Exhaustive"
     exact = True
 
-    def __init__(self, step: float = 1.0, max_candidates: int = 2_000_000) -> None:
+    def __init__(
+        self, step: float = 1.0, max_candidates: int = 2_000_000, *, batch_size: int = 4096
+    ) -> None:
         if step <= 0:
             raise ValueError(f"step must be positive, got {step}")
         if max_candidates <= 0:
             raise ValueError(f"max_candidates must be positive, got {max_candidates}")
+        if batch_size <= 0:
+            raise ValueError(f"batch_size must be positive, got {batch_size}")
         self.step = float(step)
         self.max_candidates = int(max_candidates)
+        self.batch_size = int(batch_size)
 
     def solve_split(self, problem: MinCostProblem) -> tuple[ThroughputSplit, dict[str, Any]]:
         units = int(math.ceil(problem.target_throughput / self.step - 1e-12))
@@ -71,23 +82,39 @@ class ExhaustiveSolver(SplitSolver):
                 f"exhaustive enumeration would visit {candidates} splits "
                 f"(> cap {self.max_candidates}); use the DP, MILP or B&B solver instead"
             )
-        counts = problem.counts
-        rates = problem.rates
-        costs = problem.costs
+        evaluator = problem.evaluator
         best_cost = np.inf
-        best_split: tuple[int, ...] | None = None
+        best_split: np.ndarray | None = None
         explored = 0
+        # Chunked batch evaluation: enumerate lazily, score each chunk with one
+        # GEMM of the evaluator instead of one dense matvec per composition.
+        chunk: list[tuple[int, ...]] = []
+
+        def flush() -> None:
+            nonlocal best_cost, best_split, explored
+            if not chunk:
+                return
+            splits = np.asarray(chunk, dtype=float) * self.step
+            costs = evaluator.evaluate_batch(splits)
+            explored += len(chunk)
+            # Replay the sequential strict-improvement rule over the chunk's
+            # running minima so the accepted split is independent of where the
+            # chunk boundaries fall, even for sub-tolerance cost differences.
+            running_min = np.minimum.accumulate(costs)
+            for k in np.flatnonzero(costs == running_min):
+                if costs[k] < best_cost - 1e-12:
+                    best_cost = float(costs[k])
+                    best_split = splits[k]
+            chunk.clear()
+
         for composition in enumerate_splits(units, parts):
-            explored += 1
-            split = np.asarray(composition, dtype=float) * self.step
-            loads = split @ counts
-            cost = float((np.ceil(loads / rates - 1e-12) * costs).sum())
-            if cost < best_cost - 1e-12:
-                best_cost = cost
-                best_split = composition
+            chunk.append(composition)
+            if len(chunk) >= self.batch_size:
+                flush()
+        flush()
         if best_split is None:  # pragma: no cover - impossible for valid problems
             raise SolverError("no feasible split found")
-        values = np.asarray(best_split, dtype=float) * self.step
+        values = np.asarray(best_split, dtype=float)
         deficit = problem.target_throughput - values.sum()
         if deficit > 1e-9:
             values[int(np.argmax(values))] += deficit

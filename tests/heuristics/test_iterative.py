@@ -123,6 +123,20 @@ class TestH32SteepestGradient:
         result = H32SteepestGradientSolver(iterations=1, delta=10).solve(illustrating_problem_70)
         assert result.iterations <= 1
 
+    def test_trace_records_per_round_descent_curve(self, illustrating_problem_70):
+        result = H32SteepestGradientSolver(delta=10, record_trace=True).solve(
+            illustrating_problem_70
+        )
+        costs = result.meta["trace"].costs
+        # One entry for the start plus one per improving round (the final
+        # unsuccessful scan adds nothing), strictly decreasing throughout.
+        improving_rounds = result.meta["iterations"] - (
+            1 if result.meta["local_minimum"] else 0
+        )
+        assert len(costs) == 1 + improving_rounds
+        assert all(b < a for a, b in zip(costs, costs[1:]))
+        assert costs[-1] == result.cost
+
     def test_steepest_descent_helper_monotone(self, illustrating_problem_70):
         start = np.array([70.0, 0.0, 0.0])
         start_cost = illustrating_problem_70.evaluate_split(start)

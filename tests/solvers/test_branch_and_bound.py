@@ -47,10 +47,11 @@ class TestBranchAndBound:
             BranchAndBoundSolver(max_nodes=0)
 
     def test_warm_start_is_best_single_recipe(self, illustrating_problem_70):
-        split = BranchAndBoundSolver._warm_start_split(illustrating_problem_70)
+        split, cost = BranchAndBoundSolver._warm_start(illustrating_problem_70)
         assert split.sum() == 70
         # phi1 is the cheapest single recipe at rho=70 (cost 138)
         assert split[0] == 70
+        assert cost == 138
 
     def test_most_fractional_selection(self):
         mask = np.array([True, True, False])

@@ -50,6 +50,17 @@ class TestExhaustiveSolver:
             ExhaustiveSolver(step=0)
         with pytest.raises(ValueError):
             ExhaustiveSolver(max_candidates=0)
+        with pytest.raises(ValueError):
+            ExhaustiveSolver(batch_size=0)
+
+    def test_batch_size_does_not_change_result(self, illustrating_problem_70):
+        # The chunked batch evaluation must be invariant to the chunk boundary.
+        default = ExhaustiveSolver(step=10).solve(illustrating_problem_70)
+        one_by_one = ExhaustiveSolver(step=10, batch_size=1).solve(illustrating_problem_70)
+        tiny = ExhaustiveSolver(step=10, batch_size=7).solve(illustrating_problem_70)
+        assert default.cost == one_by_one.cost == tiny.cost
+        assert default.allocation.split == one_by_one.allocation.split == tiny.allocation.split
+        assert default.iterations == one_by_one.iterations == tiny.iterations
 
     def test_iterations_counted(self, illustrating_problem_70):
         result = ExhaustiveSolver(step=10).solve(illustrating_problem_70)
