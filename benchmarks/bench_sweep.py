@@ -1,0 +1,143 @@
+"""Benchmark of the sweep orchestration layer: serial vs process-pool backends.
+
+Runs one seeded multi-configuration plan (small setting, ILP + heuristics)
+three ways and records wall-clock into ``BENCH_sweep.json``:
+
+* **serial** — :class:`SerialBackend`, the paper's original nested loop;
+* **parallel** — :class:`ProcessPoolBackend` with ``--workers`` processes,
+  asserting the records are identical to the serial run up to wall-clock
+  timings (the acceptance criterion of the orchestration refactor);
+* **resume** — the sweep is interrupted after a fixed number of checkpointed
+  work units and resumed, asserting the merged result equals the
+  uninterrupted one.
+
+Run directly to emit ``BENCH_sweep.json`` next to this file::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py [--smoke] [--workers N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.backends import ProcessPoolBackend, SerialBackend
+from repro.experiments.config import ExperimentPlan, default_plan
+from repro.experiments.runner import SweepResult, run_plan
+from repro.experiments.store import SweepStore
+
+
+def build_plan(smoke: bool) -> ExperimentPlan:
+    from dataclasses import replace
+
+    plan = default_plan(
+        "small",
+        num_configurations=4 if smoke else 8,
+        target_throughputs=(40, 80, 120) if smoke else (20, 60, 100, 140, 180),
+        iterations=120 if smoke else 400,
+    )
+    # ILP + one cheap and one stochastic heuristic keep the sweep laptop-friendly
+    # while still exercising seed plumbing across processes.
+    keep = ("ILP", "H1", "H2", "H32")
+    return replace(plan, algorithms=tuple(a for a in plan.algorithms if a.name in keep))
+
+
+def records_identical(a: SweepResult, b: SweepResult) -> bool:
+    """Pairwise-equal reproducible fields (RunRecord.identity ignores wall-clock)."""
+    return [r.identity() for r in a.records] == [r.identity() for r in b.records]
+
+
+class _InterruptSweep(Exception):
+    pass
+
+
+def run_interrupted_then_resume(plan: ExperimentPlan, path: Path, stop_after: int) -> SweepResult:
+    """Kill a checkpointed sweep after ``stop_after`` units, then resume it."""
+    completed = 0
+
+    def tripwire(_msg: str) -> None:
+        nonlocal completed
+        completed += 1
+        if completed >= stop_after:
+            raise _InterruptSweep
+
+    store = SweepStore(path)
+    try:
+        run_plan(plan, store=store, progress=tripwire)
+        raise RuntimeError("sweep finished before the interrupt fired; lower stop_after")
+    except _InterruptSweep:
+        pass
+    return run_plan(plan, store=store, resume=True)
+
+
+def run(smoke: bool, workers: int) -> dict:
+    plan = build_plan(smoke)
+
+    t0 = time.perf_counter()
+    serial = run_plan(plan, backend=SerialBackend())
+    serial_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_plan(plan, backend=ProcessPoolBackend(workers))
+    parallel_seconds = time.perf_counter() - t0
+    parallel_identical = records_identical(serial, parallel)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        resumed = run_interrupted_then_resume(plan, Path(tmp) / "sweep.jsonl", stop_after=2)
+    resume_identical = records_identical(serial, resumed)
+
+    import os
+
+    return {
+        "benchmark": "sweep",
+        "smoke": smoke,
+        "workers": workers,
+        # a speedup near 1.0 on a single-CPU host is expected; the identity
+        # checks below are the hard guarantees, the timing is the trajectory
+        "cpu_count": os.cpu_count(),
+        "plan": {
+            "setting": plan.setting.name,
+            "configurations": plan.num_configurations,
+            "throughputs": list(plan.target_throughputs),
+            "algorithms": [spec.name for spec in plan.algorithms],
+        },
+        "records": len(serial.records),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf"),
+        "parallel_identical": parallel_identical,
+        "resume_identical": resume_identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="reduced sizes for CI")
+    parser.add_argument("--workers", type=int, default=2, help="process-pool width")
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).parent / "BENCH_sweep.json"
+    )
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke, workers=args.workers)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"sweep ({report['records']} records)  "
+          f"serial={report['serial_seconds']:.2f}s  "
+          f"parallel[{report['workers']}]={report['parallel_seconds']:.2f}s  "
+          f"speedup={report['speedup']:.2f}x")
+    print(f"parallel identical to serial: {report['parallel_identical']}")
+    print(f"resume identical to serial:   {report['resume_identical']}")
+    print(f"report written to {args.out}")
+
+    if not (report["parallel_identical"] and report["resume_identical"]):
+        print("FAIL: parallel/resumed sweep diverges from the serial run", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

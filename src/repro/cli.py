@@ -20,11 +20,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import Sequence
 
 from . import available_solvers, create_solver
+from .core.exceptions import ConfigurationError
+from .experiments.backends import ProcessPoolBackend, SerialBackend
 from .experiments.figures import FIGURES
-from .experiments.reporting import render_series, render_table3, table3_vs_paper
+from .experiments.reporting import render_series, render_table3, sweep_summary, table3_vs_paper
+from .experiments.store import SweepStore
 from .experiments.tables import illustrating_problem, reproduce_table3
 from .generators.workload import PAPER_SETTINGS, generate_configuration, get_setting
 from .simulation.validate import validate_allocation
@@ -51,6 +55,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_fig.add_argument("--iterations", type=int, default=1000, help="heuristic iteration budget")
     p_fig.add_argument("--throughputs", type=int, nargs="*", default=None,
                        help="target throughputs (paper: 20..200 step 10)")
+    p_fig.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the sweep (default: run serially)")
+    p_fig.add_argument("--out", type=Path, default=None,
+                       help="JSONL checkpoint/result file; every completed work unit "
+                            "is appended so an interrupted sweep can be resumed")
+    p_fig.add_argument("--resume", action="store_true",
+                       help="resume from the --out checkpoint, skipping completed work units")
     p_fig.add_argument("--quiet", action="store_true", help="suppress progress messages")
 
     p_solve = sub.add_parser("solve", help="solve one MinCOST instance and print the allocation")
@@ -83,11 +94,34 @@ def _cmd_figure(args: argparse.Namespace) -> int:
         "iterations": args.iterations,
         "progress": progress,
     }
-    if args.throughputs:
+    # "--throughputs" (given but empty) is an error, unlike the flag being absent
+    if args.throughputs is not None:
+        if not args.throughputs:
+            print("error: --throughputs requires at least one value", file=sys.stderr)
+            return 2
         kwargs["target_throughputs"] = tuple(args.throughputs)
-    result = FIGURES[args.name](**kwargs)
+    if args.workers is not None and args.workers < 1:
+        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+        return 2
+    if args.resume and args.out is None:
+        print("error: --resume requires --out (the checkpoint file to resume from)", file=sys.stderr)
+        return 2
+    if args.workers is not None and args.workers > 1:
+        kwargs["backend"] = ProcessPoolBackend(args.workers)
+    elif args.workers is not None:
+        kwargs["backend"] = SerialBackend()
+    if args.out is not None:
+        kwargs["store"] = SweepStore(args.out)
+        kwargs["resume"] = args.resume
+    try:
+        result = FIGURES[args.name](**kwargs)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     print(result.description)
     print(render_series(result.series))
+    if args.out is not None:
+        print(f"{sweep_summary(result.sweep)} -> {args.out}", file=sys.stderr)
     return 0
 
 

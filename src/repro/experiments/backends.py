@@ -1,0 +1,206 @@
+"""Execution backends: how a sweep's work units get run.
+
+A sweep (:class:`~repro.experiments.config.ExperimentPlan`) is sharded into
+:class:`WorkUnit` s — one (configuration, throughput-chunk) couple each.  A
+work unit is a small picklable value object: it carries indices only, and the
+executing side regenerates the configuration from the plan's seeds
+(:func:`repro.generators.workload.generate_configuration_at`) and rebuilds the
+solvers from their :class:`~repro.experiments.config.AlgorithmSpec`.  That
+makes units cheap to ship to worker processes and guarantees that the serial
+and parallel backends produce identical records (up to wall-clock timings)
+for deterministic solvers.  The one caveat is time-limited solvers (e.g. the
+ILP with ``time_limit``, Figure 8): they return their best incumbent when the
+wall-clock limit fires, so their cost depends on how much CPU the worker got
+— the runner warns when such a plan is parallelised.
+
+Two backends are provided:
+
+* :class:`SerialBackend` — the paper's original nested loop, streaming each
+  unit's records as it completes;
+* :class:`ProcessPoolBackend` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  fan-out that yields results in completion order.  The driver
+  (:func:`~repro.experiments.runner.run_plan`) reassembles records in
+  canonical unit order, so completion order never leaks into results.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Iterator, Protocol, Sequence, runtime_checkable
+
+from ..core.exceptions import ConfigurationError
+from ..generators.workload import generate_configuration_at
+from ..solvers.registry import ensure_default_solvers
+from .config import ExperimentPlan
+from .runner import RunRecord, run_configuration
+
+__all__ = [
+    "WorkUnit",
+    "plan_work_units",
+    "execute_work_unit",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ProcessPoolBackend",
+]
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One shard of a sweep: a configuration index and a throughput chunk.
+
+    ``index`` is the unit's position in the canonical unit order of the plan
+    (the order :func:`plan_work_units` returns); it keys checkpointing and
+    the deterministic reassembly of streamed results.
+    """
+
+    index: int
+    configuration: int
+    throughputs: tuple[float, ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "configuration": self.configuration,
+            "throughputs": list(self.throughputs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WorkUnit":
+        return cls(
+            index=int(data["index"]),
+            configuration=int(data["configuration"]),
+            throughputs=tuple(float(rho) for rho in data["throughputs"]),
+        )
+
+
+def plan_work_units(plan: ExperimentPlan, *, chunk_size: int | None = None) -> list[WorkUnit]:
+    """Shard a plan into its canonical list of work units.
+
+    ``chunk_size`` bounds the number of throughputs per unit; the default
+    (``None``) keeps a configuration's whole throughput sweep in one unit,
+    which matches the paper's outer loop and keeps checkpoint granularity at
+    one configuration.  Smaller chunks expose more parallelism for plans with
+    few configurations.
+    """
+    throughputs = tuple(plan.target_throughputs)
+    if chunk_size is None:
+        chunk_size = len(throughputs)
+    if chunk_size <= 0:
+        raise ConfigurationError(f"chunk_size must be positive, got {chunk_size}")
+    units: list[WorkUnit] = []
+    for configuration in range(plan.num_configurations):
+        for start in range(0, len(throughputs), chunk_size):
+            units.append(
+                WorkUnit(
+                    index=len(units),
+                    configuration=configuration,
+                    throughputs=throughputs[start : start + chunk_size],
+                )
+            )
+    return units
+
+
+def execute_work_unit(plan: ExperimentPlan, unit: WorkUnit, *, check: bool = False) -> list[RunRecord]:
+    """Run one work unit and return its records (worker-process entry point).
+
+    Regenerates the unit's configuration from the plan seeds, so the only
+    state shipped across a process boundary is (plan, unit) — both plain
+    picklable dataclasses.
+    """
+    ensure_default_solvers()
+    configuration = generate_configuration_at(
+        plan.setting, base_seed=plan.base_seed, index=unit.configuration
+    )
+    return list(
+        run_configuration(
+            configuration,
+            plan.algorithms,
+            unit.throughputs,
+            base_seed=plan.base_seed,
+            check=check,
+        )
+    )
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Executes work units, streaming ``(unit, records)`` as units complete."""
+
+    def run(
+        self, plan: ExperimentPlan, units: Sequence[WorkUnit], *, check: bool = False
+    ) -> Iterator[tuple[WorkUnit, list[RunRecord]]]:  # pragma: no cover - protocol
+        ...
+
+
+class SerialBackend:
+    """In-process execution, one unit at a time, in canonical order."""
+
+    def run(
+        self, plan: ExperimentPlan, units: Sequence[WorkUnit], *, check: bool = False
+    ) -> Iterator[tuple[WorkUnit, list[RunRecord]]]:
+        for unit in units:
+            yield unit, execute_work_unit(plan, unit, check=check)
+
+
+class ProcessPoolBackend:
+    """Process-pool execution: units are farmed out to worker processes.
+
+    Results are yielded in completion order (so checkpointing and progress
+    track real progress); the driver reassembles them in canonical unit
+    order.  ``max_pending`` bounds the number of in-flight futures so a
+    100-configuration sweep does not pickle every unit up front.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        mp_context: str | None = None,
+        max_pending: int | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        self.workers = int(workers)
+        self.mp_context = mp_context
+        self.max_pending = max_pending if max_pending is not None else 4 * self.workers
+        if self.max_pending < 1:
+            raise ConfigurationError(f"max_pending must be >= 1, got {self.max_pending}")
+
+    def run(
+        self, plan: ExperimentPlan, units: Sequence[WorkUnit], *, check: bool = False
+    ) -> Iterator[tuple[WorkUnit, list[RunRecord]]]:
+        import multiprocessing
+
+        queue = list(units)
+        if not queue:  # e.g. resuming an already-complete checkpoint
+            return
+        context = multiprocessing.get_context(self.mp_context) if self.mp_context else None
+        pool = ProcessPoolExecutor(max_workers=self.workers, mp_context=context)
+        finished = False
+        try:
+            pending = {}
+            position = 0
+            while position < len(queue) and len(pending) < self.max_pending:
+                unit = queue[position]
+                pending[pool.submit(execute_work_unit, plan, unit, check=check)] = unit
+                position += 1
+            while pending:
+                done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                for future in done:
+                    unit = pending.pop(future)
+                    yield unit, future.result()
+                    if position < len(queue):
+                        refill = queue[position]
+                        pending[pool.submit(execute_work_unit, plan, refill, check=check)] = refill
+                        position += 1
+            finished = True
+        finally:
+            if finished:
+                pool.shutdown(wait=True)
+            else:
+                # interrupted (Ctrl-C, a raising store/progress hook, or the
+                # driver abandoning the generator): drop queued units and do
+                # not block on in-flight ones — the checkpoint already holds
+                # every unit that was yielded
+                pool.shutdown(wait=False, cancel_futures=True)

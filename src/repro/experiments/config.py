@@ -10,15 +10,22 @@ for fast CI-sized versions of them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Callable, Sequence
+from dataclasses import asdict, dataclass, field, replace
+from typing import Any, Callable, Mapping, Sequence
 
 from ..core.exceptions import ConfigurationError
 from ..generators.workload import WorkloadSetting, get_setting
 from ..solvers.base import Solver
 from ..solvers.registry import create_solver
 
-__all__ = ["AlgorithmSpec", "ExperimentPlan", "paper_algorithms", "default_plan"]
+__all__ = [
+    "AlgorithmSpec",
+    "ExperimentPlan",
+    "paper_algorithms",
+    "default_plan",
+    "plan_to_dict",
+    "plan_from_dict",
+]
 
 #: Algorithm names used in the paper's figures, in display order.
 PAPER_ALGORITHM_NAMES: tuple[str, ...] = ("ILP", "H1", "H2", "H31", "H32", "H32Jump")
@@ -114,6 +121,52 @@ class ExperimentPlan:
             if target_throughputs is None
             else tuple(target_throughputs),
         )
+
+
+def plan_to_dict(plan: ExperimentPlan) -> dict[str, Any]:
+    """Serialise a plan to plain JSON data (inverse of :func:`plan_from_dict`).
+
+    The representation is canonical enough to fingerprint: two plans that
+    produce the same sweep serialise identically (throughputs are normalised
+    to float so ``(40, 80)`` and ``(40.0, 80.0)`` fingerprint the same).
+    """
+    return {
+        "name": plan.name,
+        "setting": asdict(plan.setting),
+        "algorithms": [
+            {"name": spec.name, "params": dict(spec.params), "seed_sensitive": spec.seed_sensitive}
+            for spec in plan.algorithms
+        ],
+        "num_configurations": plan.num_configurations,
+        "target_throughputs": [float(rho) for rho in plan.target_throughputs],
+        "base_seed": plan.base_seed,
+    }
+
+
+def plan_from_dict(data: Mapping[str, Any]) -> ExperimentPlan:
+    """Rebuild an :class:`ExperimentPlan` from :func:`plan_to_dict` data."""
+    for key in ("name", "setting", "algorithms", "num_configurations", "target_throughputs"):
+        if key not in data:
+            raise ConfigurationError(f"plan data is missing the {key!r} field")
+    setting_data = dict(data["setting"])
+    for tuple_field in ("throughput_range", "cost_range", "target_throughputs"):
+        if tuple_field in setting_data:
+            setting_data[tuple_field] = tuple(setting_data[tuple_field])
+    return ExperimentPlan(
+        name=str(data["name"]),
+        setting=WorkloadSetting(**setting_data),
+        algorithms=tuple(
+            AlgorithmSpec(
+                name=str(entry["name"]),
+                params=dict(entry.get("params", {})),
+                seed_sensitive=bool(entry.get("seed_sensitive", False)),
+            )
+            for entry in data["algorithms"]
+        ),
+        num_configurations=int(data["num_configurations"]),
+        target_throughputs=tuple(float(rho) for rho in data["target_throughputs"]),
+        base_seed=int(data.get("base_seed", 2016)),
+    )
 
 
 def default_plan(

@@ -56,8 +56,15 @@ class FigureResult:
     description: str = ""
 
 
-def _run(plan: ExperimentPlan, progress: Callable[[str], None] | None) -> SweepResult:
-    return run_plan(plan, progress=progress)
+def _run(
+    plan: ExperimentPlan,
+    progress: Callable[[str], None] | None,
+    *,
+    backend=None,
+    store=None,
+    resume: bool = False,
+) -> SweepResult:
+    return run_plan(plan, backend=backend, store=store, resume=resume, progress=progress)
 
 
 # --------------------------------------------------------------------------- #
@@ -71,6 +78,9 @@ def figure3(
     target_throughputs: Sequence[int] | None = None,
     iterations: int = 1000,
     progress: Callable[[str], None] | None = None,
+    backend=None,
+    store=None,
+    resume: bool = False,
 ) -> FigureResult:
     """Figure 3: normalised cost vs optimal, small application graphs."""
     plan = default_plan(
@@ -79,7 +89,7 @@ def figure3(
         target_throughputs=target_throughputs,
         iterations=iterations,
     )
-    sweep = _run(plan, progress)
+    sweep = _run(plan, progress, backend=backend, store=store, resume=resume)
     return FigureResult(
         figure="figure3",
         series=normalized_cost_series(sweep),
@@ -95,12 +105,16 @@ def figure4(
     target_throughputs: Sequence[int] | None = None,
     iterations: int = 1000,
     progress: Callable[[str], None] | None = None,
+    backend=None,
+    store=None,
+    resume: bool = False,
     sweep: SweepResult | None = None,
 ) -> FigureResult:
     """Figure 4: number of times each algorithm finds the best solution (small graphs).
 
     Accepts a pre-computed sweep (e.g. the one from :func:`figure3`, which uses
-    the same setting) to avoid running the experiment twice.
+    the same setting) to avoid running the experiment twice; in that case no
+    new sweep runs, so ``backend``/``store``/``resume`` are ignored.
     """
     if sweep is None:
         plan = default_plan(
@@ -109,7 +123,7 @@ def figure4(
             target_throughputs=target_throughputs,
             iterations=iterations,
         )
-        sweep = _run(plan, progress)
+        sweep = _run(plan, progress, backend=backend, store=store, resume=resume)
     return FigureResult(
         figure="figure4",
         series=best_count_series(sweep),
@@ -125,9 +139,16 @@ def figure5(
     target_throughputs: Sequence[int] | None = None,
     iterations: int = 1000,
     progress: Callable[[str], None] | None = None,
+    backend=None,
+    store=None,
+    resume: bool = False,
     sweep: SweepResult | None = None,
 ) -> FigureResult:
-    """Figure 5: computation time of the algorithms (small graphs)."""
+    """Figure 5: computation time of the algorithms (small graphs).
+
+    Like :func:`figure4`, a pre-computed ``sweep`` short-circuits the run and
+    ``backend``/``store``/``resume`` are then ignored.
+    """
     if sweep is None:
         plan = default_plan(
             "small",
@@ -135,7 +156,7 @@ def figure5(
             target_throughputs=target_throughputs,
             iterations=iterations,
         )
-        sweep = _run(plan, progress)
+        sweep = _run(plan, progress, backend=backend, store=store, resume=resume)
     return FigureResult(
         figure="figure5",
         series=mean_time_series(sweep),
@@ -151,6 +172,9 @@ def figure6(
     target_throughputs: Sequence[int] | None = None,
     iterations: int = 1000,
     progress: Callable[[str], None] | None = None,
+    backend=None,
+    store=None,
+    resume: bool = False,
 ) -> FigureResult:
     """Figure 6: normalised cost, medium application graphs (10-20 tasks, 8 types)."""
     plan = default_plan(
@@ -159,7 +183,7 @@ def figure6(
         target_throughputs=target_throughputs,
         iterations=iterations,
     )
-    sweep = _run(plan, progress)
+    sweep = _run(plan, progress, backend=backend, store=store, resume=resume)
     return FigureResult(
         figure="figure6",
         series=normalized_cost_series(sweep),
@@ -175,6 +199,9 @@ def figure7(
     target_throughputs: Sequence[int] | None = None,
     iterations: int = 1000,
     progress: Callable[[str], None] | None = None,
+    backend=None,
+    store=None,
+    resume: bool = False,
 ) -> FigureResult:
     """Figure 7: normalised cost, large application graphs (50-100 tasks)."""
     plan = default_plan(
@@ -183,7 +210,7 @@ def figure7(
         target_throughputs=target_throughputs,
         iterations=iterations,
     )
-    sweep = _run(plan, progress)
+    sweep = _run(plan, progress, backend=backend, store=store, resume=resume)
     return FigureResult(
         figure="figure7",
         series=normalized_cost_series(sweep),
@@ -200,6 +227,9 @@ def figure8(
     iterations: int = 1000,
     ilp_time_limit: float = 100.0,
     progress: Callable[[str], None] | None = None,
+    backend=None,
+    store=None,
+    resume: bool = False,
 ) -> FigureResult:
     """Figure 8: computation time on the ILP stress setting (100-200 tasks, 50 types).
 
@@ -214,7 +244,7 @@ def figure8(
         iterations=iterations,
         ilp_time_limit=ilp_time_limit,
     )
-    sweep = _run(plan, progress)
+    sweep = _run(plan, progress, backend=backend, store=store, resume=resume)
     return FigureResult(
         figure="figure8",
         series=mean_time_series(sweep),
@@ -235,6 +265,7 @@ def ablation_iterations(
     num_configurations: int = 10,
     target_throughputs: Sequence[int] = (50, 100, 150, 200),
     progress: Callable[[str], None] | None = None,
+    backend=None,
 ) -> dict[int, FigureResult]:
     """Effect of the iteration budget on the iterative heuristics (H2/H31/H32Jump)."""
     results: dict[int, FigureResult] = {}
@@ -245,7 +276,7 @@ def ablation_iterations(
             target_throughputs=target_throughputs,
             iterations=int(budget),
         )
-        sweep = _run(plan, progress)
+        sweep = _run(plan, progress, backend=backend)
         results[int(budget)] = FigureResult(
             figure=f"ablation_iterations[{budget}]",
             series=normalized_cost_series(sweep),
@@ -262,6 +293,7 @@ def ablation_delta(
     target_throughputs: Sequence[int] = (50, 100, 150, 200),
     iterations: int = 1000,
     progress: Callable[[str], None] | None = None,
+    backend=None,
 ) -> dict[float, FigureResult]:
     """Effect of the throughput-exchange granularity ``delta`` on the heuristics."""
     from .config import AlgorithmSpec, ExperimentPlan
@@ -284,7 +316,7 @@ def ablation_delta(
             num_configurations=num_configurations,
             target_throughputs=tuple(target_throughputs),
         )
-        sweep = _run(plan, progress)
+        sweep = _run(plan, progress, backend=backend)
         results[float(delta)] = FigureResult(
             figure=f"ablation_delta[{delta:g}]",
             series=normalized_cost_series(sweep),
@@ -301,6 +333,7 @@ def ablation_mutation(
     target_throughputs: Sequence[int] = (50, 100, 150, 200),
     iterations: int = 1000,
     progress: Callable[[str], None] | None = None,
+    backend=None,
 ) -> dict[float, FigureResult]:
     """Effect of the alternative-graph mutation percentage (Section VIII-A remark).
 
@@ -324,7 +357,7 @@ def ablation_mutation(
             num_configurations=num_configurations,
             target_throughputs=tuple(target_throughputs),
         )
-        sweep = _run(plan, progress)
+        sweep = _run(plan, progress, backend=backend)
         results[float(fraction)] = FigureResult(
             figure=f"ablation_mutation[{fraction:g}]",
             series=normalized_cost_series(sweep),
@@ -339,6 +372,9 @@ def ablation_sharing(
     num_configurations: int = 10,
     target_throughputs: Sequence[int] = (50, 100, 150, 200),
     progress: Callable[[str], None] | None = None,
+    backend=None,
+    store=None,
+    resume: bool = False,
 ) -> FigureResult:
     """Benefit of sharing machines across recipes.
 
@@ -362,7 +398,7 @@ def ablation_sharing(
         num_configurations=num_configurations,
         target_throughputs=tuple(target_throughputs),
     )
-    sweep = _run(plan, progress)
+    sweep = _run(plan, progress, backend=backend, store=store, resume=resume)
     return FigureResult(
         figure="ablation_sharing",
         series=mean_cost_series(sweep),

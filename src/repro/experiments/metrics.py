@@ -53,11 +53,15 @@ class SeriesByAlgorithm:
 
 
 def _reference_costs(result: SweepResult, reference: str) -> dict[tuple[int, float], float]:
-    """Cost of the reference algorithm per (configuration, throughput)."""
+    """Cost of the reference algorithm per (configuration, throughput).
+
+    Keys use the sweep's canonical throughput values so lookups stay correct
+    for records whose float rho drifted within tolerance (e.g. after a
+    serialisation round-trip).
+    """
     refs: dict[tuple[int, float], float] = {}
-    for record in result.records:
-        if record.algorithm == reference:
-            refs[(record.configuration, record.rho)] = record.cost
+    for record in result.filter(algorithm=reference):
+        refs[(record.configuration, result.canonical_rho(record.rho))] = record.cost
     return refs
 
 
@@ -65,7 +69,7 @@ def _best_costs(result: SweepResult) -> dict[tuple[int, float], float]:
     """Best cost over all algorithms per (configuration, throughput)."""
     best: dict[tuple[int, float], float] = {}
     for record in result.records:
-        key = (record.configuration, record.rho)
+        key = (record.configuration, result.canonical_rho(record.rho))
         if key not in best or record.cost < best[key]:
             best[key] = record.cost
     return best
@@ -88,7 +92,7 @@ def normalized_cost_series(
         for name in algorithms:
             ratios = []
             for record in result.filter(algorithm=name, rho=rho):
-                ref = refs.get((record.configuration, record.rho))
+                ref = refs.get((record.configuration, result.canonical_rho(record.rho)))
                 if ref is None or record.cost <= 0:
                     continue
                 ratios.append(ref / record.cost)
@@ -113,7 +117,8 @@ def best_count_series(
         for name in algorithms:
             count = 0
             for record in result.filter(algorithm=name, rho=rho):
-                if record.cost <= best[(record.configuration, record.rho)] + tolerance:
+                key = (record.configuration, result.canonical_rho(record.rho))
+                if record.cost <= best[key] + tolerance:
                     count += 1
             series[name].append(float(count))
     return SeriesByAlgorithm(

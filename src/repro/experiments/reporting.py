@@ -12,12 +12,14 @@ import math
 from typing import Sequence
 
 from .metrics import SeriesByAlgorithm
+from .runner import SweepResult
 from .tables import PAPER_TABLE3_OPTIMAL_COSTS, Table3
 
 __all__ = [
     "format_table",
     "render_series",
     "render_table3",
+    "sweep_summary",
     "table3_vs_paper",
 ]
 
@@ -46,6 +48,18 @@ def render_series(series: SeriesByAlgorithm, *, title: str | None = None) -> str
     body = format_table(series.as_rows())
     label = f"[y-axis: {series.ylabel}]"
     return "\n".join(filter(None, [header, label, body]))
+
+
+def sweep_summary(result: SweepResult) -> str:
+    """One-line description of a sweep result (used by the CLI after a run)."""
+    throughputs = result.throughputs()
+    configurations = {record.configuration for record in result.records}
+    rho_span = f"{throughputs[0]:g}..{throughputs[-1]:g}" if throughputs else "none"
+    return (
+        f"sweep '{result.plan.name}': {len(result.records)} records, "
+        f"{len(configurations)} configurations, "
+        f"{len(result.algorithms())} algorithms, throughputs {rho_span}"
+    )
 
 
 def render_table3(table: Table3) -> str:

@@ -5,21 +5,42 @@ This is the reproduction of the paper's "cloud renting simulator"
 configuration and each target throughput, every algorithm is run and its cost
 and wall-clock time recorded.  The result is a flat list of
 :class:`RunRecord` rows that the metric and figure modules aggregate.
+
+Since PR 2 the runner is a thin driver over two collaborating layers:
+
+* an :class:`~repro.experiments.backends.ExecutionBackend` that executes the
+  sweep's picklable work units (serially or across a process pool) and streams
+  records back as units complete;
+* an optional :class:`~repro.experiments.store.SweepStore` that checkpoints
+  every completed unit to an append-only JSONL file so an interrupted sweep
+  can be resumed with ``resume=True``.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Iterator
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping
 
 import numpy as np
 
-from ..core.problem import MinCostProblem
-from ..generators.workload import Configuration, generate_configurations
-from ..utils.rng import derive_seed
+from ..core.exceptions import ConfigurationError
+from ..generators.workload import Configuration
+from ..utils.rng import derive_seed, stable_text_digest
 from .config import AlgorithmSpec, ExperimentPlan
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .backends import ExecutionBackend
+    from .store import SweepStore
+
 __all__ = ["RunRecord", "SweepResult", "run_plan", "run_configuration"]
+
+#: Tolerance for matching float throughput keys: two rho values closer than
+#: this belong to the same sweep point (guards against float drift introduced
+#: by serialisation or by callers passing ``50.000000001`` for ``50``).
+RHO_REL_TOL = 1e-9
+RHO_ABS_TOL = 1e-6
 
 
 @dataclass(frozen=True)
@@ -45,28 +66,132 @@ class RunRecord:
             "iterations": self.iterations,
         }
 
+    def identity(self) -> tuple:
+        """The reproducible fields — everything except wall-clock time.
+
+        The authoritative definition of "identical sweep results": two runs
+        agree iff their records' identities match pairwise.  The sweep
+        benchmark and the backend tests both compare through this.
+        """
+        return (
+            self.configuration,
+            self.rho,
+            self.algorithm,
+            self.cost,
+            self.optimal,
+            self.iterations,
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "RunRecord":
+        return cls(
+            configuration=int(data["configuration"]),
+            rho=float(data["rho"]),
+            algorithm=str(data["algorithm"]),
+            cost=float(data["cost"]),
+            time=float(data["time"]),
+            optimal=bool(data["optimal"]),
+            iterations=int(data["iterations"]),
+        )
+
 
 @dataclass
 class SweepResult:
-    """All records of a sweep plus the plan that produced them."""
+    """All records of a sweep plus the plan that produced them.
+
+    Lookups by (algorithm, throughput) go through keyed indices that are
+    built incrementally as records are appended, so the per-point accessors
+    used by the figure aggregations are O(1) in the sweep size instead of a
+    linear scan per call.  Throughput keys are matched with a small tolerance
+    (:data:`RHO_REL_TOL` / :data:`RHO_ABS_TOL`).
+
+    Treat ``records`` as append-only: appends, truncation and wholesale
+    replacement are detected and re-indexed, but swapping an interior record
+    in place while keeping the tail is not, and would serve stale lookups.
+    """
 
     plan: ExperimentPlan
     records: list[RunRecord] = field(default_factory=list)
 
+    # keyed indices, maintained lazily by _refresh_index()
+    _indexed: int = field(default=0, init=False, repr=False, compare=False)
+    _last_indexed: RunRecord | None = field(default=None, init=False, repr=False, compare=False)
+    _rhos: list[float] = field(default_factory=list, init=False, repr=False, compare=False)
+    _rho_lookup: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _by_algorithm: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _by_rho: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+    _by_key: dict = field(default_factory=dict, init=False, repr=False, compare=False)
+
+    # ------------------------------------------------------------------ #
+    # index maintenance
+    # ------------------------------------------------------------------ #
+    def _resolve_rho(self, rho: float) -> float | None:
+        """Map a query throughput to its canonical stored key (or ``None``)."""
+        rho = float(rho)
+        hit = self._rho_lookup.get(rho)
+        if hit is not None:
+            return hit
+        for canonical in self._rhos:
+            if math.isclose(canonical, rho, rel_tol=RHO_REL_TOL, abs_tol=RHO_ABS_TOL):
+                self._rho_lookup[rho] = canonical
+                return canonical
+        return None
+
+    def _refresh_index(self) -> None:
+        # Supported mutation patterns are append/extend, truncation and
+        # wholesale replacement; the identity probe on the last indexed
+        # record catches those.  Swapping an interior record in place while
+        # keeping the tail is not detected — treat records as append-only.
+        replaced = self._indexed > 0 and (
+            len(self.records) < self._indexed
+            or self.records[self._indexed - 1] is not self._last_indexed
+        )
+        if replaced:
+            self._indexed = 0
+            self._rhos.clear()
+            self._rho_lookup.clear()
+            self._by_algorithm.clear()
+            self._by_rho.clear()
+            self._by_key.clear()
+        for record in self.records[self._indexed :]:
+            canonical = self._resolve_rho(record.rho)
+            if canonical is None:
+                canonical = float(record.rho)
+                self._rhos.append(canonical)
+                self._rhos.sort()
+                self._rho_lookup[canonical] = canonical
+            self._by_algorithm.setdefault(record.algorithm, []).append(record)
+            self._by_rho.setdefault(canonical, []).append(record)
+            self._by_key.setdefault((record.algorithm, canonical), []).append(record)
+        self._indexed = len(self.records)
+        self._last_indexed = self.records[-1] if self.records else None
+
+    # ------------------------------------------------------------------ #
+    # accessors
     # ------------------------------------------------------------------ #
     def algorithms(self) -> list[str]:
         return [spec.name for spec in self.plan.algorithms]
 
     def throughputs(self) -> list[float]:
-        return sorted({r.rho for r in self.records})
+        self._refresh_index()
+        return list(self._rhos)
+
+    def canonical_rho(self, rho: float) -> float | None:
+        """The stored throughput key matching ``rho`` within tolerance."""
+        self._refresh_index()
+        return self._resolve_rho(rho)
 
     def filter(self, *, algorithm: str | None = None, rho: float | None = None) -> list[RunRecord]:
-        out = self.records
+        self._refresh_index()
+        if algorithm is not None and rho is not None:
+            canonical = self._resolve_rho(rho)
+            return list(self._by_key.get((algorithm, canonical), [])) if canonical is not None else []
         if algorithm is not None:
-            out = [r for r in out if r.algorithm == algorithm]
+            return list(self._by_algorithm.get(algorithm, []))
         if rho is not None:
-            out = [r for r in out if r.rho == rho]
-        return list(out)
+            canonical = self._resolve_rho(rho)
+            return list(self._by_rho.get(canonical, [])) if canonical is not None else []
+        return list(self.records)
 
     def costs_by(self, algorithm: str, rho: float) -> np.ndarray:
         return np.array([r.cost for r in self.filter(algorithm=algorithm, rho=rho)], dtype=float)
@@ -76,6 +201,26 @@ class SweepResult:
 
     def extend(self, records: Iterable[RunRecord]) -> None:
         self.records.extend(records)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path: str | Path) -> Path:
+        """Write the full result (plan header + one JSONL line per record)."""
+        from .store import save_sweep_result
+
+        return save_sweep_result(self, path)
+
+    @classmethod
+    def load(cls, path: str | Path, *, allow_partial: bool = False) -> "SweepResult":
+        """Inverse of :meth:`save`; also reads checkpoint files (unit lines).
+
+        An incomplete file (fewer records than its plan calls for) is refused
+        unless ``allow_partial``.
+        """
+        from .store import load_sweep_result
+
+        return load_sweep_result(path, allow_partial=allow_partial)
 
 
 def run_configuration(
@@ -90,7 +235,14 @@ def run_configuration(
     for rho in target_throughputs:
         problem = configuration.problem(rho)
         for spec in algorithms:
-            seed = derive_seed(base_seed, configuration.index, int(rho), hash(spec.name) & 0xFFFF)
+            # stable_text_digest (not hash()) so the seed is identical across
+            # interpreter runs and worker processes regardless of PYTHONHASHSEED
+            seed = derive_seed(
+                base_seed,
+                configuration.index,
+                int(rho),
+                stable_text_digest(spec.name, bits=16),
+            )
             solver = spec.build(seed=seed)
             result = solver.solve(problem, check=check)
             yield RunRecord(
@@ -107,38 +259,90 @@ def run_configuration(
 def run_plan(
     plan: ExperimentPlan,
     *,
+    backend: "ExecutionBackend | None" = None,
+    store: "SweepStore | str | Path | None" = None,
+    resume: bool = False,
     progress: Callable[[str], None] | None = None,
     check: bool = False,
+    chunk_size: int | None = None,
 ) -> SweepResult:
     """Execute a full experiment plan and collect every record.
 
     Parameters
     ----------
+    backend:
+        Execution backend (default: a fresh
+        :class:`~repro.experiments.backends.SerialBackend`).  Pass a
+        :class:`~repro.experiments.backends.ProcessPoolBackend` to shard the
+        sweep's work units across worker processes; results are identical to
+        the serial backend up to wall-clock timings — except for time-limited
+        algorithms (``time_limit`` in their params), whose incumbent-at-timeout
+        depends on how much CPU each worker gets (a ``RuntimeWarning`` is
+        emitted for such plans).
+    store:
+        Optional :class:`~repro.experiments.store.SweepStore` (or a path to
+        one) checkpointing each completed work unit to append-only JSONL.
+    resume:
+        With a store whose file already exists and matches the plan
+        fingerprint, skip the work units it has already completed.
     progress:
-        Optional callback invoked with a short message after each configuration
-        (the CLI passes ``print``).
+        Optional callback invoked with a short message after each completed
+        work unit (the CLI passes ``print``).
     check:
-        Re-verify the feasibility of every returned allocation (slower; used in
-        integration tests).
+        Re-verify the feasibility of every returned allocation (slower; used
+        in integration tests).
+    chunk_size:
+        Number of throughputs per work unit (default: all of them, i.e. one
+        unit per configuration, matching the paper's outer loop).
     """
-    result = SweepResult(plan=plan)
-    configurations = generate_configurations(
-        plan.setting, base_seed=plan.base_seed, count=plan.num_configurations
-    )
-    for configuration in configurations:
-        records = list(
-            run_configuration(
-                configuration,
-                plan.algorithms,
-                plan.target_throughputs,
-                base_seed=plan.base_seed,
-                check=check,
-            )
+    from .backends import SerialBackend, plan_work_units
+    from .store import SweepStore
+
+    if resume and store is None:
+        raise ConfigurationError("resume=True requires a store (the checkpoint to resume from)")
+    if isinstance(store, (str, Path)):
+        store = SweepStore(store)
+    if backend is None:
+        backend = SerialBackend()
+    elif not isinstance(backend, SerialBackend) and any(
+        "time_limit" in spec.params for spec in plan.algorithms
+    ):
+        import warnings
+
+        warnings.warn(
+            "plan contains time-limited algorithms; their incumbent-at-timeout "
+            "results depend on wall-clock, so a parallel run may not reproduce "
+            "a serial one exactly",
+            RuntimeWarning,
+            stacklevel=2,
         )
-        result.extend(records)
+    units = plan_work_units(plan, chunk_size=chunk_size)
+    total = len(units)
+    completed: dict[int, list[RunRecord]] = {}
+    if store is not None:
+        completed = store.initialize(plan, resume=resume, units=units)
+        if completed and progress is not None:
+            progress(f"[{plan.name}] resumed {len(completed)}/{total} work units from {store.path}")
+    pending = [unit for unit in units if unit.index not in completed]
+    for unit, records in backend.run(plan, pending, check=check):
+        completed[unit.index] = records
+        if store is not None:
+            store.append(unit, records)
         if progress is not None:
             progress(
-                f"[{plan.name}] configuration {configuration.index + 1}/{plan.num_configurations} done "
-                f"({len(records)} runs)"
+                f"[{plan.name}] work unit {len(completed)}/{total} done "
+                f"(configuration {unit.configuration + 1}/{plan.num_configurations}, "
+                f"{len(records)} runs)"
             )
+    # assemble in canonical unit order so serial and parallel sweeps agree
+    missing = [unit.index for unit in units if unit.index not in completed]
+    if missing:
+        raise ConfigurationError(
+            f"backend returned no result for {len(missing)} work unit(s) "
+            f"(indices {missing[:10]}{'...' if len(missing) > 10 else ''}); "
+            f"a conforming backend must yield every unit or raise"
+        )
+    result = SweepResult(plan=plan)
+    for unit in units:
+        result.extend(completed[unit.index])
     return result

@@ -1,0 +1,330 @@
+"""Persistence for sweeps: append-only JSONL checkpointing and result files.
+
+File format (one JSON object per line):
+
+* line 1 — a header ``{"kind": "header", "version": 1, "fingerprint": ...,
+  "plan": {...}}`` where ``fingerprint`` is the SHA-256 of the canonical plan
+  serialisation.  Resuming against a file whose fingerprint does not match
+  the current plan is refused — a checkpoint is only valid for the exact
+  sweep that produced it.
+* subsequent lines — either ``{"kind": "unit", "unit": {...},
+  "records": [...]}`` (one completed work unit, written by the checkpointing
+  runner) or ``{"kind": "record", ...}`` (one record, written by
+  :func:`save_sweep_result`).
+
+Each appended line is flushed and fsynced, so a sweep killed mid-run loses at
+most the line being written; :func:`repro.io.read_jsonl` drops a truncated
+final line when loading a checkpoint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Mapping
+
+from ..core.exceptions import ConfigurationError
+from ..io import append_jsonl, read_jsonl
+from .backends import WorkUnit
+from .config import ExperimentPlan, plan_from_dict, plan_to_dict
+from .runner import RunRecord, SweepResult
+
+__all__ = [
+    "plan_fingerprint",
+    "SweepStore",
+    "save_sweep_result",
+    "load_sweep_result",
+]
+
+_STORE_VERSION = 1
+
+
+def plan_fingerprint(plan: ExperimentPlan) -> str:
+    """SHA-256 of the canonical plan serialisation (hex digest)."""
+    canonical = json.dumps(plan_to_dict(plan), sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _header(plan: ExperimentPlan) -> dict:
+    return {
+        "kind": "header",
+        "version": _STORE_VERSION,
+        "fingerprint": plan_fingerprint(plan),
+        "plan": plan_to_dict(plan),
+    }
+
+
+def _check_header(row: Mapping, path: Path) -> Mapping:
+    if not isinstance(row, Mapping) or row.get("kind") != "header":
+        raise ConfigurationError(f"{path} does not start with a sweep header line")
+    if row.get("version") != _STORE_VERSION:
+        raise ConfigurationError(
+            f"{path} has store version {row.get('version')!r}, expected {_STORE_VERSION}"
+        )
+    return row
+
+
+class SweepStore:
+    """Append-only JSONL checkpoint store for one sweep file."""
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path)
+
+    # ------------------------------------------------------------------ #
+    def initialize(
+        self,
+        plan: ExperimentPlan,
+        *,
+        resume: bool = False,
+        units: list[WorkUnit] | None = None,
+    ) -> dict[int, list[RunRecord]]:
+        """Prepare the file for a run of ``plan``; return completed units.
+
+        Without ``resume`` the file is created with a fresh header and ``{}``
+        is returned; a file that already holds sweep data is refused (it must
+        be resumed or deleted explicitly, never silently overwritten).  With
+        ``resume`` the file must exist (a missing path is an error, not a
+        fresh start — it is usually a typo) and its fingerprint must match
+        ``plan`` and, when the current work-unit list ``units`` is
+        given, each checkpointed unit must match its counterpart (same
+        configuration and throughput chunk — a different ``chunk_size``
+        changes what a unit index means); completed units are returned keyed
+        by unit index so the runner can skip them.
+        """
+        if resume:
+            if not self.path.exists():
+                raise ConfigurationError(
+                    f"{self.path} does not exist; nothing to resume "
+                    f"(check the path, or drop resume to start a fresh sweep)"
+                )
+            _, completed, stored_units = self._load_checkpoint(plan)
+            if units is not None:
+                self._check_sharding(stored_units, units)
+            self._repair_truncated_tail()
+            return completed
+        if self.path.exists():
+            refusal = self._overwrite_refusal()
+            if refusal is not None:
+                raise ConfigurationError(refusal)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")
+        append_jsonl(self.path, _header(plan))
+        return {}
+
+    def append(self, unit: "WorkUnit", records: list[RunRecord]) -> None:
+        """Checkpoint one completed work unit (durable append)."""
+        append_jsonl(
+            self.path,
+            {
+                "kind": "unit",
+                "unit": unit.as_dict(),
+                "records": [record.as_dict() for record in records],
+            },
+        )
+
+    # ------------------------------------------------------------------ #
+    def _overwrite_refusal(self) -> str | None:
+        """Why the existing file must not be overwritten (``None`` if it may).
+
+        Only an empty file or a bare sweep header (an aborted run that never
+        completed a unit) may be recreated.  Everything else is refused,
+        conservatively: a populated checkpoint or result file, an unreadable
+        file (a corrupt interior line in an otherwise recoverable
+        checkpoint), and any file that is not a sweep file at all (a mistyped
+        ``--out`` pointing at unrelated data).
+        """
+        try:
+            rows = read_jsonl(self.path, ignore_truncated=True)
+        except ConfigurationError:
+            return (
+                f"{self.path} exists but cannot be parsed; refusing to overwrite it "
+                f"(delete the file to start over)"
+            )
+        if not rows:
+            if self.path.stat().st_size > 0:
+                # non-empty but nothing parsed: a lone malformed line is
+                # forgiven by read_jsonl, yet the file is not ours to wipe
+                return (
+                    f"{self.path} exists and is not a sweep checkpoint; refusing to "
+                    f"overwrite it (pick another path or delete the file)"
+                )
+            return None
+        first = rows[0]
+        if not (isinstance(first, dict) and first.get("kind") == "header"):
+            return (
+                f"{self.path} exists and is not a sweep checkpoint; refusing to "
+                f"overwrite it (pick another path or delete the file)"
+            )
+        if any(isinstance(row, dict) and row.get("kind") in ("unit", "record") for row in rows[1:]):
+            return (
+                f"{self.path} already holds sweep data; resume the checkpoint with "
+                f"resume=True (--resume on the command line), or delete the file "
+                f"to start over"
+            )
+        return None
+
+    def _check_sharding(self, stored_units: dict[int, dict], units: list[WorkUnit]) -> None:
+        for index, stored in stored_units.items():
+            current = units[index].as_dict() if 0 <= index < len(units) else None
+            if current != stored:
+                raise ConfigurationError(
+                    f"{self.path} was checkpointed with a different work-unit sharding "
+                    f"(unit {index}: stored {stored}, current {current}); resume with "
+                    f"the same chunk_size the original run used"
+                )
+
+    def _repair_truncated_tail(self) -> None:
+        """Prune trailing garbage left behind by a kill mid-append.
+
+        ``read_jsonl`` forgives a malformed *final* line, but once the
+        resumed run appends new units that line becomes an interior one and
+        the file is permanently unreadable — so before anything is appended
+        the tail is truncated back to the last line that parses as JSON
+        (restoring a missing final newline on the way).
+        """
+        data = self.path.read_bytes()
+        if not data:
+            return
+        end = len(data)
+        needs_newline = False
+        while end > 0:
+            content_end = end - 1 if data[end - 1] == 0x0A else end
+            boundary = data.rfind(b"\n", 0, content_end)
+            segment = data[boundary + 1 : content_end]
+            if segment.strip():
+                try:
+                    json.loads(segment.decode("utf-8"))
+                except (UnicodeDecodeError, json.JSONDecodeError):
+                    pass
+                else:
+                    needs_newline = content_end == end  # valid line missing its \n
+                    break
+            end = boundary + 1  # drop the blank/garbage segment, look further back
+        if end == len(data) and not needs_newline:
+            return
+        with self.path.open("r+b") as handle:
+            handle.truncate(end)
+            if needs_newline:
+                handle.seek(0, 2)
+                handle.write(b"\n")
+
+    def _load_checkpoint(
+        self, plan: ExperimentPlan | None
+    ) -> tuple[ExperimentPlan, dict[int, list[RunRecord]], dict[int, dict]]:
+        rows = read_jsonl(self.path, ignore_truncated=True)
+        if not rows:
+            raise ConfigurationError(f"{self.path} is empty, not a sweep checkpoint")
+        header = _check_header(rows[0], self.path)
+        stored_plan = plan_from_dict(header["plan"])
+        if plan is not None and header["fingerprint"] != plan_fingerprint(plan):
+            raise ConfigurationError(
+                f"{self.path} was written by a different plan "
+                f"(fingerprint {header['fingerprint'][:12]}... != "
+                f"{plan_fingerprint(plan)[:12]}...); refusing to resume"
+            )
+        completed: dict[int, list[RunRecord]] = {}
+        stored_units: dict[int, dict] = {}
+        for number, row in enumerate(rows[1:], start=2):
+            if not isinstance(row, Mapping):
+                raise ConfigurationError(
+                    f"{self.path} line {number} is not a JSON object, not a sweep checkpoint"
+                )
+            if row.get("kind") == "record":
+                # a save_sweep_result file: its records are not keyed by work
+                # unit, so resuming against it would re-run the whole sweep
+                # and append duplicates of every record
+                raise ConfigurationError(
+                    f"{self.path} is a saved sweep result, not a resumable checkpoint "
+                    f"(checkpoints are written by run_plan(store=...)); load it with "
+                    f"SweepResult.load instead"
+                )
+            if row.get("kind") != "unit":
+                continue
+            unit = WorkUnit.from_dict(row["unit"])
+            completed[unit.index] = [RunRecord.from_dict(entry) for entry in row["records"]]
+            stored_units[unit.index] = unit.as_dict()
+        return stored_plan, completed, stored_units
+
+
+def _ends_with_newline(path: Path) -> bool:
+    with path.open("rb") as handle:
+        handle.seek(0, os.SEEK_END)
+        if handle.tell() == 0:
+            return False
+        handle.seek(-1, os.SEEK_END)
+        return handle.read(1) == b"\n"
+
+
+def save_sweep_result(result: SweepResult, path: str | Path) -> Path:
+    """Write a complete :class:`SweepResult` (header + one line per record).
+
+    The write is atomic (temp file + rename), so an interrupted save never
+    leaves a partial result file behind — the target either keeps its old
+    content or holds the complete new one.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(_header(result.plan), sort_keys=True, separators=(",", ":")) + "\n")
+        for record in result.records:
+            row = {"kind": "record", **record.as_dict()}
+            handle.write(json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return path
+
+
+def load_sweep_result(path: str | Path, *, allow_partial: bool = False) -> SweepResult:
+    """Read a sweep file written by :func:`save_sweep_result` or a checkpoint.
+
+    Checkpoint files ("unit" lines) are merged in canonical unit order, so a
+    resumed-and-completed checkpoint loads record-for-record identical to the
+    uninterrupted sweep's :func:`save_sweep_result` output.
+
+    A file holding fewer records than its header's plan calls for (an
+    interrupted, never-resumed checkpoint) is refused unless
+    ``allow_partial`` — figure aggregations over silently incomplete sweeps
+    produce misleading curves.
+    """
+    path = Path(path)
+    rows = read_jsonl(path, ignore_truncated=True)
+    if not rows:
+        raise ConfigurationError(f"{path} is empty, not a sweep file")
+    header = _check_header(rows[0], path)
+    plan = plan_from_dict(header["plan"])
+    result = SweepResult(plan=plan)
+    units: dict[int, list[RunRecord]] = {}
+    saw_record = False
+    for number, row in enumerate(rows[1:], start=2):
+        if not isinstance(row, Mapping):
+            raise ConfigurationError(f"{path} line {number} is not a JSON object")
+        kind = row.get("kind")
+        if kind == "record":
+            saw_record = True
+            result.records.append(RunRecord.from_dict(row))
+        elif kind == "unit":
+            unit = WorkUnit.from_dict(row["unit"])
+            units[unit.index] = [RunRecord.from_dict(entry) for entry in row["records"]]
+    if saw_record and not _ends_with_newline(path):
+        # a torn tail is tolerable in an append-only checkpoint (the lost unit
+        # just re-runs on resume) but in a save_sweep_result file it means the
+        # save never completed — don't silently aggregate over missing records
+        raise ConfigurationError(
+            f"{path} ends mid-line; the save that wrote it did not complete"
+        )
+    for index in sorted(units):
+        result.extend(units[index])
+    expected = (
+        plan.num_configurations * len(plan.target_throughputs) * len(plan.algorithms)
+    )
+    if len(result.records) != expected and not allow_partial:
+        raise ConfigurationError(
+            f"{path} holds {len(result.records)} of the {expected} records its plan "
+            f"calls for (incomplete sweep); resume it, or pass allow_partial=True to "
+            f"load it anyway"
+        )
+    return result

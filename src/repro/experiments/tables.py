@@ -22,7 +22,7 @@ from ..core.platform import CloudPlatform
 from ..core.problem import MinCostProblem
 from ..solvers.base import Solver
 from ..solvers.registry import create_solver
-from ..utils.rng import derive_seed
+from ..utils.rng import derive_seed, stable_text_digest
 
 __all__ = [
     "illustrating_application",
@@ -122,7 +122,9 @@ def reproduce_table3(
         problem = illustrating_problem(rho)
         entries: dict[str, tuple[tuple[float, ...], float]] = {}
         for name in algorithms:
-            solver = _build_table_solver(name, iterations, derive_seed(base_seed, rho, hash(name) & 0xFFFF))
+            solver = _build_table_solver(
+                name, iterations, derive_seed(base_seed, rho, stable_text_digest(name, bits=16))
+            )
             result = solver.solve(problem)
             entries[name] = (result.allocation.split.as_tuple(), float(result.cost))
         table.rows.append(Table3Row(rho=int(rho), entries=entries))

@@ -17,6 +17,7 @@ from .workload import (
     Configuration,
     WorkloadSetting,
     generate_configuration,
+    generate_configuration_at,
     generate_configurations,
     get_setting,
 )
@@ -41,6 +42,7 @@ __all__ = [
     "Configuration",
     "WorkloadSetting",
     "generate_configuration",
+    "generate_configuration_at",
     "generate_configurations",
     "get_setting",
 ]

@@ -33,7 +33,7 @@ from ..core.application import Application
 from ..core.exceptions import ConfigurationError
 from ..core.platform import CloudPlatform
 from ..core.problem import MinCostProblem
-from ..utils.rng import spawn_generators
+from ..utils.rng import spawn_generators, stable_text_digest
 from .graph_gen import RecipeSetSpec, generate_application
 from .platform_gen import PlatformSpec, generate_platform
 
@@ -43,6 +43,7 @@ __all__ = [
     "PAPER_SETTINGS",
     "get_setting",
     "generate_configuration",
+    "generate_configuration_at",
     "generate_configurations",
 ]
 
@@ -161,6 +162,49 @@ def generate_configuration(
     )
 
 
+def _configuration_seed_sequence(
+    setting: WorkloadSetting, base_seed: int, index: int
+) -> np.random.SeedSequence:
+    """The seed sequence of configuration ``index`` of a sweep.
+
+    Equals the ``index``-th child of ``SeedSequence(entropy).spawn(count)`` for
+    any ``count > index``, so configurations can be regenerated independently
+    (e.g. inside a worker process) without iterating the whole sweep.  The
+    setting name is folded in with :func:`stable_text_digest` rather than
+    ``hash`` so the stream does not depend on ``PYTHONHASHSEED``.
+    """
+    entropy = [base_seed, stable_text_digest(setting.name)]
+    return np.random.SeedSequence(entropy, spawn_key=(index,))
+
+
+def generate_configuration_at(
+    setting: WorkloadSetting,
+    *,
+    base_seed: int = 0,
+    index: int,
+) -> Configuration:
+    """Regenerate configuration ``index`` of the sweep seeded with ``base_seed``.
+
+    Produces exactly the configuration that :func:`generate_configurations`
+    yields at position ``index``, without generating its predecessors — the
+    random-access entry point used by parallel execution backends.
+    """
+    if index < 0:
+        raise ConfigurationError(f"configuration index must be non-negative, got {index}")
+    rng = np.random.default_rng(_configuration_seed_sequence(setting, base_seed, index))
+    app_rng, platform_rng = spawn_generators(rng, 2)
+    application = generate_application(
+        setting.recipe_spec(), app_rng, name=f"{setting.name}-app-{index}"
+    )
+    platform = generate_platform(
+        setting.platform_spec(), platform_rng, name=f"{setting.name}-cloud-{index}"
+    )
+    return Configuration(
+        index=index, setting=setting, application=application,
+        platform=platform, seed=base_seed,
+    )
+
+
 def generate_configurations(
     setting: WorkloadSetting,
     *,
@@ -171,18 +215,5 @@ def generate_configurations(
     count = setting.num_configurations if count is None else count
     if count <= 0:
         raise ConfigurationError(f"configuration count must be positive, got {count}")
-    seq = np.random.SeedSequence([base_seed, hash(setting.name) & 0x7FFFFFFF])
-    children = seq.spawn(count)
-    for index, child in enumerate(children):
-        rng = np.random.default_rng(child)
-        app_rng, platform_rng = spawn_generators(rng, 2)
-        application = generate_application(
-            setting.recipe_spec(), app_rng, name=f"{setting.name}-app-{index}"
-        )
-        platform = generate_platform(
-            setting.platform_spec(), platform_rng, name=f"{setting.name}-cloud-{index}"
-        )
-        yield Configuration(
-            index=index, setting=setting, application=application,
-            platform=platform, seed=base_seed,
-        )
+    for index in range(count):
+        yield generate_configuration_at(setting, base_seed=base_seed, index=index)

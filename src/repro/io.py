@@ -20,6 +20,7 @@ by hand or by other tools.
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Any, Mapping
 
@@ -32,6 +33,8 @@ from .core.problem import MinCostProblem
 from .core.task import Task
 
 __all__ = [
+    "append_jsonl",
+    "read_jsonl",
     "application_to_dict",
     "application_from_dict",
     "platform_to_dict",
@@ -47,6 +50,47 @@ __all__ = [
 ]
 
 _SCHEMA_VERSION = 1
+
+
+# --------------------------------------------------------------------------- #
+# JSONL primitives (used by the sweep checkpoint store)
+# --------------------------------------------------------------------------- #
+
+
+def append_jsonl(path: str | Path, obj: Any) -> None:
+    """Append one JSON object as a single line to ``path``, flushed to disk.
+
+    The flush + fsync makes each line a durable checkpoint: a process killed
+    mid-sweep loses at most the line being written, which
+    :func:`read_jsonl` tolerates (see ``ignore_truncated``).
+    """
+    line = json.dumps(obj, sort_keys=True, separators=(",", ":"))
+    with Path(path).open("a", encoding="utf-8") as handle:
+        handle.write(line + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def read_jsonl(path: str | Path, *, ignore_truncated: bool = False) -> list[Any]:
+    """Read all JSON objects of a JSONL file.
+
+    With ``ignore_truncated`` a malformed *final* line (the telltale of a
+    process killed mid-append) is silently dropped; malformed lines elsewhere
+    still raise :class:`ConfigurationError`.
+    """
+    path = Path(path)
+    rows: list[Any] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    for number, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            if ignore_truncated and number == len(lines) - 1:
+                break
+            raise ConfigurationError(f"{path}:{number + 1} is not valid JSON: {exc}") from None
+    return rows
 
 
 # --------------------------------------------------------------------------- #

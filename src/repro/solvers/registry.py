@@ -13,7 +13,13 @@ from typing import Callable, Iterable
 from ..core.exceptions import ConfigurationError
 from .base import Solver
 
-__all__ = ["register_solver", "create_solver", "available_solvers", "create_solvers"]
+__all__ = [
+    "register_solver",
+    "create_solver",
+    "available_solvers",
+    "create_solvers",
+    "ensure_default_solvers",
+]
 
 _REGISTRY: dict[str, Callable[..., Solver]] = {}
 
@@ -69,6 +75,17 @@ def create_solvers(names: Iterable[str], **common_kwargs) -> list[Solver]:
                     kwargs[arg] = value
         solvers.append(factory(**kwargs))
     return solvers
+
+
+def ensure_default_solvers() -> None:
+    """Make sure the built-in algorithms are registered (idempotent).
+
+    Importing :mod:`repro` registers them once; execution backends call this
+    from worker processes so a sweep work unit can rebuild its
+    :class:`~repro.experiments.config.AlgorithmSpec` solvers regardless of how
+    the worker was started (fork, spawn, forkserver).
+    """
+    _register_defaults()
 
 
 def _register_defaults() -> None:

@@ -1,6 +1,12 @@
 """Utility helpers: seeded RNG plumbing, timing, argument validation."""
 
-from .rng import as_generator, derive_seed, random_partition, spawn_generators
+from .rng import (
+    as_generator,
+    derive_seed,
+    random_partition,
+    spawn_generators,
+    stable_text_digest,
+)
 from .timing import Deadline, Stopwatch, timed
 from .validation import (
     require_in_range,
@@ -16,6 +22,7 @@ __all__ = [
     "derive_seed",
     "random_partition",
     "spawn_generators",
+    "stable_text_digest",
     "Deadline",
     "Stopwatch",
     "timed",

@@ -10,11 +10,18 @@ depend on execution order.
 
 from __future__ import annotations
 
+import hashlib
 from typing import Sequence
 
 import numpy as np
 
-__all__ = ["as_generator", "spawn_generators", "derive_seed", "random_partition"]
+__all__ = [
+    "as_generator",
+    "spawn_generators",
+    "derive_seed",
+    "stable_text_digest",
+    "random_partition",
+]
 
 
 def as_generator(seed: int | np.random.Generator | None = None) -> np.random.Generator:
@@ -42,6 +49,20 @@ def derive_seed(base_seed: int, *components: int) -> int:
     """Deterministically derive a 63-bit seed from a base seed and indices."""
     seq = np.random.SeedSequence([base_seed, *components])
     return int(seq.generate_state(1, dtype=np.uint64)[0] & 0x7FFF_FFFF_FFFF_FFFF)
+
+
+def stable_text_digest(text: str, *, bits: int = 31) -> int:
+    """A deterministic integer digest of ``text``.
+
+    Unlike the built-in ``hash``, the result does not depend on
+    ``PYTHONHASHSEED`` and is therefore identical across interpreter runs and
+    across worker processes — required wherever a name (algorithm, setting) is
+    folded into a seed derivation.
+    """
+    if not 1 <= bits <= 256:
+        raise ValueError(f"bits must be in [1, 256], got {bits}")
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest, "big") & ((1 << bits) - 1)
 
 
 def random_partition(

@@ -1,0 +1,407 @@
+"""Tests for the sweep orchestration layers: backends, checkpoint store, resume."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.experiments.backends import (
+    ProcessPoolBackend,
+    SerialBackend,
+    WorkUnit,
+    execute_work_unit,
+    plan_work_units,
+)
+from repro.experiments.config import AlgorithmSpec, default_plan, plan_from_dict, plan_to_dict
+from repro.experiments.runner import RunRecord, SweepResult, run_plan
+from repro.experiments.store import SweepStore, load_sweep_result, plan_fingerprint
+
+
+def small_plan(num_configurations=2, throughputs=(50, 100), algorithms=("ILP", "H1", "H2")):
+    plan = default_plan(
+        "small",
+        num_configurations=num_configurations,
+        target_throughputs=throughputs,
+        iterations=100,
+    )
+    return replace(plan, algorithms=tuple(a for a in plan.algorithms if a.name in algorithms))
+
+
+def record_key(record: RunRecord) -> tuple:
+    """Everything except wall-clock time, which differs between any two runs."""
+    return record.identity()
+
+
+@pytest.fixture(scope="module")
+def serial_result() -> SweepResult:
+    return run_plan(small_plan(), backend=SerialBackend())
+
+
+class TestWorkUnits:
+    def test_default_chunking_is_one_unit_per_configuration(self):
+        units = plan_work_units(small_plan(num_configurations=3))
+        assert len(units) == 3
+        assert [u.configuration for u in units] == [0, 1, 2]
+        assert all(u.throughputs == (50.0, 100.0) for u in units)
+        assert [u.index for u in units] == [0, 1, 2]
+
+    def test_chunked_units_cover_the_sweep(self):
+        plan = small_plan(num_configurations=2, throughputs=(30, 60, 90))
+        units = plan_work_units(plan, chunk_size=2)
+        assert len(units) == 4
+        covered = {(u.configuration, rho) for u in units for rho in u.throughputs}
+        assert covered == {(c, float(r)) for c in (0, 1) for r in (30, 60, 90)}
+
+    def test_invalid_chunk_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_work_units(small_plan(), chunk_size=0)
+
+    def test_unit_round_trips_through_dict(self):
+        unit = WorkUnit(index=3, configuration=1, throughputs=(40.0, 80.0))
+        assert WorkUnit.from_dict(unit.as_dict()) == unit
+
+    def test_execute_work_unit_matches_run_plan_slice(self, serial_result):
+        plan = small_plan()
+        unit = plan_work_units(plan)[1]
+        records = execute_work_unit(plan, unit)
+        expected = [r for r in serial_result.records if r.configuration == 1]
+        assert [record_key(r) for r in records] == [record_key(r) for r in expected]
+
+
+class TestProcessPoolBackend:
+    def test_parallel_identical_to_serial(self, serial_result):
+        parallel = run_plan(small_plan(), backend=ProcessPoolBackend(2))
+        assert [record_key(r) for r in parallel.records] == [
+            record_key(r) for r in serial_result.records
+        ]
+
+    def test_parallel_identical_with_small_chunks(self, serial_result):
+        parallel = run_plan(small_plan(), backend=ProcessPoolBackend(2), chunk_size=1)
+        assert [record_key(r) for r in parallel.records] == [
+            record_key(r) for r in serial_result.records
+        ]
+
+    def test_backend_dropping_units_is_reported(self):
+        class LossyBackend:
+            def run(self, plan, units, *, check=False):
+                for unit in units[:-1]:  # silently loses the last unit
+                    yield unit, execute_work_unit(plan, unit, check=check)
+
+        with pytest.raises(ConfigurationError, match="no result for 1 work unit"):
+            run_plan(small_plan(num_configurations=2), backend=LossyBackend())
+
+    def test_time_limited_plan_warns_when_parallelised(self):
+        plan = small_plan(num_configurations=1, throughputs=(50,))
+        limited = replace(
+            plan,
+            algorithms=(AlgorithmSpec("ILP", {"time_limit": 100.0}),) + plan.algorithms[1:],
+        )
+        with pytest.warns(RuntimeWarning, match="time-limited"):
+            run_plan(limited, backend=ProcessPoolBackend(2))
+        # no warning for the serial backend or deterministic plans
+        run_plan(limited)
+        run_plan(plan, backend=ProcessPoolBackend(2))
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(0)
+        with pytest.raises(ConfigurationError):
+            ProcessPoolBackend(2, max_pending=0)
+
+    def test_abandoning_the_result_stream_does_not_block(self):
+        # an interrupted driver closes the generator; the pool must shut down
+        # promptly (cancelling queued units) instead of draining the sweep
+        plan = small_plan(num_configurations=3)
+        units = plan_work_units(plan)
+        stream = ProcessPoolBackend(2, max_pending=1).run(plan, units)
+        unit, records = next(stream)
+        assert records
+        stream.close()  # must not hang waiting for the remaining units
+
+
+class TestStore:
+    def test_checkpoint_load_matches_run(self, tmp_path, serial_result):
+        path = tmp_path / "sweep.jsonl"
+        run_plan(small_plan(), store=SweepStore(path))
+        loaded = load_sweep_result(path)
+        assert [record_key(r) for r in loaded.records] == [
+            record_key(r) for r in serial_result.records
+        ]
+        assert plan_fingerprint(loaded.plan) == plan_fingerprint(serial_result.plan)
+
+    def test_save_load_round_trip(self, tmp_path, serial_result):
+        path = tmp_path / "result.jsonl"
+        serial_result.save(path)
+        loaded = SweepResult.load(path)
+        assert [r.as_dict() for r in loaded.records] == [
+            r.as_dict() for r in serial_result.records
+        ]
+
+    def test_resume_with_mismatched_plan_refused(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        run_plan(small_plan(), store=SweepStore(path))
+        other = small_plan(num_configurations=3)
+        with pytest.raises(ConfigurationError, match="different plan"):
+            run_plan(other, store=SweepStore(path), resume=True)
+
+    def test_plan_round_trips_through_dict(self):
+        plan = small_plan()
+        assert plan_from_dict(plan_to_dict(plan)) == plan
+        assert plan_fingerprint(plan_from_dict(plan_to_dict(plan))) == plan_fingerprint(plan)
+
+    def test_fingerprint_agnostic_to_int_vs_float_throughputs(self):
+        ints = small_plan(throughputs=(50, 100))
+        floats = small_plan(throughputs=(50.0, 100.0))
+        assert plan_fingerprint(ints) == plan_fingerprint(floats)
+
+    def test_truncated_final_line_is_ignored_on_resume(self, tmp_path, serial_result):
+        path = tmp_path / "sweep.jsonl"
+        run_plan(small_plan(), store=SweepStore(path))
+        with path.open("a") as handle:
+            handle.write('{"kind": "unit", "unit": {"index"')  # killed mid-append
+        resumed = run_plan(small_plan(), store=SweepStore(path), resume=True)
+        assert [record_key(r) for r in resumed.records] == [
+            record_key(r) for r in serial_result.records
+        ]
+        # the resume repaired the tail: the file is clean JSONL again
+        assert path.read_bytes().endswith(b"\n")
+        load_sweep_result(path)
+
+    def test_resume_appends_cleanly_after_mid_append_kill(self, tmp_path):
+        # a partial trailing line must not swallow the first resumed append
+        plan = small_plan(num_configurations=3)
+        uninterrupted = run_plan(plan)
+        path = tmp_path / "sweep.jsonl"
+        done = 0
+
+        def tripwire(_msg):
+            nonlocal done
+            done += 1
+            if done >= 1:
+                raise RuntimeError("interrupt")
+
+        with pytest.raises(RuntimeError):
+            run_plan(plan, store=SweepStore(path), progress=tripwire)
+        with path.open("a") as handle:
+            handle.write('{"kind": "unit", "unit": {"index"')  # killed mid-append
+        resumed = run_plan(plan, store=SweepStore(path), resume=True)
+        assert [record_key(r) for r in resumed.records] == [
+            record_key(r) for r in uninterrupted.records
+        ]
+        # the completed file has no malformed interior line
+        completed = load_sweep_result(path)
+        assert [record_key(r) for r in completed.records] == [
+            record_key(r) for r in uninterrupted.records
+        ]
+
+    def test_corrupt_terminated_final_line_pruned_on_resume(self, tmp_path):
+        # a malformed but newline-terminated final line must not survive the
+        # resume, or it would become an unreadable interior line
+        plan = small_plan(num_configurations=3)
+        uninterrupted = run_plan(plan)
+        path = tmp_path / "sweep.jsonl"
+        done = 0
+
+        def tripwire(_msg):
+            nonlocal done
+            done += 1
+            if done >= 1:
+                raise RuntimeError("interrupt")
+
+        with pytest.raises(RuntimeError):
+            run_plan(plan, store=SweepStore(path), progress=tripwire)
+        with path.open("a") as handle:
+            handle.write('{"kind": "unit", "corrupt\n')  # terminated garbage
+        resumed = run_plan(plan, store=SweepStore(path), resume=True)
+        assert [record_key(r) for r in resumed.records] == [
+            record_key(r) for r in uninterrupted.records
+        ]
+        completed = load_sweep_result(path)  # must not raise on interior lines
+        assert [record_key(r) for r in completed.records] == [
+            record_key(r) for r in uninterrupted.records
+        ]
+
+    def test_overwriting_a_populated_checkpoint_is_refused(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        run_plan(small_plan(), store=SweepStore(path))
+        with pytest.raises(ConfigurationError, match="resume=True"):
+            run_plan(small_plan(), store=SweepStore(path))
+
+    def test_overwriting_an_unreadable_checkpoint_is_refused(self, tmp_path):
+        # a corrupt interior line makes the file unreadable, but it may still
+        # hold recoverable units — refuse to wipe it
+        path = tmp_path / "sweep.jsonl"
+        run_plan(small_plan(), store=SweepStore(path))
+        lines = path.read_text().splitlines()
+        lines.insert(1, "{not json")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="refusing to overwrite"):
+            run_plan(small_plan(), store=SweepStore(path))
+
+    def test_resume_of_missing_file_is_an_error(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="nothing to resume"):
+            run_plan(small_plan(), store=SweepStore(tmp_path / "typo.jsonl"), resume=True)
+
+    def test_resume_without_store_is_an_error(self):
+        with pytest.raises(ConfigurationError, match="requires a store"):
+            run_plan(small_plan(), resume=True)
+
+    def test_torn_result_file_fails_to_load(self, tmp_path, serial_result):
+        # a save that never completed must not silently load fewer records
+        path = tmp_path / "result.jsonl"
+        serial_result.save(path)
+        data = path.read_bytes()
+        path.write_bytes(data[:-10])  # chop mid-record
+        with pytest.raises(ConfigurationError, match="did not complete"):
+            SweepResult.load(path)
+
+    def test_non_object_line_reports_location(self, tmp_path, serial_result):
+        path = tmp_path / "sweep.jsonl"
+        run_plan(small_plan(), store=SweepStore(path))
+        lines = path.read_text().splitlines()
+        lines.insert(1, "123")  # valid JSON, not an object
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ConfigurationError, match="line 2"):
+            load_sweep_result(path)
+        with pytest.raises(ConfigurationError, match="line 2"):
+            run_plan(small_plan(), store=SweepStore(path), resume=True)
+
+    def test_overwriting_an_unrelated_file_is_refused(self, tmp_path):
+        # a mistyped --out pointing at unrelated data must never be wiped
+        path = tmp_path / "events.jsonl"
+        path.write_text('{"event": "deploy", "ok": true}\n')
+        with pytest.raises(ConfigurationError, match="not a sweep checkpoint"):
+            run_plan(small_plan(), store=SweepStore(path))
+        assert path.read_text() == '{"event": "deploy", "ok": true}\n'
+
+    def test_overwriting_a_plain_text_file_is_refused(self, tmp_path):
+        # a single non-JSON line is forgiven by the JSONL reader (it looks
+        # like a torn final line) but must still not be wiped
+        path = tmp_path / "notes.txt"
+        path.write_text("do not lose me")
+        with pytest.raises(ConfigurationError, match="not a sweep checkpoint"):
+            run_plan(small_plan(), store=SweepStore(path))
+        assert path.read_text() == "do not lose me"
+
+    def test_header_only_checkpoint_may_be_recreated(self, tmp_path):
+        # an aborted run that never completed a unit is safe to start over
+        path = tmp_path / "sweep.jsonl"
+        store = SweepStore(path)
+        store.initialize(small_plan())
+        result = run_plan(small_plan(), store=SweepStore(path))
+        assert len(result.records) > 0
+
+    def test_resume_against_a_saved_result_file_is_refused(self, tmp_path, serial_result):
+        # a save()d result is loadable but not resumable: resuming it would
+        # re-run everything and append duplicate records
+        path = tmp_path / "result.jsonl"
+        serial_result.save(path)
+        with pytest.raises(ConfigurationError, match="not a resumable checkpoint"):
+            run_plan(small_plan(), store=SweepStore(path), resume=True)
+        with pytest.raises(ConfigurationError, match="already holds sweep data"):
+            run_plan(small_plan(), store=SweepStore(path))  # and never overwritten
+        assert len(SweepResult.load(path).records) == len(serial_result.records)
+
+    def test_resume_with_different_chunking_refused(self, tmp_path):
+        plan = small_plan(num_configurations=3)
+        path = tmp_path / "sweep.jsonl"
+        done = 0
+
+        def tripwire(_msg):
+            nonlocal done
+            done += 1
+            if done >= 1:
+                raise RuntimeError("interrupt")
+
+        with pytest.raises(RuntimeError):
+            run_plan(plan, store=SweepStore(path), chunk_size=1, progress=tripwire)
+        with pytest.raises(ConfigurationError, match="sharding"):
+            run_plan(plan, store=SweepStore(path), resume=True)  # default chunking
+
+
+class TestResumeAfterInterrupt:
+    class _Interrupt(Exception):
+        pass
+
+    def test_resume_reproduces_uninterrupted_run(self, tmp_path):
+        plan = small_plan(num_configurations=3)
+        uninterrupted = run_plan(plan)
+
+        path = tmp_path / "sweep.jsonl"
+        done = 0
+
+        def tripwire(_msg):
+            nonlocal done
+            done += 1
+            if done >= 2:
+                raise self._Interrupt
+
+        with pytest.raises(self._Interrupt):
+            run_plan(plan, store=SweepStore(path), progress=tripwire)
+
+        # the killed run checkpointed exactly the completed units; a partial
+        # checkpoint only loads when asked for explicitly
+        with pytest.raises(ConfigurationError, match="incomplete sweep"):
+            load_sweep_result(path)
+        partial = load_sweep_result(path, allow_partial=True)
+        assert 0 < len(partial.records) < len(uninterrupted.records)
+
+        messages = []
+        resumed = run_plan(plan, store=SweepStore(path), resume=True, progress=messages.append)
+        assert any("resumed" in m for m in messages)
+        assert [record_key(r) for r in resumed.records] == [
+            record_key(r) for r in uninterrupted.records
+        ]
+        # and the completed checkpoint now loads identically too
+        completed = load_sweep_result(path)
+        assert [record_key(r) for r in completed.records] == [
+            record_key(r) for r in uninterrupted.records
+        ]
+
+    def test_resume_on_parallel_backend(self, tmp_path):
+        plan = small_plan(num_configurations=3)
+        uninterrupted = run_plan(plan)
+        path = tmp_path / "sweep.jsonl"
+        done = 0
+
+        def tripwire(_msg):
+            nonlocal done
+            done += 1
+            if done >= 1:
+                raise self._Interrupt
+
+        with pytest.raises(self._Interrupt):
+            run_plan(plan, store=SweepStore(path), progress=tripwire)
+        resumed = run_plan(
+            plan, store=SweepStore(path), resume=True, backend=ProcessPoolBackend(2)
+        )
+        assert [record_key(r) for r in resumed.records] == [
+            record_key(r) for r in uninterrupted.records
+        ]
+
+
+class TestFloatThroughputKeys:
+    def test_costs_by_tolerates_float_drift(self, serial_result):
+        exact = serial_result.costs_by("ILP", 50.0)
+        drifted = serial_result.costs_by("ILP", 50.0 + 4e-7)
+        assert exact.shape == drifted.shape == (2,)
+        assert (exact == drifted).all()
+
+    def test_filter_tolerates_float_drift(self, serial_result):
+        assert serial_result.filter(rho=100.0 - 2e-7) == serial_result.filter(rho=100.0)
+
+    def test_distant_rho_finds_nothing(self, serial_result):
+        assert serial_result.filter(algorithm="ILP", rho=51.0) == []
+        assert serial_result.costs_by("ILP", 51.0).size == 0
+
+    def test_throughputs_do_not_duplicate_close_keys(self, serial_result):
+        assert serial_result.throughputs() == [50.0, 100.0]
+
+    def test_index_rebuilt_after_records_replaced_in_place(self):
+        plan = small_plan()
+        sweep = run_plan(plan)
+        assert sweep.costs_by("ILP", 50.0).size == 2  # index built
+        kept = [r for r in sweep.records if r.configuration == 0]
+        sweep.records[:] = kept  # same list object, new contents
+        assert sweep.costs_by("ILP", 50.0).size == 1
+        assert all(r.configuration == 0 for r in sweep.filter(algorithm="H1"))

@@ -97,6 +97,41 @@ class TestConfigurationGeneration:
         with pytest.raises(ConfigurationError):
             list(generate_configurations(get_setting("small"), count=0))
 
+    def test_random_access_matches_iteration(self):
+        # generate_configuration_at(index=i) must reproduce exactly the i-th
+        # yielded configuration — parallel workers rely on this equivalence.
+        from repro.generators import generate_configuration_at
+
+        setting = get_setting("small")
+        iterated = list(generate_configurations(setting, base_seed=7, count=3))
+        for index in (2, 0, 1):  # out of order, as a process pool would
+            direct = generate_configuration_at(setting, base_seed=7, index=index)
+            expected = iterated[index]
+            assert direct.index == expected.index
+            assert direct.application.type_counts() == expected.application.type_counts()
+            assert [(p.cost, p.throughput) for p in direct.platform] == [
+                (p.cost, p.throughput) for p in expected.platform
+            ]
+
+    def test_random_access_pinned_golden_values(self):
+        # generate_configurations delegates to generate_configuration_at, so
+        # the equivalence test above cannot catch a drift in the shared seed
+        # derivation — these pinned values can.  A change here invalidates
+        # every existing checkpoint and reshuffles all sweeps.
+        from repro.generators import generate_configuration_at
+
+        config = generate_configuration_at(get_setting("small"), base_seed=7, index=0)
+        assert config.application.type_counts()[0] == {5: 2, 1: 2, 4: 1, 3: 2, 2: 1}
+        assert [(p.type_id, p.cost, p.throughput) for p in config.platform][:3] == [
+            (1, 58, 34), (2, 31, 59), (3, 38, 70),
+        ]
+
+    def test_random_access_negative_index_rejected(self):
+        from repro.generators import generate_configuration_at
+
+        with pytest.raises(ConfigurationError):
+            generate_configuration_at(get_setting("small"), base_seed=0, index=-1)
+
     def test_every_generated_problem_is_solvable(self):
         # The platform always offers types 1..Q and recipes only use those,
         # so building the MinCOST problem never raises.

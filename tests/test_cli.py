@@ -50,6 +50,44 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "normalised cost" in out and "H32Jump" in out
 
+    def test_figure_rejects_empty_throughputs(self, capsys):
+        code = main(["figure", "figure3", "--configurations", "1", "--throughputs", "--quiet"])
+        assert code == 2
+        assert "--throughputs requires at least one value" in capsys.readouterr().err
+
+    def test_figure_rejects_resume_without_out(self, capsys):
+        code = main(["figure", "figure3", "--configurations", "1", "--resume", "--quiet"])
+        assert code == 2
+        assert "--resume requires --out" in capsys.readouterr().err
+
+    def test_figure_rejects_bad_worker_count(self, capsys):
+        code = main(["figure", "figure3", "--configurations", "1", "--workers", "0", "--quiet"])
+        assert code == 2
+        assert "--workers" in capsys.readouterr().err
+
+    def test_figure_with_workers_and_checkpoint(self, capsys, tmp_path):
+        out_file = tmp_path / "sweep.jsonl"
+        args = ["figure", "figure3", "--configurations", "2", "--throughputs", "60",
+                "--iterations", "60", "--workers", "2", "--out", str(out_file), "--quiet"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert "normalised cost" in first
+        assert out_file.exists()
+
+        from repro.experiments import SweepResult
+
+        checkpoint = SweepResult.load(out_file)
+        assert len(checkpoint.records) > 0
+
+        # resuming a finished sweep re-reads the checkpoint instead of re-running
+        assert main(args + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+
+        # re-running without --resume must not wipe the checkpoint
+        assert main(args) == 2
+        assert "resume=True" in capsys.readouterr().err
+        assert len(SweepResult.load(out_file).records) == len(checkpoint.records)
+
     def test_table3_command(self, capsys):
         assert main(["table3", "--iterations", "200"]) == 0
         out = capsys.readouterr().out
