@@ -1,0 +1,166 @@
+"""Benchmark of the validation campaign layer: serial vs pool vs resume.
+
+Builds a small captured sweep (allocations attached to every record), derives
+a validation campaign over two horizons and a 5 % stress multiplier, runs it
+three ways and records wall-clock into ``BENCH_validation.json``:
+
+* **serial** — :class:`SerialBackend`;
+* **parallel** — :class:`ProcessPoolBackend` with ``--workers`` processes,
+  asserting the record lines are **byte-identical** to the serial run (the
+  simulation is deterministic and the records carry no wall-clock, so the
+  canonical JSON of every record must match exactly);
+* **resume** — the campaign is interrupted after a fixed number of
+  checkpointed work units and resumed, asserting byte-identity again.
+
+Run directly to emit ``BENCH_validation.json`` next to this file::
+
+    PYTHONPATH=src python benchmarks/bench_validation.py [--smoke] [--workers N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.backends import ProcessPoolBackend, SerialBackend
+from repro.experiments.config import default_plan
+from repro.experiments.runner import run_plan
+from repro.experiments.validation import (
+    CampaignResult,
+    ValidationPlan,
+    ValidationStore,
+    plan_from_sweep,
+    run_validation,
+)
+
+
+def build_campaign(smoke: bool) -> ValidationPlan:
+    from dataclasses import replace
+
+    plan = default_plan(
+        "small",
+        num_configurations=2 if smoke else 4,
+        target_throughputs=(40, 80) if smoke else (20, 60, 100, 140),
+        iterations=120 if smoke else 400,
+    )
+    keep = ("ILP", "H1", "H2", "H32")
+    plan = replace(plan, algorithms=tuple(a for a in plan.algorithms if a.name in keep))
+    sweep = run_plan(plan, capture_allocations=True)
+    return plan_from_sweep(
+        sweep,
+        horizons=(10.0,) if smoke else (25.0, 50.0),
+        rate_multipliers=(1.0, 1.05),
+    )
+
+
+def record_lines(campaign: CampaignResult) -> list[str]:
+    """Canonical JSONL line of every record — the byte-identity criterion."""
+    return [
+        json.dumps(record.as_dict(), sort_keys=True, separators=(",", ":"))
+        for record in campaign.records
+    ]
+
+
+class _InterruptCampaign(Exception):
+    pass
+
+
+def run_interrupted_then_resume(
+    plan: ValidationPlan, path: Path, stop_after: int
+) -> CampaignResult:
+    """Kill a checkpointed campaign after ``stop_after`` units, then resume it."""
+    completed = 0
+
+    def tripwire(_msg: str) -> None:
+        nonlocal completed
+        completed += 1
+        if completed >= stop_after:
+            raise _InterruptCampaign
+
+    store = ValidationStore(path)
+    try:
+        run_validation(plan, store=store, progress=tripwire)
+        raise RuntimeError("campaign finished before the interrupt fired; lower stop_after")
+    except _InterruptCampaign:
+        pass
+    return run_validation(plan, store=store, resume=True)
+
+
+def run(smoke: bool, workers: int) -> dict:
+    t0 = time.perf_counter()
+    plan = build_campaign(smoke)
+    sweep_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    serial = run_validation(plan)
+    serial_seconds = time.perf_counter() - t0
+    serial_lines = record_lines(serial)
+
+    t0 = time.perf_counter()
+    parallel = run_validation(plan, backend=ProcessPoolBackend(workers))
+    parallel_seconds = time.perf_counter() - t0
+    parallel_identical = record_lines(parallel) == serial_lines
+
+    with tempfile.TemporaryDirectory() as tmp:
+        resumed = run_interrupted_then_resume(plan, Path(tmp) / "campaign.jsonl", stop_after=2)
+    resume_identical = record_lines(resumed) == serial_lines
+
+    import os
+
+    worst = serial.worst_ratio()
+    return {
+        "benchmark": "validation",
+        "smoke": smoke,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "campaign": {
+            "sweep": plan.sweep_plan.name,
+            "allocations": len(plan.sources),
+            "horizons": list(plan.horizons),
+            "rate_multipliers": list(plan.rate_multipliers),
+            "simulations": plan.num_simulations,
+        },
+        "records": len(serial.records),
+        "worst_throughput_ratio": worst,
+        "sweep_seconds": sweep_seconds,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf"),
+        "parallel_identical": parallel_identical,
+        "resume_identical": resume_identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="reduced sizes for CI")
+    parser.add_argument("--workers", type=int, default=2, help="process-pool width")
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).parent / "BENCH_validation.json"
+    )
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke, workers=args.workers)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"validation ({report['records']} records over "
+          f"{report['campaign']['simulations']} simulations)  "
+          f"serial={report['serial_seconds']:.2f}s  "
+          f"parallel[{report['workers']}]={report['parallel_seconds']:.2f}s  "
+          f"speedup={report['speedup']:.2f}x")
+    print(f"worst achieved/target ratio: {report['worst_throughput_ratio']:.3f}")
+    print(f"parallel byte-identical to serial: {report['parallel_identical']}")
+    print(f"resume byte-identical to serial:   {report['resume_identical']}")
+    print(f"report written to {args.out}")
+
+    if not (report["parallel_identical"] and report["resume_identical"]):
+        print("FAIL: parallel/resumed campaign diverges from the serial run", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,7 @@ throughput and the allocation realising it.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 from ..core.allocation import Allocation
@@ -57,8 +58,14 @@ def max_throughput_for_budget(
     budget:
         Hourly budget (strictly positive).
     solver:
-        MinCOST algorithm used at each probe (exact MILP by default; a
-        heuristic gives a conservative, still-feasible answer).
+        MinCOST algorithm used at each probe (exact MILP by default).  The
+        bisection relies on the probed costs forming a non-decreasing
+        staircase in the target throughput, which only an exact solver
+        guarantees; a heuristic's cost curve can dip and rise, so with
+        ``solver.exact`` false a :class:`RuntimeWarning` is emitted and the
+        answer is conservative — the returned throughput is affordable (its
+        probe succeeded), but a larger affordable target may have been
+        discarded by a noisy over-estimate at one probe.
     max_throughput:
         Upper bound of the search.  Defaults to a bound derived from the
         budget: with the cheapest recipe ``j*`` the fractional cost of one unit
@@ -72,6 +79,15 @@ def max_throughput_for_budget(
     if step <= 0:
         raise ProblemError(f"step must be strictly positive, got {step}")
     solver = solver or MilpSolver()
+    if not solver.exact:
+        warnings.warn(
+            f"budget search with the non-exact solver {solver.name!r}: the "
+            f"bisection assumes the probed cost is non-decreasing in the "
+            f"target throughput, which heuristics do not guarantee — the "
+            f"result is affordable but may undershoot the best throughput",
+            RuntimeWarning,
+            stacklevel=2,
+        )
 
     unit_cost = float(problem.unit_costs_per_recipe.min())
     if max_throughput is None:
@@ -82,8 +98,6 @@ def max_throughput_for_budget(
     best_allocation: Allocation | None = None
     best_cost = 0.0
 
-    # Check the smallest positive target first: if even `step` is unaffordable
-    # the budget buys nothing.
     while lo_units < hi_units:
         mid = (lo_units + hi_units + 1) // 2
         rho = mid * step

@@ -9,6 +9,10 @@ Sub-commands
 ``figure``
     Regenerate one of Figures 3-8 (scaled down by default; pass
     ``--configurations 100`` for the paper-scale run) and print the series.
+``validate``
+    Replay every allocation of a captured sweep through the stream simulator
+    (a validation campaign over horizons x arrival-rate multipliers), with
+    the same ``--workers``/``--out``/``--resume`` machinery as ``figure``.
 ``solve``
     Solve the illustrating example (or a randomly generated instance) at a
     given throughput with a chosen algorithm and print the allocation.
@@ -49,7 +53,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument("--seed", type=int, default=2016, help="base random seed")
 
     p_fig = sub.add_parser("figure", help="regenerate one of the paper's figures")
-    p_fig.add_argument("name", choices=sorted(FIGURES), help="figure to regenerate")
+    p_fig.add_argument("name", choices=sorted(FIGURES),
+                       help="figure to regenerate (only the paper's figures are registered "
+                            "here; the ablation studies are available programmatically via "
+                            "repro.experiments.figures.ablation_*)")
     p_fig.add_argument("--configurations", type=int, default=5,
                        help="number of random configurations (paper: 100)")
     p_fig.add_argument("--iterations", type=int, default=1000, help="heuristic iteration budget")
@@ -62,7 +69,40 @@ def build_parser() -> argparse.ArgumentParser:
                             "is appended so an interrupted sweep can be resumed")
     p_fig.add_argument("--resume", action="store_true",
                        help="resume from the --out checkpoint, skipping completed work units")
+    p_fig.add_argument("--capture-allocations", action="store_true",
+                       help="record each solved allocation (split + machine counts) in the "
+                            "sweep records, so 'validate' can replay them without re-solving")
     p_fig.add_argument("--quiet", action="store_true", help="suppress progress messages")
+
+    p_val = sub.add_parser(
+        "validate",
+        help="replay a sweep's allocations through the stream simulator "
+             "(validation campaign)",
+    )
+    p_val.add_argument("sweep", type=Path,
+                       help="sweep checkpoint/result JSONL (written by 'figure --out'; "
+                            "capture allocations with --capture-allocations to skip "
+                            "re-solving)")
+    p_val.add_argument("--horizons", type=float, nargs="+", default=[50.0],
+                       help="simulated durations (time units) per allocation")
+    p_val.add_argument("--multipliers", type=float, nargs="+", default=[1.0],
+                       help="arrival-rate multipliers on each allocation's target "
+                            "throughput (e.g. 1.0 1.05 adds a 5%% stress point)")
+    p_val.add_argument("--warmup", type=float, default=0.1,
+                       help="fraction of the horizon excluded from the throughput "
+                            "measurement")
+    p_val.add_argument("--max-datasets", type=int, default=None,
+                       help="cap the number of injected data sets per simulation")
+    p_val.add_argument("--algorithms", nargs="*", default=None,
+                       help="restrict the campaign to these sweep algorithms")
+    p_val.add_argument("--workers", type=int, default=None,
+                       help="worker processes for the campaign (default: run serially)")
+    p_val.add_argument("--out", type=Path, default=None,
+                       help="JSONL checkpoint file; every completed work unit is appended "
+                            "so an interrupted campaign can be resumed")
+    p_val.add_argument("--resume", action="store_true",
+                       help="resume from the --out checkpoint, skipping completed work units")
+    p_val.add_argument("--quiet", action="store_true", help="suppress progress messages")
 
     p_solve = sub.add_parser("solve", help="solve one MinCOST instance and print the allocation")
     p_solve.add_argument("--algorithm", default="ILP", help="algorithm name (see 'settings')")
@@ -87,6 +127,23 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parallel_run_args(args: argparse.Namespace) -> "tuple[object, str | None]":
+    """Validate the shared --workers/--resume/--out flags; return (backend, error).
+
+    ``backend`` is ``None`` when the caller should use its default (serial)
+    backend; a non-``None`` error message means the invocation is invalid.
+    """
+    if args.workers is not None and args.workers < 1:
+        return None, f"--workers must be >= 1, got {args.workers}"
+    if args.resume and args.out is None:
+        return None, "--resume requires --out (the checkpoint file to resume from)"
+    if args.workers is not None and args.workers > 1:
+        return ProcessPoolBackend(args.workers), None
+    if args.workers is not None:
+        return SerialBackend(), None
+    return None, None
+
+
 def _cmd_figure(args: argparse.Namespace) -> int:
     progress = None if args.quiet else (lambda msg: print(msg, file=sys.stderr))
     kwargs: dict = {
@@ -100,19 +157,17 @@ def _cmd_figure(args: argparse.Namespace) -> int:
             print("error: --throughputs requires at least one value", file=sys.stderr)
             return 2
         kwargs["target_throughputs"] = tuple(args.throughputs)
-    if args.workers is not None and args.workers < 1:
-        print(f"error: --workers must be >= 1, got {args.workers}", file=sys.stderr)
+    backend, error = _parallel_run_args(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
         return 2
-    if args.resume and args.out is None:
-        print("error: --resume requires --out (the checkpoint file to resume from)", file=sys.stderr)
-        return 2
-    if args.workers is not None and args.workers > 1:
-        kwargs["backend"] = ProcessPoolBackend(args.workers)
-    elif args.workers is not None:
-        kwargs["backend"] = SerialBackend()
+    if backend is not None:
+        kwargs["backend"] = backend
     if args.out is not None:
         kwargs["store"] = SweepStore(args.out)
         kwargs["resume"] = args.resume
+    if args.capture_allocations:
+        kwargs["capture_allocations"] = True
     try:
         result = FIGURES[args.name](**kwargs)
     except ConfigurationError as exc:
@@ -122,6 +177,92 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     print(render_series(result.series))
     if args.out is not None:
         print(f"{sweep_summary(result.sweep)} -> {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .experiments.runner import SweepResult
+    from .experiments.validation import (
+        backlog_series,
+        latency_series,
+        plan_from_sweep,
+        reorder_peak_series,
+        run_validation,
+        throughput_ratio_series,
+        utilization_series,
+    )
+
+    progress = None if args.quiet else (lambda msg: print(msg, file=sys.stderr))
+    # "--algorithms" (given but empty) is an error, unlike the flag being absent
+    if args.algorithms is not None and not args.algorithms:
+        print("error: --algorithms requires at least one name", file=sys.stderr)
+        return 2
+    backend, error = _parallel_run_args(args)
+    if error is not None:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    try:
+        sweep = SweepResult.load(args.sweep, allow_partial=True)
+    except OSError as exc:
+        print(f"error: cannot read sweep file {args.sweep}: {exc}", file=sys.stderr)
+        return 2
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    expected_records = (
+        sweep.plan.num_configurations
+        * len(sweep.plan.target_throughputs)
+        * len(sweep.plan.algorithms)
+    )
+    if len(sweep.records) != expected_records:
+        print(
+            f"warning: {args.sweep} holds {len(sweep.records)} of the "
+            f"{expected_records} records its plan calls for (incomplete sweep); "
+            f"only those allocations are validated — resume the sweep for full "
+            f"coverage",
+            file=sys.stderr,
+        )
+    try:
+        plan = plan_from_sweep(
+            sweep,
+            horizons=args.horizons,
+            rate_multipliers=args.multipliers,
+            warmup_fraction=args.warmup,
+            max_datasets=args.max_datasets,
+            algorithms=args.algorithms,
+        )
+        campaign = run_validation(
+            plan,
+            backend=backend,
+            store=args.out,
+            resume=args.resume,
+            progress=progress,
+        )
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    captured = sum(1 for source in plan.sources if source.payload is not None)
+    print(
+        f"validation campaign '{plan.name}': {len(campaign.records)} simulations "
+        f"({len(plan.sources)} allocations, {captured} captured / "
+        f"{len(plan.sources) - captured} re-solved, horizons "
+        f"{', '.join(f'{h:g}' for h in plan.horizons)}, rate multipliers "
+        f"{', '.join(f'{m:g}' for m in plan.rate_multipliers)})"
+    )
+    for multiplier in plan.rate_multipliers:
+        print()
+        print(f"--- arrival rate x{multiplier:g} ---")
+        print(render_series(throughput_ratio_series(campaign, rate_multiplier=multiplier)))
+        print(render_series(latency_series(campaign, rate_multiplier=multiplier)))
+        print(render_series(utilization_series(campaign, rate_multiplier=multiplier)))
+    print()
+    print(render_series(reorder_peak_series(campaign)))
+    print(render_series(backlog_series(campaign)))
+    worst = campaign.worst_ratio()
+    print()
+    print(f"worst achieved/target ratio over the campaign: {worst:.3f}")
+    if args.out is not None:
+        print(f"campaign checkpoint -> {args.out}", file=sys.stderr)
     return 0
 
 
@@ -167,6 +308,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     handlers = {
         "table3": _cmd_table3,
         "figure": _cmd_figure,
+        "validate": _cmd_validate,
         "solve": _cmd_solve,
         "settings": _cmd_settings,
     }

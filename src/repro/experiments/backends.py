@@ -21,6 +21,11 @@ Two backends are provided:
   fan-out that yields results in completion order.  The driver
   (:func:`~repro.experiments.runner.run_plan`) reassembles records in
   canonical unit order, so completion order never leaks into results.
+
+Both backends execute through the generic :func:`execute_unit` dispatch, so
+any picklable (plan, unit) pair following the ``unit.execute(plan, ...)``
+convention rides the same machinery — the validation campaigns of
+:mod:`repro.experiments.validation` reuse the backends this way.
 """
 
 from __future__ import annotations
@@ -39,6 +44,7 @@ __all__ = [
     "WorkUnit",
     "plan_work_units",
     "execute_work_unit",
+    "execute_unit",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
@@ -73,6 +79,14 @@ class WorkUnit:
             throughputs=tuple(float(rho) for rho in data["throughputs"]),
         )
 
+    def execute(
+        self, plan: ExperimentPlan, *, check: bool = False, capture_allocations: bool = False
+    ) -> list[RunRecord]:
+        """Run this unit against its plan (see :func:`execute_work_unit`)."""
+        return execute_work_unit(
+            plan, self, check=check, capture_allocations=capture_allocations
+        )
+
 
 def plan_work_units(plan: ExperimentPlan, *, chunk_size: int | None = None) -> list[WorkUnit]:
     """Shard a plan into its canonical list of work units.
@@ -101,7 +115,13 @@ def plan_work_units(plan: ExperimentPlan, *, chunk_size: int | None = None) -> l
     return units
 
 
-def execute_work_unit(plan: ExperimentPlan, unit: WorkUnit, *, check: bool = False) -> list[RunRecord]:
+def execute_work_unit(
+    plan: ExperimentPlan,
+    unit: WorkUnit,
+    *,
+    check: bool = False,
+    capture_allocations: bool = False,
+) -> list[RunRecord]:
     """Run one work unit and return its records (worker-process entry point).
 
     Regenerates the unit's configuration from the plan seeds, so the only
@@ -119,13 +139,49 @@ def execute_work_unit(plan: ExperimentPlan, unit: WorkUnit, *, check: bool = Fal
             unit.throughputs,
             base_seed=plan.base_seed,
             check=check,
+            capture_allocations=capture_allocations,
         )
+    )
+
+
+def execute_unit(plan, unit, *, check: bool = False, capture_allocations: bool = False) -> list:
+    """Execute any work unit against its plan (generic worker entry point).
+
+    Both backends funnel through this function so that any plan/unit pair
+    implementing the ``unit.execute(plan, *, check, capture_allocations)``
+    convention — the sweep's :class:`WorkUnit` as well as the validation
+    campaign's units (:mod:`repro.experiments.validation`) — runs on the same
+    execution machinery.
+    """
+    return unit.execute(plan, check=check, capture_allocations=capture_allocations)
+
+
+#: The plan of the pool this worker process belongs to, set once by the pool
+#: initializer.  Shipping the plan per *worker* instead of per *submit*
+#: matters for validation campaigns, whose plan embeds every captured
+#: allocation payload and can reach megabytes at paper scale.
+_WORKER_PLAN = None
+
+
+def _initialize_worker(plan) -> None:
+    global _WORKER_PLAN
+    _WORKER_PLAN = plan
+
+
+def _execute_with_worker_plan(unit, *, check: bool = False, capture_allocations: bool = False):
+    return execute_unit(
+        _WORKER_PLAN, unit, check=check, capture_allocations=capture_allocations
     )
 
 
 @runtime_checkable
 class ExecutionBackend(Protocol):
-    """Executes work units, streaming ``(unit, records)`` as units complete."""
+    """Executes work units, streaming ``(unit, records)`` as units complete.
+
+    The driver passes ``capture_allocations`` only when it is requested, so a
+    minimal backend implementing just ``run(plan, units, *, check=False)``
+    stays conformant for plain sweeps.
+    """
 
     def run(
         self, plan: ExperimentPlan, units: Sequence[WorkUnit], *, check: bool = False
@@ -137,10 +193,17 @@ class SerialBackend:
     """In-process execution, one unit at a time, in canonical order."""
 
     def run(
-        self, plan: ExperimentPlan, units: Sequence[WorkUnit], *, check: bool = False
-    ) -> Iterator[tuple[WorkUnit, list[RunRecord]]]:
+        self,
+        plan,
+        units: Sequence,
+        *,
+        check: bool = False,
+        capture_allocations: bool = False,
+    ) -> Iterator[tuple]:
         for unit in units:
-            yield unit, execute_work_unit(plan, unit, check=check)
+            yield unit, execute_unit(
+                plan, unit, check=check, capture_allocations=capture_allocations
+            )
 
 
 class ProcessPoolBackend:
@@ -168,22 +231,43 @@ class ProcessPoolBackend:
             raise ConfigurationError(f"max_pending must be >= 1, got {self.max_pending}")
 
     def run(
-        self, plan: ExperimentPlan, units: Sequence[WorkUnit], *, check: bool = False
-    ) -> Iterator[tuple[WorkUnit, list[RunRecord]]]:
+        self,
+        plan,
+        units: Sequence,
+        *,
+        check: bool = False,
+        capture_allocations: bool = False,
+    ) -> Iterator[tuple]:
         import multiprocessing
 
         queue = list(units)
         if not queue:  # e.g. resuming an already-complete checkpoint
             return
         context = multiprocessing.get_context(self.mp_context) if self.mp_context else None
-        pool = ProcessPoolExecutor(max_workers=self.workers, mp_context=context)
+        # the plan is pickled once per worker (initializer), not once per
+        # submitted unit — only the small unit value objects travel per task
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=_initialize_worker,
+            initargs=(plan,),
+        )
         finished = False
+
+        def submit(unit):
+            return pool.submit(
+                _execute_with_worker_plan,
+                unit,
+                check=check,
+                capture_allocations=capture_allocations,
+            )
+
         try:
             pending = {}
             position = 0
             while position < len(queue) and len(pending) < self.max_pending:
                 unit = queue[position]
-                pending[pool.submit(execute_work_unit, plan, unit, check=check)] = unit
+                pending[submit(unit)] = unit
                 position += 1
             while pending:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
@@ -192,7 +276,7 @@ class ProcessPoolBackend:
                     yield unit, future.result()
                     if position < len(queue):
                         refill = queue[position]
-                        pending[pool.submit(execute_work_unit, plan, refill, check=check)] = refill
+                        pending[submit(refill)] = refill
                         position += 1
             finished = True
         finally:

@@ -63,8 +63,16 @@ def _run(
     backend=None,
     store=None,
     resume: bool = False,
+    capture_allocations: bool = False,
 ) -> SweepResult:
-    return run_plan(plan, backend=backend, store=store, resume=resume, progress=progress)
+    return run_plan(
+        plan,
+        backend=backend,
+        store=store,
+        resume=resume,
+        progress=progress,
+        capture_allocations=capture_allocations,
+    )
 
 
 # --------------------------------------------------------------------------- #
@@ -81,6 +89,7 @@ def figure3(
     backend=None,
     store=None,
     resume: bool = False,
+    capture_allocations: bool = False,
 ) -> FigureResult:
     """Figure 3: normalised cost vs optimal, small application graphs."""
     plan = default_plan(
@@ -89,7 +98,8 @@ def figure3(
         target_throughputs=target_throughputs,
         iterations=iterations,
     )
-    sweep = _run(plan, progress, backend=backend, store=store, resume=resume)
+    sweep = _run(plan, progress, backend=backend, store=store, resume=resume,
+                 capture_allocations=capture_allocations)
     return FigureResult(
         figure="figure3",
         series=normalized_cost_series(sweep),
@@ -108,6 +118,7 @@ def figure4(
     backend=None,
     store=None,
     resume: bool = False,
+    capture_allocations: bool = False,
     sweep: SweepResult | None = None,
 ) -> FigureResult:
     """Figure 4: number of times each algorithm finds the best solution (small graphs).
@@ -123,7 +134,8 @@ def figure4(
             target_throughputs=target_throughputs,
             iterations=iterations,
         )
-        sweep = _run(plan, progress, backend=backend, store=store, resume=resume)
+        sweep = _run(plan, progress, backend=backend, store=store, resume=resume,
+                 capture_allocations=capture_allocations)
     return FigureResult(
         figure="figure4",
         series=best_count_series(sweep),
@@ -142,6 +154,7 @@ def figure5(
     backend=None,
     store=None,
     resume: bool = False,
+    capture_allocations: bool = False,
     sweep: SweepResult | None = None,
 ) -> FigureResult:
     """Figure 5: computation time of the algorithms (small graphs).
@@ -156,7 +169,8 @@ def figure5(
             target_throughputs=target_throughputs,
             iterations=iterations,
         )
-        sweep = _run(plan, progress, backend=backend, store=store, resume=resume)
+        sweep = _run(plan, progress, backend=backend, store=store, resume=resume,
+                 capture_allocations=capture_allocations)
     return FigureResult(
         figure="figure5",
         series=mean_time_series(sweep),
@@ -175,6 +189,7 @@ def figure6(
     backend=None,
     store=None,
     resume: bool = False,
+    capture_allocations: bool = False,
 ) -> FigureResult:
     """Figure 6: normalised cost, medium application graphs (10-20 tasks, 8 types)."""
     plan = default_plan(
@@ -183,7 +198,8 @@ def figure6(
         target_throughputs=target_throughputs,
         iterations=iterations,
     )
-    sweep = _run(plan, progress, backend=backend, store=store, resume=resume)
+    sweep = _run(plan, progress, backend=backend, store=store, resume=resume,
+                 capture_allocations=capture_allocations)
     return FigureResult(
         figure="figure6",
         series=normalized_cost_series(sweep),
@@ -202,6 +218,7 @@ def figure7(
     backend=None,
     store=None,
     resume: bool = False,
+    capture_allocations: bool = False,
 ) -> FigureResult:
     """Figure 7: normalised cost, large application graphs (50-100 tasks)."""
     plan = default_plan(
@@ -210,7 +227,8 @@ def figure7(
         target_throughputs=target_throughputs,
         iterations=iterations,
     )
-    sweep = _run(plan, progress, backend=backend, store=store, resume=resume)
+    sweep = _run(plan, progress, backend=backend, store=store, resume=resume,
+                 capture_allocations=capture_allocations)
     return FigureResult(
         figure="figure7",
         series=normalized_cost_series(sweep),
@@ -230,6 +248,7 @@ def figure8(
     backend=None,
     store=None,
     resume: bool = False,
+    capture_allocations: bool = False,
 ) -> FigureResult:
     """Figure 8: computation time on the ILP stress setting (100-200 tasks, 50 types).
 
@@ -244,7 +263,8 @@ def figure8(
         iterations=iterations,
         ilp_time_limit=ilp_time_limit,
     )
-    sweep = _run(plan, progress, backend=backend, store=store, resume=resume)
+    sweep = _run(plan, progress, backend=backend, store=store, resume=resume,
+                 capture_allocations=capture_allocations)
     return FigureResult(
         figure="figure8",
         series=mean_time_series(sweep),
@@ -375,6 +395,7 @@ def ablation_sharing(
     backend=None,
     store=None,
     resume: bool = False,
+    capture_allocations: bool = False,
 ) -> FigureResult:
     """Benefit of sharing machines across recipes.
 
@@ -398,7 +419,8 @@ def ablation_sharing(
         num_configurations=num_configurations,
         target_throughputs=tuple(target_throughputs),
     )
-    sweep = _run(plan, progress, backend=backend, store=store, resume=resume)
+    sweep = _run(plan, progress, backend=backend, store=store, resume=resume,
+                 capture_allocations=capture_allocations)
     return FigureResult(
         figure="ablation_sharing",
         series=mean_cost_series(sweep),

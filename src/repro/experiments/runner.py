@@ -21,10 +21,11 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import TYPE_CHECKING, Callable, Iterable, Iterator, Mapping
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, Mapping
 
 import numpy as np
 
+from ..core.allocation import Allocation, ThroughputSplit
 from ..core.exceptions import ConfigurationError
 from ..generators.workload import Configuration
 from ..utils.rng import derive_seed, stable_text_digest
@@ -34,7 +35,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .backends import ExecutionBackend
     from .store import SweepStore
 
-__all__ = ["RunRecord", "SweepResult", "run_plan", "run_configuration"]
+__all__ = ["AllocationPayload", "RunRecord", "SweepResult", "run_plan", "run_configuration"]
 
 #: Tolerance for matching float throughput keys: two rho values closer than
 #: this belong to the same sweep point (guards against float drift introduced
@@ -44,8 +45,63 @@ RHO_ABS_TOL = 1e-6
 
 
 @dataclass(frozen=True)
+class AllocationPayload:
+    """Compact, JSON-round-trippable image of an :class:`~repro.core.Allocation`.
+
+    Carried (optionally) by a :class:`RunRecord` so downstream consumers — the
+    validation campaigns of :mod:`repro.experiments.validation` in particular —
+    can replay exactly the allocation the solver produced instead of
+    re-solving.  Machine counts are stored as ``(type, count)`` pairs rather
+    than a mapping because JSON object keys are always strings, which would not
+    round-trip the paper's integer type identifiers.
+    """
+
+    split: tuple[float, ...]
+    machines: tuple[tuple[Any, int], ...]
+    cost: float
+
+    @classmethod
+    def from_allocation(cls, allocation: Allocation) -> "AllocationPayload":
+        return cls(
+            split=tuple(float(v) for v in allocation.split.values),
+            machines=tuple(
+                (type_id, int(count)) for type_id, count in allocation.machines.items()
+            ),
+            cost=float(allocation.cost),
+        )
+
+    def to_allocation(self) -> Allocation:
+        return Allocation(
+            split=ThroughputSplit.from_sequence(self.split),
+            machines=dict(self.machines),
+            cost=self.cost,
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "split": list(self.split),
+            "machines": [[type_id, count] for type_id, count in self.machines],
+            "cost": self.cost,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AllocationPayload":
+        return cls(
+            split=tuple(float(v) for v in data["split"]),
+            machines=tuple((entry[0], int(entry[1])) for entry in data["machines"]),
+            cost=float(data["cost"]),
+        )
+
+
+@dataclass(frozen=True)
 class RunRecord:
-    """One (configuration, throughput, algorithm) measurement."""
+    """One (configuration, throughput, algorithm) measurement.
+
+    ``allocation`` is an optional :class:`AllocationPayload` captured when the
+    sweep runs with ``capture_allocations=True``; records written before that
+    option existed (or without it) simply carry ``None`` and old checkpoint
+    files load unchanged.
+    """
 
     configuration: int
     rho: float
@@ -54,9 +110,10 @@ class RunRecord:
     time: float
     optimal: bool
     iterations: int
+    allocation: AllocationPayload | None = None
 
     def as_dict(self) -> dict:
-        return {
+        data = {
             "configuration": self.configuration,
             "rho": self.rho,
             "algorithm": self.algorithm,
@@ -65,13 +122,18 @@ class RunRecord:
             "optimal": self.optimal,
             "iterations": self.iterations,
         }
+        if self.allocation is not None:
+            data["allocation"] = self.allocation.as_dict()
+        return data
 
     def identity(self) -> tuple:
         """The reproducible fields — everything except wall-clock time.
 
         The authoritative definition of "identical sweep results": two runs
         agree iff their records' identities match pairwise.  The sweep
-        benchmark and the backend tests both compare through this.
+        benchmark and the backend tests both compare through this.  The
+        optional allocation payload is also excluded, so a captured sweep
+        stays identity-equal to the same sweep recorded without payloads.
         """
         return (
             self.configuration,
@@ -84,6 +146,7 @@ class RunRecord:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "RunRecord":
+        payload = data.get("allocation")
         return cls(
             configuration=int(data["configuration"]),
             rho=float(data["rho"]),
@@ -92,6 +155,7 @@ class RunRecord:
             time=float(data["time"]),
             optimal=bool(data["optimal"]),
             iterations=int(data["iterations"]),
+            allocation=AllocationPayload.from_dict(payload) if payload is not None else None,
         )
 
 
@@ -230,8 +294,14 @@ def run_configuration(
     *,
     base_seed: int = 2016,
     check: bool = False,
+    capture_allocations: bool = False,
 ) -> Iterator[RunRecord]:
-    """Run every algorithm on one configuration for every target throughput."""
+    """Run every algorithm on one configuration for every target throughput.
+
+    With ``capture_allocations`` every record carries an
+    :class:`AllocationPayload` (split + machine counts), letting validation
+    campaigns replay exactly the allocation that was solved.
+    """
     for rho in target_throughputs:
         problem = configuration.problem(rho)
         for spec in algorithms:
@@ -253,6 +323,9 @@ def run_configuration(
                 time=float(result.solve_time),
                 optimal=bool(result.optimal),
                 iterations=int(result.iterations),
+                allocation=AllocationPayload.from_allocation(result.allocation)
+                if capture_allocations
+                else None,
             )
 
 
@@ -265,6 +338,7 @@ def run_plan(
     progress: Callable[[str], None] | None = None,
     check: bool = False,
     chunk_size: int | None = None,
+    capture_allocations: bool = False,
 ) -> SweepResult:
     """Execute a full experiment plan and collect every record.
 
@@ -294,6 +368,13 @@ def run_plan(
     chunk_size:
         Number of throughputs per work unit (default: all of them, i.e. one
         unit per configuration, matching the paper's outer loop).
+    capture_allocations:
+        Attach each solved allocation (split + machine counts) to its record
+        as an :class:`AllocationPayload`, round-tripped through the checkpoint
+        store — the input the ``validate`` campaigns replay.  Off by default
+        to keep checkpoint files small.  Only passed to the backend when set,
+        so third-party backends unaware of the option keep working for plain
+        sweeps.
     """
     from .backends import SerialBackend, plan_work_units
     from .store import SweepStore
@@ -324,7 +405,10 @@ def run_plan(
         if completed and progress is not None:
             progress(f"[{plan.name}] resumed {len(completed)}/{total} work units from {store.path}")
     pending = [unit for unit in units if unit.index not in completed]
-    for unit, records in backend.run(plan, pending, check=check):
+    run_kwargs: dict = {"check": check}
+    if capture_allocations:
+        run_kwargs["capture_allocations"] = True
+    for unit, records in backend.run(plan, pending, **run_kwargs):
         completed[unit.index] = records
         if store is not None:
             store.append(unit, records)

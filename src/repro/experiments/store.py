@@ -33,6 +33,7 @@ from .runner import RunRecord, SweepResult
 
 __all__ = [
     "plan_fingerprint",
+    "JsonlCheckpointStore",
     "SweepStore",
     "save_sweep_result",
     "load_sweep_result",
@@ -47,73 +48,85 @@ def plan_fingerprint(plan: ExperimentPlan) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def _header(plan: ExperimentPlan) -> dict:
-    return {
-        "kind": "header",
-        "version": _STORE_VERSION,
-        "fingerprint": plan_fingerprint(plan),
-        "plan": plan_to_dict(plan),
-    }
+class JsonlCheckpointStore:
+    """Shared machinery of the append-only JSONL checkpoint stores.
 
+    One fingerprinted header line followed by one fsynced line per completed
+    work unit.  Sub-classes (:class:`SweepStore` here, ``ValidationStore`` in
+    :mod:`repro.experiments.validation`) say what a plan, a unit and a record
+    are through the ``_fingerprint`` / ``_plan_to_dict`` / ``_plan_from_dict``
+    / ``_unit_from_dict`` / ``_record_from_dict`` hooks; the base class owns
+    everything they share — the initialize/resume flow, checkpoint parsing,
+    sharding verification, refusal to overwrite populated or foreign files,
+    and pruning of a torn tail line before a resumed run appends past it.
 
-def _check_header(row: Mapping, path: Path) -> Mapping:
-    if not isinstance(row, Mapping) or row.get("kind") != "header":
-        raise ConfigurationError(f"{path} does not start with a sweep header line")
-    if row.get("version") != _STORE_VERSION:
-        raise ConfigurationError(
-            f"{path} has store version {row.get('version')!r}, expected {_STORE_VERSION}"
-        )
-    return row
+    ``data_description`` labels the file kind in error messages;
+    ``store_marker`` is written to (and required of) the header's ``"store"``
+    field — the original sweep format predates the field and leaves it unset.
+    """
 
-
-class SweepStore:
-    """Append-only JSONL checkpoint store for one sweep file."""
+    data_description = "sweep"
+    store_marker: str | None = None
+    run_noun = "sweep"        # "start a fresh <run_noun>" in resume errors
+    plan_noun = "plan"        # "written by a different <plan_noun>"
 
     def __init__(self, path: str | Path) -> None:
         self.path = Path(path)
 
+    # -- subclass hooks -------------------------------------------------- #
+    @staticmethod
+    def _fingerprint(plan) -> str:
+        raise NotImplementedError
+
+    @staticmethod
+    def _plan_to_dict(plan) -> dict:
+        raise NotImplementedError
+
+    @staticmethod
+    def _plan_from_dict(data):
+        raise NotImplementedError
+
+    @staticmethod
+    def _unit_from_dict(data):
+        raise NotImplementedError
+
+    @staticmethod
+    def _record_from_dict(data):
+        raise NotImplementedError
+
+    def _refuse_row(self, row: Mapping, number: int) -> None:
+        """Hook: reject store-specific row kinds that make a file unresumable."""
+
     # ------------------------------------------------------------------ #
-    def initialize(
-        self,
-        plan: ExperimentPlan,
-        *,
-        resume: bool = False,
-        units: list[WorkUnit] | None = None,
-    ) -> dict[int, list[RunRecord]]:
+    def initialize(self, plan, *, resume: bool = False, units: list | None = None) -> dict:
         """Prepare the file for a run of ``plan``; return completed units.
 
         Without ``resume`` the file is created with a fresh header and ``{}``
-        is returned; a file that already holds sweep data is refused (it must
-        be resumed or deleted explicitly, never silently overwritten).  With
+        is returned; a file that already holds data is refused (it must be
+        resumed or deleted explicitly, never silently overwritten).  With
         ``resume`` the file must exist (a missing path is an error, not a
-        fresh start — it is usually a typo) and its fingerprint must match
-        ``plan`` and, when the current work-unit list ``units`` is
-        given, each checkpointed unit must match its counterpart (same
-        configuration and throughput chunk — a different ``chunk_size``
-        changes what a unit index means); completed units are returned keyed
-        by unit index so the runner can skip them.
+        fresh start — it is usually a typo), its fingerprint must match
+        ``plan`` and, when the current work-unit list ``units`` is given,
+        each checkpointed unit must match its counterpart (same sharding —
+        a different ``chunk_size`` changes what a unit index means);
+        completed units are returned keyed by unit index so the driver can
+        skip them.
         """
         if resume:
             if not self.path.exists():
                 raise ConfigurationError(
                     f"{self.path} does not exist; nothing to resume "
-                    f"(check the path, or drop resume to start a fresh sweep)"
+                    f"(check the path, or drop resume to start a fresh {self.run_noun})"
                 )
             _, completed, stored_units = self._load_checkpoint(plan)
             if units is not None:
                 self._check_sharding(stored_units, units)
             self._repair_truncated_tail()
             return completed
-        if self.path.exists():
-            refusal = self._overwrite_refusal()
-            if refusal is not None:
-                raise ConfigurationError(refusal)
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        self.path.write_text("")
-        append_jsonl(self.path, _header(plan))
+        self._begin_fresh_file(self._header(plan))
         return {}
 
-    def append(self, unit: "WorkUnit", records: list[RunRecord]) -> None:
+    def append(self, unit, records: list) -> None:
         """Checkpoint one completed work unit (durable append)."""
         append_jsonl(
             self.path,
@@ -125,14 +138,90 @@ class SweepStore:
         )
 
     # ------------------------------------------------------------------ #
+    def _header(self, plan) -> dict:
+        header: dict = {"kind": "header", "version": _STORE_VERSION}
+        if self.store_marker is not None:
+            header["store"] = self.store_marker
+        header["fingerprint"] = self._fingerprint(plan)
+        header["plan"] = self._plan_to_dict(plan)
+        return header
+
+    def _check_sharding(self, stored_units: dict[int, dict], units: list) -> None:
+        for index, stored in stored_units.items():
+            current = units[index].as_dict() if 0 <= index < len(units) else None
+            if current != stored:
+                raise ConfigurationError(
+                    f"{self.path} was checkpointed with a different work-unit sharding "
+                    f"(unit {index}: stored {stored}, current {current}); resume with "
+                    f"the same chunk_size the original run used"
+                )
+
+    def _load_checkpoint(self, plan) -> tuple:
+        """Parse the checkpoint: (stored plan, records per unit, unit dicts)."""
+        rows = read_jsonl(self.path, ignore_truncated=True)
+        if not rows:
+            raise ConfigurationError(
+                f"{self.path} is empty, not a {self.data_description} checkpoint"
+            )
+        header = self._check_header_row(rows[0])
+        stored_plan = self._plan_from_dict(header["plan"])
+        if plan is not None and header["fingerprint"] != self._fingerprint(plan):
+            raise ConfigurationError(
+                f"{self.path} was written by a different {self.plan_noun} "
+                f"(fingerprint {header['fingerprint'][:12]}... != "
+                f"{self._fingerprint(plan)[:12]}...); refusing to resume"
+            )
+        completed: dict[int, list] = {}
+        stored_units: dict[int, dict] = {}
+        for number, row in enumerate(rows[1:], start=2):
+            if not isinstance(row, Mapping):
+                raise ConfigurationError(
+                    f"{self.path} line {number} is not a JSON object, "
+                    f"not a {self.data_description} checkpoint"
+                )
+            self._refuse_row(row, number)
+            if row.get("kind") != "unit":
+                continue
+            unit = self._unit_from_dict(row["unit"])
+            completed[unit.index] = [self._record_from_dict(entry) for entry in row["records"]]
+            stored_units[unit.index] = unit.as_dict()
+        return stored_plan, completed, stored_units
+
+    # ------------------------------------------------------------------ #
+    def _check_header_row(self, row: Mapping) -> Mapping:
+        if not isinstance(row, Mapping) or row.get("kind") != "header":
+            raise ConfigurationError(
+                f"{self.path} does not start with a {self.data_description} header line"
+            )
+        if row.get("version") != _STORE_VERSION:
+            raise ConfigurationError(
+                f"{self.path} has store version {row.get('version')!r}, expected {_STORE_VERSION}"
+            )
+        if row.get("store") != self.store_marker:
+            raise ConfigurationError(
+                f"{self.path} is a {row.get('store') or 'sweep'} checkpoint, not a "
+                f"{self.data_description} checkpoint; refusing to touch it"
+            )
+        return row
+
+    def _begin_fresh_file(self, header: Mapping) -> None:
+        """Refuse unsafe overwrites, then (re)create the file with ``header``."""
+        if self.path.exists():
+            refusal = self._overwrite_refusal()
+            if refusal is not None:
+                raise ConfigurationError(refusal)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text("")
+        append_jsonl(self.path, header)
+
     def _overwrite_refusal(self) -> str | None:
         """Why the existing file must not be overwritten (``None`` if it may).
 
-        Only an empty file or a bare sweep header (an aborted run that never
+        Only an empty file or a bare header (an aborted run that never
         completed a unit) may be recreated.  Everything else is refused,
         conservatively: a populated checkpoint or result file, an unreadable
         file (a corrupt interior line in an otherwise recoverable
-        checkpoint), and any file that is not a sweep file at all (a mistyped
+        checkpoint), and any file that is not a checkpoint at all (a mistyped
         ``--out`` pointing at unrelated data).
         """
         try:
@@ -147,33 +236,32 @@ class SweepStore:
                 # non-empty but nothing parsed: a lone malformed line is
                 # forgiven by read_jsonl, yet the file is not ours to wipe
                 return (
-                    f"{self.path} exists and is not a sweep checkpoint; refusing to "
-                    f"overwrite it (pick another path or delete the file)"
+                    f"{self.path} exists and is not a {self.data_description} checkpoint; "
+                    f"refusing to overwrite it (pick another path or delete the file)"
                 )
             return None
         first = rows[0]
         if not (isinstance(first, dict) and first.get("kind") == "header"):
             return (
-                f"{self.path} exists and is not a sweep checkpoint; refusing to "
-                f"overwrite it (pick another path or delete the file)"
+                f"{self.path} exists and is not a {self.data_description} checkpoint; "
+                f"refusing to overwrite it (pick another path or delete the file)"
+            )
+        if first.get("store") != self.store_marker:
+            # even a header-only file of the *other* checkpoint kind is not
+            # ours to wipe — the cross-store discipline holds for overwrites
+            # exactly as it does for resumes
+            return (
+                f"{self.path} is a {first.get('store') or 'sweep'} checkpoint, not a "
+                f"{self.data_description} checkpoint; refusing to overwrite it "
+                f"(pick another path or delete the file)"
             )
         if any(isinstance(row, dict) and row.get("kind") in ("unit", "record") for row in rows[1:]):
             return (
-                f"{self.path} already holds sweep data; resume the checkpoint with "
-                f"resume=True (--resume on the command line), or delete the file "
-                f"to start over"
+                f"{self.path} already holds {self.data_description} data; resume the "
+                f"checkpoint with resume=True (--resume on the command line), or delete "
+                f"the file to start over"
             )
         return None
-
-    def _check_sharding(self, stored_units: dict[int, dict], units: list[WorkUnit]) -> None:
-        for index, stored in stored_units.items():
-            current = units[index].as_dict() if 0 <= index < len(units) else None
-            if current != stored:
-                raise ConfigurationError(
-                    f"{self.path} was checkpointed with a different work-unit sharding "
-                    f"(unit {index}: stored {stored}, current {current}); resume with "
-                    f"the same chunk_size the original run used"
-                )
 
     def _repair_truncated_tail(self) -> None:
         """Prune trailing garbage left behind by a kill mid-append.
@@ -210,42 +298,26 @@ class SweepStore:
                 handle.seek(0, 2)
                 handle.write(b"\n")
 
-    def _load_checkpoint(
-        self, plan: ExperimentPlan | None
-    ) -> tuple[ExperimentPlan, dict[int, list[RunRecord]], dict[int, dict]]:
-        rows = read_jsonl(self.path, ignore_truncated=True)
-        if not rows:
-            raise ConfigurationError(f"{self.path} is empty, not a sweep checkpoint")
-        header = _check_header(rows[0], self.path)
-        stored_plan = plan_from_dict(header["plan"])
-        if plan is not None and header["fingerprint"] != plan_fingerprint(plan):
+
+class SweepStore(JsonlCheckpointStore):
+    """Append-only JSONL checkpoint store for one sweep file."""
+
+    _fingerprint = staticmethod(plan_fingerprint)
+    _plan_to_dict = staticmethod(plan_to_dict)
+    _plan_from_dict = staticmethod(plan_from_dict)
+    _unit_from_dict = staticmethod(WorkUnit.from_dict)
+    _record_from_dict = staticmethod(RunRecord.from_dict)
+
+    def _refuse_row(self, row: Mapping, number: int) -> None:
+        if row.get("kind") == "record":
+            # a save_sweep_result file: its records are not keyed by work
+            # unit, so resuming against it would re-run the whole sweep
+            # and append duplicates of every record
             raise ConfigurationError(
-                f"{self.path} was written by a different plan "
-                f"(fingerprint {header['fingerprint'][:12]}... != "
-                f"{plan_fingerprint(plan)[:12]}...); refusing to resume"
+                f"{self.path} is a saved sweep result, not a resumable checkpoint "
+                f"(checkpoints are written by run_plan(store=...)); load it with "
+                f"SweepResult.load instead"
             )
-        completed: dict[int, list[RunRecord]] = {}
-        stored_units: dict[int, dict] = {}
-        for number, row in enumerate(rows[1:], start=2):
-            if not isinstance(row, Mapping):
-                raise ConfigurationError(
-                    f"{self.path} line {number} is not a JSON object, not a sweep checkpoint"
-                )
-            if row.get("kind") == "record":
-                # a save_sweep_result file: its records are not keyed by work
-                # unit, so resuming against it would re-run the whole sweep
-                # and append duplicates of every record
-                raise ConfigurationError(
-                    f"{self.path} is a saved sweep result, not a resumable checkpoint "
-                    f"(checkpoints are written by run_plan(store=...)); load it with "
-                    f"SweepResult.load instead"
-                )
-            if row.get("kind") != "unit":
-                continue
-            unit = WorkUnit.from_dict(row["unit"])
-            completed[unit.index] = [RunRecord.from_dict(entry) for entry in row["records"]]
-            stored_units[unit.index] = unit.as_dict()
-        return stored_plan, completed, stored_units
 
 
 def _ends_with_newline(path: Path) -> bool:
@@ -268,7 +340,12 @@ def save_sweep_result(result: SweepResult, path: str | Path) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_name(path.name + ".tmp")
     with tmp.open("w", encoding="utf-8") as handle:
-        handle.write(json.dumps(_header(result.plan), sort_keys=True, separators=(",", ":")) + "\n")
+        handle.write(
+            json.dumps(
+                SweepStore(path)._header(result.plan), sort_keys=True, separators=(",", ":")
+            )
+            + "\n"
+        )
         for record in result.records:
             row = {"kind": "record", **record.as_dict()}
             handle.write(json.dumps(row, sort_keys=True, separators=(",", ":")) + "\n")
@@ -294,7 +371,7 @@ def load_sweep_result(path: str | Path, *, allow_partial: bool = False) -> Sweep
     rows = read_jsonl(path, ignore_truncated=True)
     if not rows:
         raise ConfigurationError(f"{path} is empty, not a sweep file")
-    header = _check_header(rows[0], path)
+    header = SweepStore(path)._check_header_row(rows[0])
     plan = plan_from_dict(header["plan"])
     result = SweepResult(plan=plan)
     units: dict[int, list[RunRecord]] = {}

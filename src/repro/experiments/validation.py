@@ -1,0 +1,828 @@
+"""Validation campaigns: replay a sweep's allocations through the simulator.
+
+The paper's cost model *claims* that the allocations it prices sustain the
+target throughput; the discrete-event simulator of :mod:`repro.simulation`
+is the piece that checks the claim.  This module scales that check from a
+single ad-hoc run into a **campaign**: every allocation produced by a sweep
+(:class:`~repro.experiments.runner.SweepResult`), replayed over a grid of
+horizons and arrival-rate multipliers (e.g. ``1.0`` for the design point and
+``1.05`` for a 5 % stress test), sharded into picklable work units executed
+by the same :class:`~repro.experiments.backends.ExecutionBackend` machinery
+as the sweep itself, with per-unit JSONL checkpointing and resume under a
+plan fingerprint.
+
+The pieces mirror the sweep subsystem one-for-one:
+
+=====================  ==========================================
+sweep layer            validation layer
+=====================  ==========================================
+``ExperimentPlan``     :class:`ValidationPlan` (built by
+                       :func:`plan_from_sweep`)
+``WorkUnit``           :class:`ValidationUnit`
+``RunRecord``          :class:`ValidationRecord`
+``run_plan``           :func:`run_validation`
+``SweepStore``         :class:`ValidationStore`
+``SweepResult``        :class:`CampaignResult`
+=====================  ==========================================
+
+Allocations come from the sweep records' optional
+:class:`~repro.experiments.runner.AllocationPayload` (captured with
+``capture_allocations=True``), so campaigns simulate *exactly* what was
+solved; records without a payload (older checkpoint files) fall back to
+re-solving with the sweep's own deterministic seed derivation.  Simulation is
+fully deterministic, so serial, parallel and interrupt-and-resume campaigns
+produce byte-identical record lines — ``benchmarks/bench_validation.py``
+asserts this.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..core.exceptions import ConfigurationError
+from ..generators.workload import generate_configuration_at
+from ..simulation.engine import StreamSimulator
+from ..solvers.registry import ensure_default_solvers
+from ..utils.rng import derive_seed, stable_text_digest
+from .backends import SerialBackend
+from .config import ExperimentPlan, plan_from_dict, plan_to_dict
+from .metrics import SeriesByAlgorithm
+from .runner import RHO_ABS_TOL, RHO_REL_TOL, AllocationPayload, SweepResult
+from .store import JsonlCheckpointStore
+
+__all__ = [
+    "AllocationSource",
+    "ValidationPlan",
+    "ValidationUnit",
+    "ValidationRecord",
+    "CampaignResult",
+    "ValidationStore",
+    "plan_from_sweep",
+    "plan_validation_units",
+    "validation_plan_to_dict",
+    "validation_plan_from_dict",
+    "validation_fingerprint",
+    "run_validation",
+    "load_campaign",
+    "throughput_ratio_series",
+    "latency_series",
+    "utilization_series",
+    "reorder_peak_series",
+    "backlog_series",
+]
+
+
+# --------------------------------------------------------------------------- #
+# plan
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class AllocationSource:
+    """One allocation to validate: where it came from and (optionally) what it is.
+
+    ``payload`` carries the solved allocation when the sweep captured it;
+    ``None`` means the executing side re-solves deterministically with the
+    sweep's seed derivation (slower, but lets campaigns run against old
+    checkpoint files that predate allocation capture).
+    """
+
+    configuration: int
+    rho: float
+    algorithm: str
+    payload: AllocationPayload | None = None
+
+    def as_dict(self) -> dict:
+        data: dict = {
+            "configuration": self.configuration,
+            "rho": self.rho,
+            "algorithm": self.algorithm,
+        }
+        if self.payload is not None:
+            data["allocation"] = self.payload.as_dict()
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AllocationSource":
+        payload = data.get("allocation")
+        return cls(
+            configuration=int(data["configuration"]),
+            rho=float(data["rho"]),
+            algorithm=str(data["algorithm"]),
+            payload=AllocationPayload.from_dict(payload) if payload is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class ValidationPlan:
+    """One validation campaign: allocations x horizons x arrival-rate multipliers.
+
+    ``rate_multipliers`` scale each source's target throughput into the
+    simulated arrival rate: ``1.0`` replays the design point, ``1.05`` injects
+    5 % more load than the allocation was dimensioned for (a stress point the
+    cost model makes no promise about).
+    """
+
+    name: str
+    sweep_plan: ExperimentPlan
+    sources: tuple[AllocationSource, ...]
+    horizons: tuple[float, ...] = (50.0,)
+    rate_multipliers: tuple[float, ...] = (1.0,)
+    warmup_fraction: float = 0.1
+    max_datasets: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.sources:
+            raise ConfigurationError("a validation plan needs at least one allocation source")
+        if not self.horizons or any(h <= 0 for h in self.horizons):
+            raise ConfigurationError(f"horizons must be positive, got {self.horizons}")
+        if not self.rate_multipliers or any(m <= 0 for m in self.rate_multipliers):
+            raise ConfigurationError(
+                f"rate multipliers must be positive, got {self.rate_multipliers}"
+            )
+        if not (0 <= self.warmup_fraction < 1):
+            raise ConfigurationError(
+                f"warmup_fraction must be in [0, 1), got {self.warmup_fraction}"
+            )
+        if self.max_datasets is not None and self.max_datasets <= 0:
+            raise ConfigurationError(
+                f"max_datasets must be positive (or None for unlimited), "
+                f"got {self.max_datasets}"
+            )
+
+    @property
+    def num_simulations(self) -> int:
+        return len(self.sources) * len(self.horizons) * len(self.rate_multipliers)
+
+
+def plan_from_sweep(
+    sweep: SweepResult,
+    *,
+    horizons: Sequence[float] = (50.0,),
+    rate_multipliers: Sequence[float] = (1.0,),
+    warmup_fraction: float = 0.1,
+    max_datasets: int | None = None,
+    algorithms: Sequence[str] | None = None,
+    name: str | None = None,
+) -> ValidationPlan:
+    """Build the campaign that validates every allocation of ``sweep``.
+
+    ``algorithms`` optionally restricts the campaign to a subset of the
+    sweep's algorithms (e.g. skip re-simulating H0).  Records carrying an
+    :class:`~repro.experiments.runner.AllocationPayload` are replayed exactly;
+    the rest are re-solved deterministically at execution time.
+    """
+    keep = set(algorithms) if algorithms is not None else None
+    sources = tuple(
+        AllocationSource(
+            configuration=record.configuration,
+            rho=record.rho,
+            algorithm=record.algorithm,
+            payload=record.allocation,
+        )
+        for record in sweep.records
+        if keep is None or record.algorithm in keep
+    )
+    if not sources:
+        raise ConfigurationError(
+            "the sweep holds no records to validate"
+            + (f" for algorithms {sorted(keep)}" if keep is not None else "")
+        )
+    return ValidationPlan(
+        name=name if name is not None else f"validate-{sweep.plan.name}",
+        sweep_plan=sweep.plan,
+        sources=sources,
+        horizons=tuple(float(h) for h in horizons),
+        rate_multipliers=tuple(float(m) for m in rate_multipliers),
+        warmup_fraction=float(warmup_fraction),
+        max_datasets=max_datasets,
+    )
+
+
+def validation_plan_to_dict(plan: ValidationPlan) -> dict[str, Any]:
+    """Canonical JSON form of a validation plan (fingerprintable)."""
+    return {
+        "name": plan.name,
+        "sweep_plan": plan_to_dict(plan.sweep_plan),
+        "sources": [source.as_dict() for source in plan.sources],
+        "horizons": [float(h) for h in plan.horizons],
+        "rate_multipliers": [float(m) for m in plan.rate_multipliers],
+        "warmup_fraction": plan.warmup_fraction,
+        "max_datasets": plan.max_datasets,
+    }
+
+
+def validation_plan_from_dict(data: Mapping[str, Any]) -> ValidationPlan:
+    """Inverse of :func:`validation_plan_to_dict`."""
+    for key in ("name", "sweep_plan", "sources", "horizons", "rate_multipliers"):
+        if key not in data:
+            raise ConfigurationError(f"validation plan data is missing the {key!r} field")
+    return ValidationPlan(
+        name=str(data["name"]),
+        sweep_plan=plan_from_dict(data["sweep_plan"]),
+        sources=tuple(AllocationSource.from_dict(entry) for entry in data["sources"]),
+        horizons=tuple(float(h) for h in data["horizons"]),
+        rate_multipliers=tuple(float(m) for m in data["rate_multipliers"]),
+        warmup_fraction=float(data.get("warmup_fraction", 0.1)),
+        max_datasets=None if data.get("max_datasets") is None else int(data["max_datasets"]),
+    )
+
+
+def validation_fingerprint(plan: ValidationPlan) -> str:
+    """SHA-256 of the canonical plan serialisation (hex digest)."""
+    canonical = json.dumps(
+        validation_plan_to_dict(plan), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+# --------------------------------------------------------------------------- #
+# records and units
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ValidationRecord:
+    """One simulated (allocation, horizon, arrival rate) measurement.
+
+    Every field is a deterministic function of the plan — no wall-clock — so
+    serial, parallel and resumed campaigns serialise byte-identically.
+    ``utilization`` holds ``(type, busy fraction)`` pairs in a canonical sort
+    order rather than a mapping, for the same JSON-key reason as
+    :class:`~repro.experiments.runner.AllocationPayload`.
+    """
+
+    configuration: int
+    rho: float
+    algorithm: str
+    horizon: float
+    rate_multiplier: float
+    arrival_rate: float
+    arrivals: int
+    completed: int
+    achieved_throughput: float
+    throughput_ratio: float
+    mean_latency: float
+    max_latency: float
+    utilization: tuple[tuple[Any, float], ...]
+    reorder_buffer_peak: int
+    backlog: int
+    peak_in_flight: int
+
+    def sustains_target(self, tolerance: float = 0.05) -> bool:
+        """True when the measured throughput is within ``tolerance`` of the rate."""
+        return self.throughput_ratio >= 1.0 - tolerance
+
+    @property
+    def mean_utilization(self) -> float:
+        if not self.utilization:
+            return 0.0
+        return float(np.mean([u for _, u in self.utilization]))
+
+    @property
+    def max_utilization(self) -> float:
+        if not self.utilization:
+            return 0.0
+        return float(max(u for _, u in self.utilization))
+
+    def as_dict(self) -> dict:
+        return {
+            "configuration": self.configuration,
+            "rho": self.rho,
+            "algorithm": self.algorithm,
+            "horizon": self.horizon,
+            "rate_multiplier": self.rate_multiplier,
+            "arrival_rate": self.arrival_rate,
+            "arrivals": self.arrivals,
+            "completed": self.completed,
+            "achieved_throughput": self.achieved_throughput,
+            "throughput_ratio": self.throughput_ratio,
+            "mean_latency": self.mean_latency,
+            "max_latency": self.max_latency,
+            "utilization": [[type_id, value] for type_id, value in self.utilization],
+            "reorder_buffer_peak": self.reorder_buffer_peak,
+            "backlog": self.backlog,
+            "peak_in_flight": self.peak_in_flight,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ValidationRecord":
+        return cls(
+            configuration=int(data["configuration"]),
+            rho=float(data["rho"]),
+            algorithm=str(data["algorithm"]),
+            horizon=float(data["horizon"]),
+            rate_multiplier=float(data["rate_multiplier"]),
+            arrival_rate=float(data["arrival_rate"]),
+            arrivals=int(data["arrivals"]),
+            completed=int(data["completed"]),
+            achieved_throughput=float(data["achieved_throughput"]),
+            throughput_ratio=float(data["throughput_ratio"]),
+            mean_latency=float(data["mean_latency"]),
+            max_latency=float(data["max_latency"]),
+            utilization=tuple((entry[0], float(entry[1])) for entry in data["utilization"]),
+            reorder_buffer_peak=int(data["reorder_buffer_peak"]),
+            backlog=int(data["backlog"]),
+            peak_in_flight=int(data["peak_in_flight"]),
+        )
+
+
+@dataclass(frozen=True)
+class ValidationUnit:
+    """One shard of a campaign: a chunk of sources at one (horizon, multiplier).
+
+    Like the sweep's :class:`~repro.experiments.backends.WorkUnit` it carries
+    indices only; the executing side looks the sources up in the (pickled)
+    plan and regenerates each source's configuration from the sweep seeds.
+    """
+
+    index: int
+    horizon: float
+    rate_multiplier: float
+    sources: tuple[int, ...]
+
+    def as_dict(self) -> dict:
+        return {
+            "index": self.index,
+            "horizon": self.horizon,
+            "rate_multiplier": self.rate_multiplier,
+            "sources": list(self.sources),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ValidationUnit":
+        return cls(
+            index=int(data["index"]),
+            horizon=float(data["horizon"]),
+            rate_multiplier=float(data["rate_multiplier"]),
+            sources=tuple(int(s) for s in data["sources"]),
+        )
+
+    def execute(
+        self,
+        plan: ValidationPlan,
+        *,
+        check: bool = False,
+        capture_allocations: bool = False,
+    ) -> list[ValidationRecord]:
+        """Simulate this unit's allocations (worker-process entry point).
+
+        ``check``/``capture_allocations`` are accepted for signature
+        compatibility with the generic backend dispatch; neither applies to a
+        simulation replay.
+        """
+        ensure_default_solvers()  # the re-solve fallback needs the registry
+        configurations: dict[int, Any] = {}
+        records: list[ValidationRecord] = []
+        for source_index in self.sources:
+            source = plan.sources[source_index]
+            configuration = configurations.get(source.configuration)
+            if configuration is None:
+                configuration = generate_configuration_at(
+                    plan.sweep_plan.setting,
+                    base_seed=plan.sweep_plan.base_seed,
+                    index=source.configuration,
+                )
+                configurations[source.configuration] = configuration
+            problem = configuration.problem(source.rho)
+            allocation = _resolve_allocation(plan.sweep_plan, source, problem)
+            simulator = StreamSimulator(
+                problem,
+                allocation,
+                arrival_rate=source.rho * self.rate_multiplier,
+                warmup_fraction=plan.warmup_fraction,
+            )
+            report = simulator.run(horizon=self.horizon, max_datasets=plan.max_datasets)
+            records.append(
+                ValidationRecord(
+                    configuration=source.configuration,
+                    rho=source.rho,
+                    algorithm=source.algorithm,
+                    horizon=self.horizon,
+                    rate_multiplier=self.rate_multiplier,
+                    arrival_rate=report.target_throughput,
+                    arrivals=report.arrivals,
+                    completed=report.completed,
+                    achieved_throughput=report.achieved_throughput,
+                    throughput_ratio=report.throughput_ratio,
+                    mean_latency=report.mean_latency,
+                    max_latency=report.max_latency,
+                    utilization=_sorted_utilization(report.utilization),
+                    reorder_buffer_peak=report.reorder_buffer_peak,
+                    backlog=report.backlog,
+                    peak_in_flight=int(report.metadata.get("peak_in_flight", 0)),
+                )
+            )
+        return records
+
+
+def _sorted_utilization(utilization: Mapping) -> tuple:
+    """Canonical (type, busy fraction) pairs: natural key order when the type
+    ids are mutually comparable (the paper's integers), string order otherwise."""
+    try:
+        return tuple(sorted(utilization.items()))
+    except TypeError:
+        return tuple(sorted(utilization.items(), key=lambda kv: str(kv[0])))
+
+
+def _resolve_allocation(sweep_plan: ExperimentPlan, source: AllocationSource, problem):
+    """The allocation a source stands for: its payload, or a deterministic re-solve."""
+    if source.payload is not None:
+        return source.payload.to_allocation()
+    spec = next(
+        (s for s in sweep_plan.algorithms if s.name == source.algorithm), None
+    )
+    if spec is None:
+        raise ConfigurationError(
+            f"source references algorithm {source.algorithm!r} which is not in the "
+            f"sweep plan (available: {[s.name for s in sweep_plan.algorithms]})"
+        )
+    # identical derivation to run_configuration, so the re-solved allocation is
+    # the one the sweep record was measured on
+    seed = derive_seed(
+        sweep_plan.base_seed,
+        source.configuration,
+        int(source.rho),
+        stable_text_digest(spec.name, bits=16),
+    )
+    return spec.build(seed=seed).solve(problem, check=False).allocation
+
+
+def plan_validation_units(
+    plan: ValidationPlan, *, chunk_size: int | None = None
+) -> list[ValidationUnit]:
+    """Shard a campaign into its canonical list of work units.
+
+    ``chunk_size`` bounds the number of sources per unit; the default groups
+    all sources of one (horizon, multiplier) scenario that share a sweep
+    configuration, so each unit regenerates its configuration once.
+    """
+    if chunk_size is not None and chunk_size <= 0:
+        raise ConfigurationError(f"chunk_size must be positive, got {chunk_size}")
+    units: list[ValidationUnit] = []
+    for horizon in plan.horizons:
+        for multiplier in plan.rate_multipliers:
+            for chunk in _source_chunks(plan, chunk_size):
+                units.append(
+                    ValidationUnit(
+                        index=len(units),
+                        horizon=float(horizon),
+                        rate_multiplier=float(multiplier),
+                        sources=chunk,
+                    )
+                )
+    return units
+
+
+def _source_chunks(plan: ValidationPlan, chunk_size: int | None) -> list[tuple[int, ...]]:
+    """Source indices grouped per sweep configuration, optionally re-chunked."""
+    by_configuration: dict[int, list[int]] = {}
+    for index, source in enumerate(plan.sources):
+        by_configuration.setdefault(source.configuration, []).append(index)
+    chunks: list[tuple[int, ...]] = []
+    for configuration in sorted(by_configuration):
+        group = by_configuration[configuration]
+        size = len(group) if chunk_size is None else chunk_size
+        for start in range(0, len(group), size):
+            chunks.append(tuple(group[start : start + size]))
+    return chunks
+
+
+# --------------------------------------------------------------------------- #
+# results
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class CampaignResult:
+    """All records of a validation campaign plus the plan that produced them."""
+
+    plan: ValidationPlan
+    records: list[ValidationRecord] = field(default_factory=list)
+
+    def algorithms(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for source in self.plan.sources:
+            seen.setdefault(source.algorithm, None)
+        return list(seen)
+
+    def throughputs(self) -> list[float]:
+        seen: list[float] = []
+        for source in self.plan.sources:
+            if _match_float(source.rho, seen) is None:
+                seen.append(float(source.rho))
+        return sorted(seen)
+
+    def horizons(self) -> list[float]:
+        return [float(h) for h in self.plan.horizons]
+
+    def rate_multipliers(self) -> list[float]:
+        return [float(m) for m in self.plan.rate_multipliers]
+
+    def filter(
+        self,
+        *,
+        algorithm: str | None = None,
+        rho: float | None = None,
+        horizon: float | None = None,
+        rate_multiplier: float | None = None,
+    ) -> list[ValidationRecord]:
+        out = []
+        for record in self.records:
+            if algorithm is not None and record.algorithm != algorithm:
+                continue
+            if rho is not None and not _close(record.rho, rho):
+                continue
+            if horizon is not None and not _close(record.horizon, horizon):
+                continue
+            if rate_multiplier is not None and not _close(
+                record.rate_multiplier, rate_multiplier
+            ):
+                continue
+            out.append(record)
+        return out
+
+    def worst_ratio(self) -> float:
+        """The campaign's weakest achieved/target ratio (1.0 = all sustained)."""
+        if not self.records:
+            return float("nan")
+        return min(record.throughput_ratio for record in self.records)
+
+    def extend(self, records: Iterable[ValidationRecord]) -> None:
+        self.records.extend(records)
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(float(a), float(b), rel_tol=RHO_REL_TOL, abs_tol=RHO_ABS_TOL)
+
+
+def _match_float(value: float, seen: Sequence[float]) -> float | None:
+    for candidate in seen:
+        if _close(candidate, value):
+            return candidate
+    return None
+
+
+# --------------------------------------------------------------------------- #
+# aggregation series (the campaign counterparts of experiments.metrics)
+# --------------------------------------------------------------------------- #
+
+
+def _scenario_series(
+    campaign: CampaignResult,
+    value: Callable[[ValidationRecord], float],
+    reduce: Callable[[list[float]], float],
+    *,
+    horizon: float | None,
+    rate_multiplier: float | None,
+    ylabel: str,
+    title: str,
+) -> SeriesByAlgorithm:
+    algorithms = campaign.algorithms()
+    throughputs = campaign.throughputs()
+    # one pass over the records, bucketing by (algorithm, canonical rho) —
+    # not a filter() scan per series cell, which would be O(cells x records)
+    buckets: dict[tuple[str, float], list[float]] = {}
+    for record in campaign.records:
+        if horizon is not None and not _close(record.horizon, horizon):
+            continue
+        if rate_multiplier is not None and not _close(record.rate_multiplier, rate_multiplier):
+            continue
+        rho = _match_float(record.rho, throughputs)
+        if rho is None:
+            continue
+        buckets.setdefault((record.algorithm, rho), []).append(value(record))
+    series: dict[str, list[float]] = {name: [] for name in algorithms}
+    for rho in throughputs:
+        for name in algorithms:
+            values = buckets.get((name, rho))
+            series[name].append(reduce(values) if values else float("nan"))
+    return SeriesByAlgorithm(
+        throughputs=throughputs, series=series, ylabel=ylabel, title=title
+    )
+
+
+def _mean(values: list[float]) -> float:
+    return float(np.mean(values))
+
+
+def _max(values: list[float]) -> float:
+    return float(max(values))
+
+
+def throughput_ratio_series(
+    campaign: CampaignResult,
+    *,
+    horizon: float | None = None,
+    rate_multiplier: float | None = None,
+) -> SeriesByAlgorithm:
+    """Mean achieved/target throughput ratio per sweep point (1.0 = sustained)."""
+    return _scenario_series(
+        campaign,
+        lambda r: r.throughput_ratio,
+        _mean,
+        horizon=horizon,
+        rate_multiplier=rate_multiplier,
+        ylabel="achieved / target throughput",
+        title="Measured throughput relative to the allocation's target",
+    )
+
+
+def latency_series(
+    campaign: CampaignResult,
+    *,
+    stat: str = "mean",
+    horizon: float | None = None,
+    rate_multiplier: float | None = None,
+) -> SeriesByAlgorithm:
+    """Data-set latency per sweep point: mean of means or max of maxima."""
+    if stat not in ("mean", "max"):
+        raise ConfigurationError(f"stat must be 'mean' or 'max', got {stat!r}")
+    if stat == "mean":
+        return _scenario_series(
+            campaign, lambda r: r.mean_latency, _mean,
+            horizon=horizon, rate_multiplier=rate_multiplier,
+            ylabel="mean data-set latency", title="Mean data-set latency",
+        )
+    return _scenario_series(
+        campaign, lambda r: r.max_latency, _max,
+        horizon=horizon, rate_multiplier=rate_multiplier,
+        ylabel="max data-set latency", title="Maximum data-set latency",
+    )
+
+
+def utilization_series(
+    campaign: CampaignResult,
+    *,
+    horizon: float | None = None,
+    rate_multiplier: float | None = None,
+) -> SeriesByAlgorithm:
+    """Mean busy fraction over the rented machine types, per sweep point."""
+    return _scenario_series(
+        campaign,
+        lambda r: r.mean_utilization,
+        _mean,
+        horizon=horizon,
+        rate_multiplier=rate_multiplier,
+        ylabel="mean per-type utilization",
+        title="Mean utilization of the rented machines",
+    )
+
+
+def reorder_peak_series(
+    campaign: CampaignResult,
+    *,
+    horizon: float | None = None,
+    rate_multiplier: float | None = None,
+) -> SeriesByAlgorithm:
+    """Worst reorder-buffer occupancy per sweep point (the paper's buffer size)."""
+    return _scenario_series(
+        campaign,
+        lambda r: float(r.reorder_buffer_peak),
+        _max,
+        horizon=horizon,
+        rate_multiplier=rate_multiplier,
+        ylabel="peak reorder-buffer occupancy",
+        title="Reorder buffer needed for in-order output",
+    )
+
+
+def backlog_series(
+    campaign: CampaignResult,
+    *,
+    horizon: float | None = None,
+    rate_multiplier: float | None = None,
+) -> SeriesByAlgorithm:
+    """Mean in-flight backlog at the horizon per sweep point."""
+    return _scenario_series(
+        campaign,
+        lambda r: float(r.backlog),
+        _mean,
+        horizon=horizon,
+        rate_multiplier=rate_multiplier,
+        ylabel="data sets in flight at the horizon",
+        title="Backlog at the end of the simulation",
+    )
+
+
+# --------------------------------------------------------------------------- #
+# checkpoint store
+# --------------------------------------------------------------------------- #
+
+
+class ValidationStore(JsonlCheckpointStore):
+    """Append-only JSONL checkpoint store for one validation campaign.
+
+    The whole initialize/resume/append/parse flow lives in
+    :class:`~repro.experiments.store.JsonlCheckpointStore`; this class only
+    binds the campaign's plan/unit/record types to the base hooks.  The
+    header carries ``"store": "validation"`` so the two checkpoint kinds can
+    never be resumed against each other.
+    """
+
+    data_description = "validation"
+    store_marker = "validation"
+    run_noun = "campaign"
+    plan_noun = "validation plan"
+
+    _fingerprint = staticmethod(validation_fingerprint)
+    _plan_to_dict = staticmethod(validation_plan_to_dict)
+    _plan_from_dict = staticmethod(validation_plan_from_dict)
+    _unit_from_dict = staticmethod(ValidationUnit.from_dict)
+    _record_from_dict = staticmethod(ValidationRecord.from_dict)
+
+
+def load_campaign(path: str | Path, *, allow_partial: bool = False) -> CampaignResult:
+    """Load a campaign checkpoint, merging unit lines in canonical order.
+
+    A file holding fewer units than its plan calls for (an interrupted,
+    never-resumed campaign) is refused unless ``allow_partial``.
+    """
+    store = ValidationStore(path)
+    if not Path(path).exists():
+        raise ConfigurationError(f"{path} does not exist")
+    plan, completed, _ = store._load_checkpoint(None)
+    result = CampaignResult(plan=plan)
+    for index in sorted(completed):
+        result.extend(completed[index])
+    # compare record counts, not unit counts: the unit count depends on the
+    # chunk_size the checkpointing run used, the record count only on the plan
+    expected = plan.num_simulations
+    if len(result.records) != expected and not allow_partial:
+        raise ConfigurationError(
+            f"{path} holds {len(result.records)} of the {expected} simulations its "
+            f"plan calls for (incomplete campaign); resume it, or pass "
+            f"allow_partial=True to load it anyway"
+        )
+    return result
+
+
+# --------------------------------------------------------------------------- #
+# driver
+# --------------------------------------------------------------------------- #
+
+
+def run_validation(
+    plan: ValidationPlan,
+    *,
+    backend=None,
+    store: "ValidationStore | str | Path | None" = None,
+    resume: bool = False,
+    progress: Callable[[str], None] | None = None,
+    chunk_size: int | None = None,
+) -> CampaignResult:
+    """Execute a validation campaign and collect every record.
+
+    The exact counterpart of :func:`~repro.experiments.runner.run_plan`: the
+    campaign is sharded into :class:`ValidationUnit` s, streamed through an
+    :class:`~repro.experiments.backends.ExecutionBackend` (serial by default,
+    pass a :class:`~repro.experiments.backends.ProcessPoolBackend` to
+    parallelise), optionally checkpointed per unit into a
+    :class:`ValidationStore` and resumable with ``resume=True``.  Records are
+    reassembled in canonical unit order, so backend choice and completion
+    order never change the result — the simulation itself is deterministic.
+    """
+    if resume and store is None:
+        raise ConfigurationError("resume=True requires a store (the checkpoint to resume from)")
+    if isinstance(store, (str, Path)):
+        store = ValidationStore(store)
+    if backend is None:
+        backend = SerialBackend()
+    units = plan_validation_units(plan, chunk_size=chunk_size)
+    total = len(units)
+    completed: dict[int, list[ValidationRecord]] = {}
+    if store is not None:
+        completed = store.initialize(plan, resume=resume, units=units)
+        if completed and progress is not None:
+            progress(
+                f"[{plan.name}] resumed {len(completed)}/{total} work units from {store.path}"
+            )
+    pending = [unit for unit in units if unit.index not in completed]
+    for unit, records in backend.run(plan, pending, check=False):
+        completed[unit.index] = records
+        if store is not None:
+            store.append(unit, records)
+        if progress is not None:
+            progress(
+                f"[{plan.name}] work unit {len(completed)}/{total} done "
+                f"(horizon {unit.horizon:g}, rate x{unit.rate_multiplier:g}, "
+                f"{len(records)} simulations)"
+            )
+    missing = [unit.index for unit in units if unit.index not in completed]
+    if missing:
+        raise ConfigurationError(
+            f"backend returned no result for {len(missing)} work unit(s) "
+            f"(indices {missing[:10]}{'...' if len(missing) > 10 else ''}); "
+            f"a conforming backend must yield every unit or raise"
+        )
+    result = CampaignResult(plan=plan)
+    for unit in units:
+        result.extend(completed[unit.index])
+    return result

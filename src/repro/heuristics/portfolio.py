@@ -47,7 +47,9 @@ class PortfolioSolver(Solver):
             try:
                 result = solver.solve(problem)
             except Exception as exc:  # noqa: BLE001 - member failures are data here
-                errors.append(f"{solver.name}: {exc}")
+                message = f"{solver.name}: {exc}"
+                errors.append(message)
+                members.append({"solver": solver.name, "error": str(exc)})
                 continue
             members.append(
                 {"solver": solver.name, "cost": result.cost, "time": result.solve_time}
@@ -63,6 +65,6 @@ class PortfolioSolver(Solver):
             allocation=best.allocation,
             cost=best.cost,
             optimal=best.optimal,
-            iterations=sum(int(m.get("cost", 0) >= 0) for m in members),
+            iterations=len(members),
             meta={"winner": best.solver_name, "members": members, "errors": errors},
         )

@@ -83,7 +83,12 @@ class StreamSimulator:
         queue = EventQueue()
         recipes = self.problem.application.recipes()
 
+        # Only in-flight data sets are kept: a completed instance is evicted as
+        # soon as it is released, so the dict's size is the current backlog (a
+        # few data sets for a well-dimensioned allocation) rather than the total
+        # number of arrivals — long-horizon campaign runs depend on this bound.
         datasets: dict[int, DataSetInstance] = {}
+        peak_in_flight = 0
         latencies: list[float] = []
         completed_times: list[float] = []
         arrivals = 0
@@ -104,6 +109,7 @@ class StreamSimulator:
                 dataset = DataSetInstance(dataset_id, recipe_index, recipes[recipe_index], now)
                 datasets[dataset_id] = dataset
                 arrivals += 1
+                peak_in_flight = max(peak_in_flight, len(datasets))
                 for task_id in dataset.initial_tasks():
                     self._dispatch(pool, queue, dataset, task_id, now)
                 next_time = now + interarrival
@@ -119,6 +125,7 @@ class StreamSimulator:
                     latencies.append(dataset.latency or 0.0)
                     completed_times.append(now)
                     reorder.complete(dataset.dataset_id)
+                    del datasets[dataset.dataset_id]
                 # The instance is free: start its next queued task, if any.
                 started = instance.start_next(now)
                 if started is not None:
@@ -127,7 +134,10 @@ class StreamSimulator:
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {event.kind!r}")
 
-        return self._report(horizon, arrivals, latencies, completed_times, pool, reorder, router, datasets)
+        return self._report(
+            horizon, arrivals, latencies, completed_times, pool, reorder, router, datasets,
+            peak_in_flight,
+        )
 
     # ------------------------------------------------------------------ #
     def _dispatch(self, pool, queue, dataset: DataSetInstance, task_id: int, now: float) -> None:
@@ -151,13 +161,16 @@ class StreamSimulator:
         reorder: ReorderBuffer,
         router: RecipeRouter,
         datasets: dict[int, DataSetInstance],
+        peak_in_flight: int,
     ) -> SimulationReport:
         warmup = horizon * self.warmup_fraction
         effective = [t for t in completed_times if t >= warmup]
         window = horizon - warmup
         achieved = len(effective) / window if window > 0 else 0.0
         mean_latency, max_latency = SimulationReport.latency_stats(latencies)
-        backlog = sum(1 for d in datasets.values() if not d.is_complete)
+        # completed data sets were evicted on release, so what remains is
+        # exactly the in-flight backlog — O(backlog), not O(arrivals)
+        backlog = len(datasets)
         return SimulationReport(
             horizon=horizon,
             arrivals=arrivals,
@@ -171,5 +184,5 @@ class StreamSimulator:
             backlog=backlog,
             recipe_mix=tuple(float(x) for x in router.mix()),
             warmup=warmup,
-            metadata={"num_instances": pool.num_instances},
+            metadata={"num_instances": pool.num_instances, "peak_in_flight": peak_in_flight},
         )

@@ -88,10 +88,19 @@ class ProcessorInstance:
         return task
 
     def utilization(self, horizon: float) -> float:
-        """Fraction of the horizon this instance spent serving tasks."""
+        """Fraction of the horizon this instance spent serving tasks.
+
+        ``busy_time`` accrues the full service duration when a task starts, so
+        a task still in service at the horizon would overstate the busy
+        fraction; the overshoot past the horizon is truncated before dividing.
+        (Completion events at or before the horizon reset ``busy_until`` no
+        later than the horizon, so a positive overshoot can only come from the
+        task cut by the end of the simulation.)
+        """
         if horizon <= 0:
             return 0.0
-        return min(1.0, self.busy_time / horizon)
+        busy = self.busy_time - max(0.0, self.busy_until - horizon)
+        return min(1.0, max(0.0, busy) / horizon)
 
 
 class ProcessorPool:

@@ -1,0 +1,350 @@
+"""Tests for the validation campaign subsystem (experiments.validation)."""
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.experiments.backends import ProcessPoolBackend
+from repro.experiments.config import default_plan
+from repro.experiments.runner import AllocationPayload, RunRecord, SweepResult, run_plan
+from repro.experiments.store import SweepStore, load_sweep_result
+from repro.experiments.validation import (
+    AllocationSource,
+    CampaignResult,
+    ValidationPlan,
+    ValidationStore,
+    backlog_series,
+    latency_series,
+    load_campaign,
+    plan_from_sweep,
+    plan_validation_units,
+    reorder_peak_series,
+    run_validation,
+    throughput_ratio_series,
+    utilization_series,
+    validation_fingerprint,
+    validation_plan_from_dict,
+    validation_plan_to_dict,
+)
+
+
+def small_plan(num_configurations=2, throughputs=(50, 100), algorithms=("ILP", "H1")):
+    plan = default_plan(
+        "small",
+        num_configurations=num_configurations,
+        target_throughputs=throughputs,
+        iterations=100,
+    )
+    return replace(plan, algorithms=tuple(a for a in plan.algorithms if a.name in algorithms))
+
+
+def record_lines(campaign: CampaignResult) -> list[str]:
+    """Canonical JSONL serialisation of every record (the byte-identity probe)."""
+    return [
+        json.dumps(record.as_dict(), sort_keys=True, separators=(",", ":"))
+        for record in campaign.records
+    ]
+
+
+@pytest.fixture(scope="module")
+def captured_sweep() -> SweepResult:
+    return run_plan(small_plan(), capture_allocations=True)
+
+
+@pytest.fixture(scope="module")
+def campaign_plan(captured_sweep) -> ValidationPlan:
+    return plan_from_sweep(
+        captured_sweep, horizons=(8.0,), rate_multipliers=(1.0, 1.05)
+    )
+
+
+@pytest.fixture(scope="module")
+def serial_campaign(campaign_plan) -> CampaignResult:
+    return run_validation(campaign_plan)
+
+
+class TestAllocationPayload:
+    def test_capture_attaches_round_trippable_payload(self, captured_sweep):
+        record = captured_sweep.records[0]
+        assert record.allocation is not None
+        rebuilt = AllocationPayload.from_dict(record.allocation.as_dict())
+        assert rebuilt == record.allocation
+        allocation = rebuilt.to_allocation()
+        assert allocation.cost == pytest.approx(record.cost)
+        assert allocation.split.total >= record.rho - 1e-9
+
+    def test_payload_survives_checkpoint_round_trip(self, tmp_path):
+        path = tmp_path / "sweep.jsonl"
+        run_plan(small_plan(), store=SweepStore(path), capture_allocations=True)
+        loaded = load_sweep_result(path)
+        assert all(r.allocation is not None for r in loaded.records)
+        direct = run_plan(small_plan(), capture_allocations=True)
+        assert [r.allocation for r in loaded.records] == [r.allocation for r in direct.records]
+
+    def test_record_without_payload_still_loads(self, tmp_path):
+        # a pre-payload checkpoint line (no "allocation" key) must round-trip
+        legacy = {
+            "configuration": 0,
+            "rho": 50.0,
+            "algorithm": "ILP",
+            "cost": 124.0,
+            "time": 0.01,
+            "optimal": True,
+            "iterations": 3,
+        }
+        record = RunRecord.from_dict(legacy)
+        assert record.allocation is None
+        assert record.as_dict() == legacy  # and no key is invented on the way out
+
+    def test_uncaptured_sweep_has_no_payloads(self):
+        sweep = run_plan(small_plan(num_configurations=1, throughputs=(50,)))
+        assert all(r.allocation is None for r in sweep.records)
+
+    def test_identity_ignores_payload(self, captured_sweep):
+        plain = run_plan(small_plan())
+        assert [r.identity() for r in plain.records] == [
+            r.identity() for r in captured_sweep.records
+        ]
+
+
+class TestPlanFromSweep:
+    def test_one_source_per_record(self, captured_sweep, campaign_plan):
+        assert len(campaign_plan.sources) == len(captured_sweep.records)
+        assert campaign_plan.num_simulations == len(captured_sweep.records) * 2
+
+    def test_algorithm_filter(self, captured_sweep):
+        plan = plan_from_sweep(captured_sweep, algorithms=("ILP",))
+        assert {source.algorithm for source in plan.sources} == {"ILP"}
+        with pytest.raises(ConfigurationError, match="no records"):
+            plan_from_sweep(captured_sweep, algorithms=("H99",))
+
+    def test_invalid_parameters_rejected(self, captured_sweep):
+        with pytest.raises(ConfigurationError):
+            plan_from_sweep(captured_sweep, horizons=())
+        with pytest.raises(ConfigurationError):
+            plan_from_sweep(captured_sweep, horizons=(0.0,))
+        with pytest.raises(ConfigurationError):
+            plan_from_sweep(captured_sweep, rate_multipliers=(-1.0,))
+        with pytest.raises(ConfigurationError):
+            plan_from_sweep(captured_sweep, warmup_fraction=1.0)
+
+    def test_plan_round_trips_through_dict(self, campaign_plan):
+        rebuilt = validation_plan_from_dict(validation_plan_to_dict(campaign_plan))
+        assert rebuilt == campaign_plan
+        assert validation_fingerprint(rebuilt) == validation_fingerprint(campaign_plan)
+
+    def test_fingerprint_sensitive_to_scenario_grid(self, captured_sweep, campaign_plan):
+        other = plan_from_sweep(captured_sweep, horizons=(8.0,), rate_multipliers=(1.0,))
+        assert validation_fingerprint(other) != validation_fingerprint(campaign_plan)
+
+
+class TestUnits:
+    def test_units_cover_the_grid(self, campaign_plan):
+        units = plan_validation_units(campaign_plan)
+        covered = {
+            (unit.horizon, unit.rate_multiplier, source)
+            for unit in units
+            for source in unit.sources
+        }
+        expected = {
+            (h, m, s)
+            for h in campaign_plan.horizons
+            for m in campaign_plan.rate_multipliers
+            for s in range(len(campaign_plan.sources))
+        }
+        assert covered == expected
+        assert [unit.index for unit in units] == list(range(len(units)))
+
+    def test_default_chunking_groups_by_configuration(self, campaign_plan):
+        units = plan_validation_units(campaign_plan)
+        for unit in units:
+            configurations = {
+                campaign_plan.sources[s].configuration for s in unit.sources
+            }
+            assert len(configurations) == 1
+
+    def test_invalid_chunk_size_rejected(self, campaign_plan):
+        with pytest.raises(ConfigurationError):
+            plan_validation_units(campaign_plan, chunk_size=0)
+
+
+class TestCampaignExecution:
+    def test_parallel_byte_identical_to_serial(self, campaign_plan, serial_campaign):
+        parallel = run_validation(campaign_plan, backend=ProcessPoolBackend(2))
+        assert record_lines(parallel) == record_lines(serial_campaign)
+
+    def test_chunked_byte_identical_to_serial(self, campaign_plan, serial_campaign):
+        chunked = run_validation(campaign_plan, chunk_size=1)
+        assert record_lines(chunked) == record_lines(serial_campaign)
+
+    def test_resume_byte_identical_to_serial(self, tmp_path, campaign_plan, serial_campaign):
+        class _Interrupt(Exception):
+            pass
+
+        path = tmp_path / "campaign.jsonl"
+        done = 0
+
+        def tripwire(_msg):
+            nonlocal done
+            done += 1
+            if done >= 2:
+                raise _Interrupt
+
+        with pytest.raises(_Interrupt):
+            run_validation(campaign_plan, store=ValidationStore(path), progress=tripwire)
+        with pytest.raises(ConfigurationError, match="incomplete campaign"):
+            load_campaign(path)
+        assert load_campaign(path, allow_partial=True).records
+        resumed = run_validation(campaign_plan, store=ValidationStore(path), resume=True)
+        assert record_lines(resumed) == record_lines(serial_campaign)
+        assert record_lines(load_campaign(path)) == record_lines(serial_campaign)
+
+    def test_payload_free_sources_are_re_solved(self, campaign_plan, serial_campaign):
+        # deterministic algorithms (ILP, H1) re-solve to the same allocation,
+        # so a campaign without payloads replays the same simulations
+        stripped = replace(
+            campaign_plan,
+            sources=tuple(replace(s, payload=None) for s in campaign_plan.sources),
+        )
+        re_solved = run_validation(stripped)
+        assert record_lines(re_solved) == record_lines(serial_campaign)
+
+    def test_unknown_algorithm_in_source_rejected(self, campaign_plan):
+        bad = replace(
+            campaign_plan,
+            sources=(
+                replace(campaign_plan.sources[0], algorithm="H99", payload=None),
+            ),
+        )
+        with pytest.raises(ConfigurationError, match="H99"):
+            run_validation(bad)
+
+    def test_resume_without_store_rejected(self, campaign_plan):
+        with pytest.raises(ConfigurationError, match="requires a store"):
+            run_validation(campaign_plan, resume=True)
+
+    def test_campaign_sustains_design_point(self, serial_campaign):
+        # the paper's claim, checked end to end: at the design rate every
+        # exact allocation keeps up within the simulator's tolerance
+        design = [
+            record
+            for record in serial_campaign.records
+            if record.rate_multiplier == 1.0 and record.algorithm == "ILP"
+        ]
+        assert design
+        assert all(record.sustains_target(tolerance=0.1) for record in design)
+
+
+class TestValidationStore:
+    def test_sweep_checkpoint_is_refused(self, tmp_path, campaign_plan):
+        path = tmp_path / "sweep.jsonl"
+        run_plan(small_plan(), store=SweepStore(path))
+        with pytest.raises(ConfigurationError, match="not a validation checkpoint"):
+            run_validation(campaign_plan, store=ValidationStore(path), resume=True)
+
+    def test_validation_checkpoint_not_resumable_as_sweep(self, tmp_path, campaign_plan):
+        path = tmp_path / "campaign.jsonl"
+        run_validation(campaign_plan, store=ValidationStore(path))
+        with pytest.raises(ConfigurationError, match="not a sweep checkpoint"):
+            run_plan(small_plan(), store=SweepStore(path), resume=True)
+
+    def test_validation_checkpoint_not_loadable_as_sweep(self, tmp_path, campaign_plan):
+        # e.g. `repro-cloud validate campaign.jsonl` passed the campaign file
+        # instead of the sweep: the loader must name the real problem
+        path = tmp_path / "campaign.jsonl"
+        run_validation(campaign_plan, store=ValidationStore(path))
+        with pytest.raises(ConfigurationError, match="validation checkpoint, not a sweep"):
+            load_sweep_result(path)
+
+    def test_mismatched_fingerprint_refused(self, tmp_path, captured_sweep, campaign_plan):
+        path = tmp_path / "campaign.jsonl"
+        run_validation(campaign_plan, store=ValidationStore(path))
+        other = plan_from_sweep(captured_sweep, horizons=(5.0,))
+        with pytest.raises(ConfigurationError, match="different validation plan"):
+            run_validation(other, store=ValidationStore(path), resume=True)
+
+    def test_populated_checkpoint_not_overwritten(self, tmp_path, campaign_plan):
+        path = tmp_path / "campaign.jsonl"
+        run_validation(campaign_plan, store=ValidationStore(path))
+        with pytest.raises(ConfigurationError, match="resume=True"):
+            run_validation(campaign_plan, store=ValidationStore(path))
+
+    def test_header_only_foreign_checkpoint_not_overwritten(self, tmp_path, campaign_plan):
+        # a campaign that died before its first unit leaves a bare validation
+        # header; a sweep mistakenly pointed at the same --out must not wipe it
+        path = tmp_path / "campaign.jsonl"
+        ValidationStore(path).initialize(campaign_plan)
+        header = path.read_text()
+        with pytest.raises(ConfigurationError, match="refusing to overwrite"):
+            run_plan(small_plan(), store=SweepStore(path))
+        assert path.read_text() == header
+        # and the mirror image: a bare sweep header is safe from a campaign
+        sweep_path = tmp_path / "sweep.jsonl"
+        SweepStore(sweep_path).initialize(small_plan())
+        with pytest.raises(ConfigurationError, match="refusing to overwrite"):
+            run_validation(campaign_plan, store=ValidationStore(sweep_path))
+        # same-kind header-only files may still be recreated (aborted runs)
+        ValidationStore(path).initialize(campaign_plan)
+
+    def test_store_accepts_path_argument(self, tmp_path, campaign_plan):
+        path = tmp_path / "campaign.jsonl"
+        run_validation(campaign_plan, store=path)
+        assert record_lines(load_campaign(path))
+
+    def test_chunked_checkpoint_loads_complete(self, tmp_path, campaign_plan, serial_campaign):
+        # a finished campaign checkpointed with a non-default chunk_size must
+        # load as complete — completeness is about simulations, not unit count
+        path = tmp_path / "campaign.jsonl"
+        run_validation(campaign_plan, store=ValidationStore(path), chunk_size=1)
+        loaded = load_campaign(path)
+        assert record_lines(loaded) == record_lines(serial_campaign)
+
+
+class TestSeries:
+    def test_ratio_series_near_one_at_design_rate(self, serial_campaign):
+        series = throughput_ratio_series(serial_campaign, rate_multiplier=1.0)
+        assert series.throughputs == [50.0, 100.0]
+        for name, values in series.series.items():
+            assert all(v > 0.8 for v in values), name
+
+    def test_stress_rate_does_not_exceed_design_ratio(self, serial_campaign):
+        design = throughput_ratio_series(serial_campaign, rate_multiplier=1.0)
+        stress = throughput_ratio_series(serial_campaign, rate_multiplier=1.05)
+        for name in design.series:
+            for d, s in zip(design.series[name], stress.series[name]):
+                assert s <= d + 0.05
+
+    def test_latency_and_utilization_series_shapes(self, serial_campaign):
+        for series in (
+            latency_series(serial_campaign),
+            latency_series(serial_campaign, stat="max"),
+            utilization_series(serial_campaign),
+            reorder_peak_series(serial_campaign),
+            backlog_series(serial_campaign),
+        ):
+            assert set(series.series) == {"ILP", "H1"}
+            assert all(len(v) == 2 for v in series.series.values())
+
+    def test_utilization_bounded(self, serial_campaign):
+        series = utilization_series(serial_campaign)
+        for values in series.series.values():
+            assert all(0 <= v <= 1 for v in values)
+
+    def test_invalid_latency_stat_rejected(self, serial_campaign):
+        with pytest.raises(ConfigurationError):
+            latency_series(serial_campaign, stat="median")
+
+    def test_worst_ratio_is_minimum(self, serial_campaign):
+        assert serial_campaign.worst_ratio() == pytest.approx(
+            min(r.throughput_ratio for r in serial_campaign.records)
+        )
+
+    def test_filter_by_scenario(self, serial_campaign):
+        subset = serial_campaign.filter(algorithm="ILP", rho=50.0, rate_multiplier=1.05)
+        assert subset
+        assert all(
+            r.algorithm == "ILP" and r.rho == 50.0 and r.rate_multiplier == 1.05
+            for r in subset
+        )

@@ -26,6 +26,18 @@ class TestPortfolio:
         assert result.cost == 138
         assert any("Knapsack" in err for err in result.meta["errors"])
 
+    def test_iterations_count_every_member_run(self, illustrating_problem_70):
+        # iterations reports the member runs, successes and failures alike,
+        # and failed members surface in the member summary with their error
+        portfolio = PortfolioSolver([BlackBoxKnapsackSolver(), H1BestGraphSolver()])
+        result = portfolio.solve(illustrating_problem_70)
+        assert result.iterations == 2
+        assert len(result.meta["members"]) == 2
+        failed = [m for m in result.meta["members"] if "error" in m]
+        assert len(failed) == 1 and "Knapsack" in failed[0]["solver"]
+        succeeded = [m for m in result.meta["members"] if "cost" in m]
+        assert len(succeeded) == 1 and succeeded[0]["cost"] == 138
+
     def test_all_members_failing_raises(self, illustrating_problem_70):
         portfolio = PortfolioSolver([BlackBoxKnapsackSolver()])
         with pytest.raises(RuntimeError):

@@ -81,6 +81,66 @@ class TestStreamSimulator:
         text = report.summary()
         assert "throughput" in text and "utilization" in text
 
+    def test_max_datasets_cutoff_still_completes_in_flight_work(self, illustrating_problem_70):
+        # arrivals stop at the cutoff but the already-injected data sets are
+        # drained normally — the campaign uses this to bound simulation size
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        report = StreamSimulator(illustrating_problem_70, allocation).run(
+            horizon=50.0, max_datasets=5
+        )
+        assert report.arrivals == 5
+        assert report.completed == 5
+        assert report.backlog == 0
+
+    def test_warmup_window_excluded_from_throughput(self, illustrating_problem_70):
+        # with a 50 % warm-up only completions in [h/2, h] count, over a
+        # window of h/2 — the measured rate stays near the target either way
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        simulator = StreamSimulator(illustrating_problem_70, allocation, warmup_fraction=0.5)
+        report = simulator.run(horizon=20.0)
+        assert report.warmup == 10.0
+        assert report.achieved_throughput == pytest.approx(70, rel=0.1)
+        # zero-warm-up accounting covers the whole horizon
+        cold = StreamSimulator(illustrating_problem_70, allocation, warmup_fraction=0.0)
+        full = cold.run(horizon=20.0)
+        assert full.warmup == 0.0
+        assert full.completed >= report.completed
+
+    def test_backlog_counts_only_in_flight_datasets(self, illustrating_problem_70):
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        report = StreamSimulator(illustrating_problem_70, allocation).run(horizon=10.0)
+        assert report.backlog == report.arrivals - report.completed
+
+    def test_long_horizon_memory_stays_bounded(self, illustrating_problem_70):
+        # completed data sets are evicted on release: thousands of arrivals,
+        # but only the in-flight few are ever held at once
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        report = StreamSimulator(illustrating_problem_70, allocation).run(horizon=100.0)
+        assert report.arrivals > 5000
+        peak = report.metadata["peak_in_flight"]
+        assert peak < 100  # a small multiple of the pipeline depth, not O(arrivals)
+        assert report.backlog <= peak
+
+    def test_reorder_buffer_releases_in_arrival_order(self):
+        from repro.simulation import ReorderBuffer
+
+        buffer = ReorderBuffer()
+        released: list[int] = []
+        # completions arrive shuffled; releases must come out 0,1,2,...
+        for dataset_id in (2, 0, 1, 4, 5, 3):
+            released.extend(buffer.complete(dataset_id))
+        assert released == [0, 1, 2, 3, 4, 5]
+        assert buffer.occupancy == 0
+        assert buffer.released == 6
+        assert buffer.peak_occupancy == 3  # {3, 4, 5} held while waiting for 3
+
+    def test_reorder_peak_matches_out_of_order_depth(self, illustrating_problem_70):
+        # the engine's peak covers every data set held for an earlier one
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        report = StreamSimulator(illustrating_problem_70, allocation).run(horizon=10.0)
+        assert report.reorder_buffer_peak >= 1
+        assert report.reorder_buffer_peak <= report.completed
+
 
 class TestValidationHelpers:
     def test_static_check_agrees_with_problem(self, illustrating_problem_70):

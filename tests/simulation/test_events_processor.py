@@ -73,6 +73,30 @@ class TestProcessorInstance:
         with pytest.raises(SimulationError):
             ProcessorInstance(0, 1, throughput=0)
 
+    def test_utilization_truncates_task_cut_by_horizon(self):
+        # a task started at t=0.5 that runs until t=2.5 only occupies the
+        # instance for 0.5 of a 1.0 horizon — the overshoot must not count
+        instance = ProcessorInstance(0, 1, throughput=1.0)
+        instance.enqueue(PendingTask(0, 0, work=2.0))
+        instance.start_next(0.5)
+        assert instance.busy_until == 2.5
+        assert instance.utilization(1.0) == pytest.approx(0.5)
+        # at a horizon past the completion the full service counts again
+        assert instance.utilization(4.0) == pytest.approx(2.0 / 4.0)
+
+    def test_utilization_exact_at_full_load(self):
+        # back-to-back unit tasks ending exactly at the horizon: 100 % busy,
+        # not the >100 % the pre-truncation accounting could report
+        instance = ProcessorInstance(0, 1, throughput=1.0)
+        now = 0.0
+        for i in range(3):
+            instance.enqueue(PendingTask(i, 0, work=1.0))
+        for _ in range(3):
+            _task, done = instance.start_next(now)
+            instance.finish_current(done)
+            now = done
+        assert instance.utilization(3.0) == pytest.approx(1.0)
+
 
 class TestProcessorPool:
     def build_pool(self, illustrating_app, illustrating_cloud) -> ProcessorPool:

@@ -109,3 +109,23 @@ class TestBudgetDual:
             max_throughput_for_budget(illustrating_problem_70, budget=0)
         with pytest.raises(ProblemError):
             max_throughput_for_budget(illustrating_problem_70, budget=10, step=0)
+
+    def test_non_exact_solver_warns_and_stays_affordable(self, illustrating_problem_70):
+        # a heuristic breaks the staircase assumption: the search must say so,
+        # and whatever it returns must still fit in the budget
+        with pytest.warns(RuntimeWarning, match="non-exact"):
+            result = max_throughput_for_budget(
+                illustrating_problem_70, budget=130, solver=H1BestGraphSolver()
+            )
+        assert result.cost <= 130 + 1e-9
+        if result.feasible:
+            assert illustrating_problem_70.with_target(
+                result.throughput
+            ).is_allocation_feasible(result.allocation)
+
+    def test_exact_solver_does_not_warn(self, illustrating_problem_70):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            max_throughput_for_budget(illustrating_problem_70, budget=130, solver=MilpSolver())

@@ -92,3 +92,49 @@ class TestCommands:
         assert main(["table3", "--iterations", "200"]) == 0
         out = capsys.readouterr().out
         assert "20 matches" in out
+
+    def test_validate_command_end_to_end(self, capsys, tmp_path):
+        sweep_file = tmp_path / "sweep.jsonl"
+        assert main(
+            ["figure", "figure3", "--configurations", "1", "--throughputs", "60",
+             "--iterations", "60", "--out", str(sweep_file), "--capture-allocations",
+             "--quiet"]
+        ) == 0
+        capsys.readouterr()
+
+        campaign_file = tmp_path / "campaign.jsonl"
+        args = ["validate", str(sweep_file), "--horizons", "8", "--multipliers",
+                "1.0", "1.05", "--algorithms", "ILP", "H1",
+                "--out", str(campaign_file), "--quiet"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "achieved / target throughput" in out
+        assert "x1.05" in out
+        assert "captured" in out
+        assert campaign_file.exists()
+
+        # resuming the finished campaign re-reads the checkpoint, same output
+        assert main(args + ["--resume"]) == 0
+        assert capsys.readouterr().out == out
+
+        # and a re-run without --resume must not wipe the checkpoint
+        assert main(args) == 2
+        assert "resume=True" in capsys.readouterr().err
+
+    def test_validate_rejects_empty_algorithms(self, capsys, tmp_path):
+        sweep_file = tmp_path / "sweep.jsonl"
+        sweep_file.write_text("{}\n")
+        code = main(["validate", str(sweep_file), "--algorithms", "--quiet"])
+        assert code == 2
+        assert "--algorithms requires at least one name" in capsys.readouterr().err
+
+    def test_validate_rejects_resume_without_out(self, capsys, tmp_path):
+        sweep_file = tmp_path / "sweep.jsonl"
+        sweep_file.write_text("{}\n")
+        code = main(["validate", str(sweep_file), "--resume", "--quiet"])
+        assert code == 2
+        assert "--resume requires --out" in capsys.readouterr().err
+
+    def test_validate_rejects_missing_sweep(self, capsys, tmp_path):
+        code = main(["validate", str(tmp_path / "typo.jsonl"), "--quiet"])
+        assert code == 2
