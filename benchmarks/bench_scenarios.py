@@ -1,0 +1,180 @@
+"""Benchmark of scenario-injection campaigns: serial vs pool vs resume.
+
+Builds a small captured sweep, derives a validation campaign over a *scenario
+axis* — Poisson arrivals, and a bursty arrival process with per-type slowdown
+and seeded instance-failure windows — and runs it three ways, recording
+wall-clock into ``BENCH_scenarios.json``:
+
+* **serial** — :class:`SerialBackend`;
+* **parallel** — :class:`ProcessPoolBackend` with ``--workers`` processes,
+  asserting the record lines are **byte-identical** to the serial run (every
+  stochastic draw comes from a seed derived per (source, scenario) with
+  ``stable_text_digest``, so worker count must not change a single byte);
+* **resume** — the campaign is interrupted after a fixed number of
+  checkpointed work units and resumed, asserting byte-identity again.
+
+It also asserts the backward-compatibility contract: a scenario-free plan
+serialises without a ``scenarios`` field and its units without a ``scenario``
+field, i.e. exactly the pre-scenario checkpoint format.
+
+Run directly to emit ``BENCH_scenarios.json`` next to this file::
+
+    PYTHONPATH=src python benchmarks/bench_scenarios.py [--smoke] [--workers N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.experiments.backends import ProcessPoolBackend
+from repro.experiments.config import default_plan
+from repro.experiments.runner import run_plan
+from repro.experiments.validation import (
+    ValidationPlan,
+    plan_from_sweep,
+    plan_validation_units,
+    run_validation,
+    validation_plan_to_dict,
+)
+from repro.simulation import BurstyArrivals, FailureWindow, PoissonArrivals, ScenarioSpec
+
+# the byte-identity criterion and the interrupt/resume harness are shared
+# with the plain-campaign benchmark — one definition, asserted by both
+from bench_validation import record_lines, run_interrupted_then_resume
+
+
+def build_campaign(smoke: bool) -> ValidationPlan:
+    from dataclasses import replace
+
+    plan = default_plan(
+        "small",
+        num_configurations=2 if smoke else 4,
+        target_throughputs=(40, 80) if smoke else (20, 60, 100, 140),
+        iterations=120 if smoke else 400,
+    )
+    keep = ("ILP", "H1") if smoke else ("ILP", "H1", "H2", "H32")
+    plan = replace(plan, algorithms=tuple(a for a in plan.algorithms if a.name in keep))
+    sweep = run_plan(plan, capture_allocations=True)
+    scenarios = (
+        ScenarioSpec(name="poisson", arrival=PoissonArrivals()),
+        ScenarioSpec(
+            name="bursty+degraded",
+            arrival=BurstyArrivals(on=1.0, off=2.0),
+            slowdowns=((1, 0.8),),
+            failures=(FailureWindow(1, 1.0, 2.0), FailureWindow(2, 4.0, 1.0)),
+        ),
+    )
+    return plan_from_sweep(
+        sweep,
+        horizons=(8.0,) if smoke else (15.0, 30.0),
+        rate_multipliers=(1.0, 1.05),
+        scenarios=scenarios,
+    )
+
+
+def assert_pre_scenario_format(plan: ValidationPlan) -> None:
+    """A scenario-free twin of ``plan`` must serialise in the old format."""
+    from dataclasses import replace
+
+    from repro.simulation import DEFAULT_SCENARIO
+
+    plain = replace(plan, scenarios=(DEFAULT_SCENARIO,))
+    data = validation_plan_to_dict(plain)
+    if "scenarios" in data:
+        raise AssertionError("scenario-free plan leaked a 'scenarios' field")
+    for unit in plan_validation_units(plain):
+        if "scenario" in unit.as_dict():
+            raise AssertionError("scenario-free unit leaked a 'scenario' field")
+
+
+def run(smoke: bool, workers: int) -> dict:
+    t0 = time.perf_counter()
+    plan = build_campaign(smoke)
+    sweep_seconds = time.perf_counter() - t0
+    assert_pre_scenario_format(plan)
+
+    t0 = time.perf_counter()
+    serial = run_validation(plan)
+    serial_seconds = time.perf_counter() - t0
+    serial_lines = record_lines(serial)
+
+    t0 = time.perf_counter()
+    parallel = run_validation(plan, backend=ProcessPoolBackend(workers))
+    parallel_seconds = time.perf_counter() - t0
+    parallel_identical = record_lines(parallel) == serial_lines
+
+    with tempfile.TemporaryDirectory() as tmp:
+        resumed = run_interrupted_then_resume(plan, Path(tmp) / "campaign.jsonl", stop_after=2)
+    resume_identical = record_lines(resumed) == serial_lines
+
+    import os
+
+    ratios = {
+        scenario.name: min(
+            record.throughput_ratio
+            for record in serial.records
+            if record.scenario == scenario.name
+        )
+        for scenario in plan.scenarios
+    }
+    return {
+        "benchmark": "scenarios",
+        "smoke": smoke,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "campaign": {
+            "sweep": plan.sweep_plan.name,
+            "allocations": len(plan.sources),
+            "horizons": list(plan.horizons),
+            "rate_multipliers": list(plan.rate_multipliers),
+            "scenarios": [scenario.as_dict() for scenario in plan.scenarios],
+            "simulations": plan.num_simulations,
+        },
+        "records": len(serial.records),
+        "worst_throughput_ratio_by_scenario": ratios,
+        "sweep_seconds": sweep_seconds,
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "speedup": serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf"),
+        "parallel_identical": parallel_identical,
+        "resume_identical": resume_identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="reduced sizes for CI")
+    parser.add_argument("--workers", type=int, default=2, help="process-pool width")
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).parent / "BENCH_scenarios.json"
+    )
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke, workers=args.workers)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"scenarios ({report['records']} records over "
+          f"{report['campaign']['simulations']} simulations, "
+          f"{len(report['campaign']['scenarios'])} scenarios)  "
+          f"serial={report['serial_seconds']:.2f}s  "
+          f"parallel[{report['workers']}]={report['parallel_seconds']:.2f}s  "
+          f"speedup={report['speedup']:.2f}x")
+    for name, ratio in report["worst_throughput_ratio_by_scenario"].items():
+        print(f"worst achieved/target ratio under {name}: {ratio:.3f}")
+    print(f"parallel byte-identical to serial: {report['parallel_identical']}")
+    print(f"resume byte-identical to serial:   {report['resume_identical']}")
+    print(f"report written to {args.out}")
+
+    if not (report["parallel_identical"] and report["resume_identical"]):
+        print("FAIL: parallel/resumed scenario campaign diverges from the serial run",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -28,7 +28,7 @@ from pathlib import Path
 from typing import Sequence
 
 from . import available_solvers, create_solver
-from .core.exceptions import ConfigurationError
+from .core.exceptions import ConfigurationError, SimulationError
 from .experiments.backends import ProcessPoolBackend, SerialBackend
 from .experiments.figures import FIGURES
 from .experiments.reporting import render_series, render_table3, sweep_summary, table3_vs_paper
@@ -95,6 +95,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="cap the number of injected data sets per simulation")
     p_val.add_argument("--algorithms", nargs="*", default=None,
                        help="restrict the campaign to these sweep algorithms")
+    p_val.add_argument("--arrival", nargs="+", default=None, metavar="PROCESS",
+                       help="arrival processes, one scenario each: deterministic, "
+                            "poisson, bursty:on=1,off=3, batch:size=5 "
+                            "(default: the paper's deterministic stream)")
+    p_val.add_argument("--slowdown", nargs="+", default=None, metavar="TYPE=FACTOR",
+                       help="per-type service-rate factors applied to every scenario "
+                            "(e.g. 2=0.5 runs type-2 machines at half speed)")
+    p_val.add_argument("--fail", nargs="+", default=None, metavar="TYPE:START:DURATION[:COUNT]",
+                       help="transient failure windows applied to every scenario: "
+                            "COUNT seeded instances of TYPE take no new work during "
+                            "[START, START+DURATION) (COUNT defaults to 1)")
     p_val.add_argument("--workers", type=int, default=None,
                        help="worker processes for the campaign (default: run serially)")
     p_val.add_argument("--out", type=Path, default=None,
@@ -180,6 +191,77 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_type_id(text: str):
+    """CLI processor-type token: the paper's integer ids, or any string id."""
+    try:
+        return int(text)
+    except ValueError:
+        return text
+
+
+def _build_scenarios(args: argparse.Namespace):
+    """The scenario axis requested by --arrival/--slowdown/--fail.
+
+    Returns ``None`` (the default baseline axis) when none of the flags is
+    given.  Otherwise one scenario per --arrival process (default: the
+    deterministic stream), each carrying every --slowdown factor and --fail
+    window; scenario names are derived from the tokens
+    (``poisson``, ``bursty:on=1,off=3+slow+fail``, ...).
+    """
+    if args.arrival is None and args.slowdown is None and args.fail is None:
+        return None
+    from .simulation.scenarios import FailureWindow, ScenarioSpec, parse_arrival_spec
+
+    slowdowns = []
+    for item in args.slowdown or []:
+        key, sep, value = item.partition("=")
+        if not sep or not key:
+            raise ConfigurationError(f"--slowdown expects TYPE=FACTOR, got {item!r}")
+        try:
+            factor = float(value)
+        except ValueError:
+            raise ConfigurationError(
+                f"--slowdown factor in {item!r} is not a number"
+            ) from None
+        slowdowns.append((_parse_type_id(key), factor))
+    failures = []
+    for item in args.fail or []:
+        parts = item.split(":")
+        if len(parts) not in (3, 4):
+            raise ConfigurationError(
+                f"--fail expects TYPE:START:DURATION[:COUNT], got {item!r}"
+            )
+        try:
+            failures.append(
+                FailureWindow(
+                    type_id=_parse_type_id(parts[0]),
+                    start=float(parts[1]),
+                    duration=float(parts[2]),
+                    count=int(parts[3]) if len(parts) == 4 else 1,
+                )
+            )
+        except ValueError:
+            raise ConfigurationError(
+                f"--fail window {item!r} holds a non-numeric field"
+            ) from None
+    scenarios = []
+    for token in args.arrival if args.arrival is not None else ["deterministic"]:
+        name_parts = [token]
+        if slowdowns:
+            name_parts.append("slow")
+        if failures:
+            name_parts.append("fail")
+        scenarios.append(
+            ScenarioSpec(
+                name="+".join(name_parts),
+                arrival=parse_arrival_spec(token),
+                slowdowns=tuple(slowdowns),
+                failures=tuple(failures),
+            )
+        )
+    return tuple(scenarios)
+
+
 def _cmd_validate(args: argparse.Namespace) -> int:
     from .experiments.runner import SweepResult
     from .experiments.validation import (
@@ -230,6 +312,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             warmup_fraction=args.warmup,
             max_datasets=args.max_datasets,
             algorithms=args.algorithms,
+            scenarios=_build_scenarios(args),
         )
         campaign = run_validation(
             plan,
@@ -238,7 +321,7 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             resume=args.resume,
             progress=progress,
         )
-    except ConfigurationError as exc:
+    except (ConfigurationError, SimulationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     captured = sum(1 for source in plan.sources if source.payload is not None)
@@ -247,14 +330,27 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         f"({len(plan.sources)} allocations, {captured} captured / "
         f"{len(plan.sources) - captured} re-solved, horizons "
         f"{', '.join(f'{h:g}' for h in plan.horizons)}, rate multipliers "
-        f"{', '.join(f'{m:g}' for m in plan.rate_multipliers)})"
+        f"{', '.join(f'{m:g}' for m in plan.rate_multipliers)}, scenarios "
+        f"{', '.join(scenario.name for scenario in plan.scenarios)})"
     )
+    # one series block per (multiplier, scenario) cell; the scenario part of
+    # the banner (and filter) is dropped for single-scenario campaigns so the
+    # pre-scenario output stays exactly as it was
+    single_scenario = len(plan.scenarios) == 1
     for multiplier in plan.rate_multipliers:
-        print()
-        print(f"--- arrival rate x{multiplier:g} ---")
-        print(render_series(throughput_ratio_series(campaign, rate_multiplier=multiplier)))
-        print(render_series(latency_series(campaign, rate_multiplier=multiplier)))
-        print(render_series(utilization_series(campaign, rate_multiplier=multiplier)))
+        for scenario in plan.scenarios:
+            name = None if single_scenario else scenario.name
+            banner = f"--- arrival rate x{multiplier:g}"
+            if name is not None:
+                banner += f" · scenario {name}"
+            print()
+            print(banner + " ---")
+            print(render_series(throughput_ratio_series(
+                campaign, rate_multiplier=multiplier, scenario=name)))
+            print(render_series(latency_series(
+                campaign, rate_multiplier=multiplier, scenario=name)))
+            print(render_series(utilization_series(
+                campaign, rate_multiplier=multiplier, scenario=name)))
     print()
     print(render_series(reorder_peak_series(campaign)))
     print(render_series(backlog_series(campaign)))

@@ -5,8 +5,10 @@ target throughput; the discrete-event simulator of :mod:`repro.simulation`
 is the piece that checks the claim.  This module scales that check from a
 single ad-hoc run into a **campaign**: every allocation produced by a sweep
 (:class:`~repro.experiments.runner.SweepResult`), replayed over a grid of
-horizons and arrival-rate multipliers (e.g. ``1.0`` for the design point and
-``1.05`` for a 5 % stress test), sharded into picklable work units executed
+horizons, arrival-rate multipliers (e.g. ``1.0`` for the design point and
+``1.05`` for a 5 % stress test) and injection scenarios
+(:class:`~repro.simulation.scenarios.ScenarioSpec`: arrival process, per-type
+slowdowns, seeded failure windows), sharded into picklable work units executed
 by the same :class:`~repro.experiments.backends.ExecutionBackend` machinery
 as the sweep itself, with per-unit JSONL checkpointing and resume under a
 plan fingerprint.
@@ -30,9 +32,11 @@ Allocations come from the sweep records' optional
 ``capture_allocations=True``), so campaigns simulate *exactly* what was
 solved; records without a payload (older checkpoint files) fall back to
 re-solving with the sweep's own deterministic seed derivation.  Simulation is
-fully deterministic, so serial, parallel and interrupt-and-resume campaigns
-produce byte-identical record lines — ``benchmarks/bench_validation.py``
-asserts this.
+fully deterministic — stochastic scenarios draw from seeds derived per
+(source, scenario) with :func:`~repro.utils.rng.stable_text_digest` — so
+serial, parallel and interrupt-and-resume campaigns produce byte-identical
+record lines; ``benchmarks/bench_validation.py`` and
+``benchmarks/bench_scenarios.py`` assert this.
 """
 
 from __future__ import annotations
@@ -49,6 +53,7 @@ import numpy as np
 from ..core.exceptions import ConfigurationError
 from ..generators.workload import generate_configuration_at
 from ..simulation.engine import StreamSimulator
+from ..simulation.scenarios import DEFAULT_SCENARIO, ScenarioSpec
 from ..solvers.registry import ensure_default_solvers
 from ..utils.rng import derive_seed, stable_text_digest
 from .backends import SerialBackend
@@ -59,6 +64,7 @@ from .store import JsonlCheckpointStore
 
 __all__ = [
     "AllocationSource",
+    "scenario_seed",
     "ValidationPlan",
     "ValidationUnit",
     "ValidationRecord",
@@ -120,14 +126,46 @@ class AllocationSource:
         )
 
 
+#: The scenario axis every pre-scenario campaign implicitly ran: one default
+#: (baseline) scenario.  Plans carrying exactly this tuple serialise without a
+#: ``"scenarios"`` field, so their fingerprints — and therefore checkpoint
+#: resume — match files written before scenarios existed.
+_DEFAULT_SCENARIOS: tuple[ScenarioSpec, ...] = (DEFAULT_SCENARIO,)
+
+
+def scenario_seed(base_seed: int, source: AllocationSource, scenario: ScenarioSpec) -> int:
+    """The simulation seed of one (allocation source, scenario) cell.
+
+    Derived with :func:`~repro.utils.rng.stable_text_digest` (never ``hash``),
+    so it is identical across worker processes and ``PYTHONHASHSEED`` s —
+    the byte-identity of serial/parallel/resumed campaigns under stochastic
+    scenarios rests on this.  Horizon and rate multiplier are deliberately
+    not folded in: all simulations of one cell share the arrival-sequence
+    prefix, so a longer horizon extends a shorter one instead of reshuffling
+    it.
+    """
+    return derive_seed(
+        base_seed,
+        stable_text_digest(
+            f"{source.configuration}|{source.rho!r}|{source.algorithm}", bits=32
+        ),
+        stable_text_digest(scenario.name, bits=32),
+    )
+
+
 @dataclass(frozen=True)
 class ValidationPlan:
-    """One validation campaign: allocations x horizons x arrival-rate multipliers.
+    """One campaign: allocations x horizons x rate multipliers x scenarios.
 
     ``rate_multipliers`` scale each source's target throughput into the
     simulated arrival rate: ``1.0`` replays the design point, ``1.05`` injects
     5 % more load than the allocation was dimensioned for (a stress point the
-    cost model makes no promise about).
+    cost model makes no promise about).  ``scenarios`` replays every
+    (source, horizon, multiplier) cell once per injection scenario
+    (:class:`~repro.simulation.scenarios.ScenarioSpec`: arrival process,
+    per-type slowdowns, seeded failure windows); the default single baseline
+    scenario reproduces the pre-scenario behaviour — and serialisation —
+    exactly.
     """
 
     name: str
@@ -137,6 +175,7 @@ class ValidationPlan:
     rate_multipliers: tuple[float, ...] = (1.0,)
     warmup_fraction: float = 0.1
     max_datasets: int | None = None
+    scenarios: tuple[ScenarioSpec, ...] = _DEFAULT_SCENARIOS
 
     def __post_init__(self) -> None:
         if not self.sources:
@@ -156,10 +195,23 @@ class ValidationPlan:
                 f"max_datasets must be positive (or None for unlimited), "
                 f"got {self.max_datasets}"
             )
+        if not self.scenarios:
+            raise ConfigurationError("a validation plan needs at least one scenario")
+        names = [scenario.name for scenario in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"scenario names must be unique, got {names} "
+                f"(the name keys seeds and series)"
+            )
 
     @property
     def num_simulations(self) -> int:
-        return len(self.sources) * len(self.horizons) * len(self.rate_multipliers)
+        return (
+            len(self.sources)
+            * len(self.horizons)
+            * len(self.rate_multipliers)
+            * len(self.scenarios)
+        )
 
 
 def plan_from_sweep(
@@ -170,14 +222,16 @@ def plan_from_sweep(
     warmup_fraction: float = 0.1,
     max_datasets: int | None = None,
     algorithms: Sequence[str] | None = None,
+    scenarios: Sequence[ScenarioSpec] | None = None,
     name: str | None = None,
 ) -> ValidationPlan:
     """Build the campaign that validates every allocation of ``sweep``.
 
     ``algorithms`` optionally restricts the campaign to a subset of the
-    sweep's algorithms (e.g. skip re-simulating H0).  Records carrying an
-    :class:`~repro.experiments.runner.AllocationPayload` are replayed exactly;
-    the rest are re-solved deterministically at execution time.
+    sweep's algorithms (e.g. skip re-simulating H0).  ``scenarios`` adds the
+    injection axis (default: the single baseline scenario).  Records carrying
+    an :class:`~repro.experiments.runner.AllocationPayload` are replayed
+    exactly; the rest are re-solved deterministically at execution time.
     """
     keep = set(algorithms) if algorithms is not None else None
     sources = tuple(
@@ -203,12 +257,20 @@ def plan_from_sweep(
         rate_multipliers=tuple(float(m) for m in rate_multipliers),
         warmup_fraction=float(warmup_fraction),
         max_datasets=max_datasets,
+        scenarios=(
+            _DEFAULT_SCENARIOS if scenarios is None else tuple(scenarios)
+        ),
     )
 
 
 def validation_plan_to_dict(plan: ValidationPlan) -> dict[str, Any]:
-    """Canonical JSON form of a validation plan (fingerprintable)."""
-    return {
+    """Canonical JSON form of a validation plan (fingerprintable).
+
+    The ``scenarios`` field is omitted for the default single-baseline axis,
+    so scenario-free plans fingerprint identically to the pre-scenario format
+    and their old checkpoints keep resuming.
+    """
+    data: dict[str, Any] = {
         "name": plan.name,
         "sweep_plan": plan_to_dict(plan.sweep_plan),
         "sources": [source.as_dict() for source in plan.sources],
@@ -217,6 +279,9 @@ def validation_plan_to_dict(plan: ValidationPlan) -> dict[str, Any]:
         "warmup_fraction": plan.warmup_fraction,
         "max_datasets": plan.max_datasets,
     }
+    if plan.scenarios != _DEFAULT_SCENARIOS:
+        data["scenarios"] = [scenario.as_dict() for scenario in plan.scenarios]
+    return data
 
 
 def validation_plan_from_dict(data: Mapping[str, Any]) -> ValidationPlan:
@@ -232,6 +297,11 @@ def validation_plan_from_dict(data: Mapping[str, Any]) -> ValidationPlan:
         rate_multipliers=tuple(float(m) for m in data["rate_multipliers"]),
         warmup_fraction=float(data.get("warmup_fraction", 0.1)),
         max_datasets=None if data.get("max_datasets") is None else int(data["max_datasets"]),
+        scenarios=(
+            tuple(ScenarioSpec.from_dict(entry) for entry in data["scenarios"])
+            if "scenarios" in data
+            else _DEFAULT_SCENARIOS
+        ),
     )
 
 
@@ -252,11 +322,15 @@ def validation_fingerprint(plan: ValidationPlan) -> str:
 class ValidationRecord:
     """One simulated (allocation, horizon, arrival rate) measurement.
 
-    Every field is a deterministic function of the plan — no wall-clock — so
-    serial, parallel and resumed campaigns serialise byte-identically.
-    ``utilization`` holds ``(type, busy fraction)`` pairs in a canonical sort
-    order rather than a mapping, for the same JSON-key reason as
-    :class:`~repro.experiments.runner.AllocationPayload`.
+    Every field is a deterministic function of the plan — stochastic
+    scenarios draw from :func:`scenario_seed`-derived generators, never the
+    wall clock — so serial, parallel and resumed campaigns serialise
+    byte-identically.  ``utilization`` holds ``(type, busy fraction)`` pairs
+    in a canonical sort order rather than a mapping, for the same JSON-key
+    reason as :class:`~repro.experiments.runner.AllocationPayload`.
+    ``scenario`` names the plan scenario the simulation ran under; records
+    from the default baseline scenario serialise without the field, so
+    pre-scenario checkpoint lines round-trip unchanged.
     """
 
     configuration: int
@@ -275,6 +349,7 @@ class ValidationRecord:
     reorder_buffer_peak: int
     backlog: int
     peak_in_flight: int
+    scenario: str = DEFAULT_SCENARIO.name
 
     def sustains_target(self, tolerance: float = 0.05) -> bool:
         """True when the measured throughput is within ``tolerance`` of the rate."""
@@ -293,7 +368,7 @@ class ValidationRecord:
         return float(max(u for _, u in self.utilization))
 
     def as_dict(self) -> dict:
-        return {
+        data = {
             "configuration": self.configuration,
             "rho": self.rho,
             "algorithm": self.algorithm,
@@ -311,6 +386,9 @@ class ValidationRecord:
             "backlog": self.backlog,
             "peak_in_flight": self.peak_in_flight,
         }
+        if self.scenario != DEFAULT_SCENARIO.name:
+            data["scenario"] = self.scenario
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ValidationRecord":
@@ -331,30 +409,38 @@ class ValidationRecord:
             reorder_buffer_peak=int(data["reorder_buffer_peak"]),
             backlog=int(data["backlog"]),
             peak_in_flight=int(data["peak_in_flight"]),
+            scenario=str(data.get("scenario", DEFAULT_SCENARIO.name)),
         )
 
 
 @dataclass(frozen=True)
 class ValidationUnit:
-    """One shard of a campaign: a chunk of sources at one (horizon, multiplier).
+    """One campaign shard: sources at one (horizon, multiplier, scenario).
 
     Like the sweep's :class:`~repro.experiments.backends.WorkUnit` it carries
-    indices only; the executing side looks the sources up in the (pickled)
-    plan and regenerates each source's configuration from the sweep seeds.
+    indices only; the executing side looks the sources and the scenario up in
+    the (pickled) plan and regenerates each source's configuration from the
+    sweep seeds.  ``scenario`` indexes ``plan.scenarios`` and is omitted from
+    the dict form when ``0`` — the only value pre-scenario checkpoints could
+    have held — so their sharding check keeps passing.
     """
 
     index: int
     horizon: float
     rate_multiplier: float
     sources: tuple[int, ...]
+    scenario: int = 0
 
     def as_dict(self) -> dict:
-        return {
+        data = {
             "index": self.index,
             "horizon": self.horizon,
             "rate_multiplier": self.rate_multiplier,
             "sources": list(self.sources),
         }
+        if self.scenario != 0:
+            data["scenario"] = self.scenario
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "ValidationUnit":
@@ -363,6 +449,7 @@ class ValidationUnit:
             horizon=float(data["horizon"]),
             rate_multiplier=float(data["rate_multiplier"]),
             sources=tuple(int(s) for s in data["sources"]),
+            scenario=int(data.get("scenario", 0)),
         )
 
     def execute(
@@ -379,6 +466,7 @@ class ValidationUnit:
         simulation replay.
         """
         ensure_default_solvers()  # the re-solve fallback needs the registry
+        scenario = plan.scenarios[self.scenario]
         configurations: dict[int, Any] = {}
         records: list[ValidationRecord] = []
         for source_index in self.sources:
@@ -398,6 +486,8 @@ class ValidationUnit:
                 allocation,
                 arrival_rate=source.rho * self.rate_multiplier,
                 warmup_fraction=plan.warmup_fraction,
+                scenario=scenario,
+                seed=scenario_seed(plan.sweep_plan.base_seed, source, scenario),
             )
             report = simulator.run(horizon=self.horizon, max_datasets=plan.max_datasets)
             records.append(
@@ -418,6 +508,7 @@ class ValidationUnit:
                     reorder_buffer_peak=report.reorder_buffer_peak,
                     backlog=report.backlog,
                     peak_in_flight=int(report.metadata.get("peak_in_flight", 0)),
+                    scenario=scenario.name,
                 )
             )
         return records
@@ -461,23 +552,28 @@ def plan_validation_units(
     """Shard a campaign into its canonical list of work units.
 
     ``chunk_size`` bounds the number of sources per unit; the default groups
-    all sources of one (horizon, multiplier) scenario that share a sweep
-    configuration, so each unit regenerates its configuration once.
+    all sources of one (horizon, multiplier, scenario) cell that share a
+    sweep configuration, so each unit regenerates its configuration once.
+    The scenario loop sits innermost of the grid axes, so a single-scenario
+    plan produces exactly the unit list (and indices) of the pre-scenario
+    format.
     """
     if chunk_size is not None and chunk_size <= 0:
         raise ConfigurationError(f"chunk_size must be positive, got {chunk_size}")
     units: list[ValidationUnit] = []
     for horizon in plan.horizons:
         for multiplier in plan.rate_multipliers:
-            for chunk in _source_chunks(plan, chunk_size):
-                units.append(
-                    ValidationUnit(
-                        index=len(units),
-                        horizon=float(horizon),
-                        rate_multiplier=float(multiplier),
-                        sources=chunk,
+            for scenario_index in range(len(plan.scenarios)):
+                for chunk in _source_chunks(plan, chunk_size):
+                    units.append(
+                        ValidationUnit(
+                            index=len(units),
+                            horizon=float(horizon),
+                            rate_multiplier=float(multiplier),
+                            sources=chunk,
+                            scenario=scenario_index,
+                        )
                     )
-                )
     return units
 
 
@@ -526,6 +622,9 @@ class CampaignResult:
     def rate_multipliers(self) -> list[float]:
         return [float(m) for m in self.plan.rate_multipliers]
 
+    def scenarios(self) -> list[str]:
+        return [scenario.name for scenario in self.plan.scenarios]
+
     def filter(
         self,
         *,
@@ -533,6 +632,7 @@ class CampaignResult:
         rho: float | None = None,
         horizon: float | None = None,
         rate_multiplier: float | None = None,
+        scenario: str | None = None,
     ) -> list[ValidationRecord]:
         out = []
         for record in self.records:
@@ -545,6 +645,8 @@ class CampaignResult:
             if rate_multiplier is not None and not _close(
                 record.rate_multiplier, rate_multiplier
             ):
+                continue
+            if scenario is not None and record.scenario != scenario:
                 continue
             out.append(record)
         return out
@@ -582,6 +684,7 @@ def _scenario_series(
     *,
     horizon: float | None,
     rate_multiplier: float | None,
+    scenario: str | None,
     ylabel: str,
     title: str,
 ) -> SeriesByAlgorithm:
@@ -594,6 +697,8 @@ def _scenario_series(
         if horizon is not None and not _close(record.horizon, horizon):
             continue
         if rate_multiplier is not None and not _close(record.rate_multiplier, rate_multiplier):
+            continue
+        if scenario is not None and record.scenario != scenario:
             continue
         rho = _match_float(record.rho, throughputs)
         if rho is None:
@@ -622,6 +727,7 @@ def throughput_ratio_series(
     *,
     horizon: float | None = None,
     rate_multiplier: float | None = None,
+    scenario: str | None = None,
 ) -> SeriesByAlgorithm:
     """Mean achieved/target throughput ratio per sweep point (1.0 = sustained)."""
     return _scenario_series(
@@ -630,6 +736,7 @@ def throughput_ratio_series(
         _mean,
         horizon=horizon,
         rate_multiplier=rate_multiplier,
+        scenario=scenario,
         ylabel="achieved / target throughput",
         title="Measured throughput relative to the allocation's target",
     )
@@ -641,6 +748,7 @@ def latency_series(
     stat: str = "mean",
     horizon: float | None = None,
     rate_multiplier: float | None = None,
+    scenario: str | None = None,
 ) -> SeriesByAlgorithm:
     """Data-set latency per sweep point: mean of means or max of maxima."""
     if stat not in ("mean", "max"):
@@ -648,12 +756,12 @@ def latency_series(
     if stat == "mean":
         return _scenario_series(
             campaign, lambda r: r.mean_latency, _mean,
-            horizon=horizon, rate_multiplier=rate_multiplier,
+            horizon=horizon, rate_multiplier=rate_multiplier, scenario=scenario,
             ylabel="mean data-set latency", title="Mean data-set latency",
         )
     return _scenario_series(
         campaign, lambda r: r.max_latency, _max,
-        horizon=horizon, rate_multiplier=rate_multiplier,
+        horizon=horizon, rate_multiplier=rate_multiplier, scenario=scenario,
         ylabel="max data-set latency", title="Maximum data-set latency",
     )
 
@@ -663,6 +771,7 @@ def utilization_series(
     *,
     horizon: float | None = None,
     rate_multiplier: float | None = None,
+    scenario: str | None = None,
 ) -> SeriesByAlgorithm:
     """Mean busy fraction over the rented machine types, per sweep point."""
     return _scenario_series(
@@ -671,6 +780,7 @@ def utilization_series(
         _mean,
         horizon=horizon,
         rate_multiplier=rate_multiplier,
+        scenario=scenario,
         ylabel="mean per-type utilization",
         title="Mean utilization of the rented machines",
     )
@@ -681,6 +791,7 @@ def reorder_peak_series(
     *,
     horizon: float | None = None,
     rate_multiplier: float | None = None,
+    scenario: str | None = None,
 ) -> SeriesByAlgorithm:
     """Worst reorder-buffer occupancy per sweep point (the paper's buffer size)."""
     return _scenario_series(
@@ -689,6 +800,7 @@ def reorder_peak_series(
         _max,
         horizon=horizon,
         rate_multiplier=rate_multiplier,
+        scenario=scenario,
         ylabel="peak reorder-buffer occupancy",
         title="Reorder buffer needed for in-order output",
     )
@@ -699,6 +811,7 @@ def backlog_series(
     *,
     horizon: float | None = None,
     rate_multiplier: float | None = None,
+    scenario: str | None = None,
 ) -> SeriesByAlgorithm:
     """Mean in-flight backlog at the horizon per sweep point."""
     return _scenario_series(
@@ -707,6 +820,7 @@ def backlog_series(
         _mean,
         horizon=horizon,
         rate_multiplier=rate_multiplier,
+        scenario=scenario,
         ylabel="data sets in flight at the horizon",
         title="Backlog at the end of the simulation",
     )
@@ -813,6 +927,7 @@ def run_validation(
             progress(
                 f"[{plan.name}] work unit {len(completed)}/{total} done "
                 f"(horizon {unit.horizon:g}, rate x{unit.rate_multiplier:g}, "
+                f"scenario {plan.scenarios[unit.scenario].name}, "
                 f"{len(records)} simulations)"
             )
     missing = [unit.index for unit in units if unit.index not in completed]

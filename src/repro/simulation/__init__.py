@@ -4,6 +4,18 @@ from .engine import StreamSimulator
 from .events import Event, EventKind, EventQueue
 from .metrics import SimulationReport
 from .processor import PendingTask, ProcessorInstance, ProcessorPool
+from .scenarios import (
+    DEFAULT_SCENARIO,
+    ArrivalProcess,
+    BatchArrivals,
+    BurstyArrivals,
+    DeterministicArrivals,
+    FailureWindow,
+    PoissonArrivals,
+    ScenarioSpec,
+    arrival_process_from_dict,
+    parse_arrival_spec,
+)
 from .stream import DataSetInstance, RecipeRouter, ReorderBuffer
 from .validate import ValidationResult, simulate_allocation, static_check, validate_allocation
 
@@ -16,6 +28,16 @@ __all__ = [
     "PendingTask",
     "ProcessorInstance",
     "ProcessorPool",
+    "ArrivalProcess",
+    "DeterministicArrivals",
+    "PoissonArrivals",
+    "BurstyArrivals",
+    "BatchArrivals",
+    "arrival_process_from_dict",
+    "parse_arrival_spec",
+    "FailureWindow",
+    "ScenarioSpec",
+    "DEFAULT_SCENARIO",
     "DataSetInstance",
     "RecipeRouter",
     "ReorderBuffer",

@@ -3,34 +3,38 @@
 Given a MinCOST problem and an allocation, the :class:`StreamSimulator` replays
 the execution of the data-set stream on the rented instances:
 
-* data sets arrive deterministically at the target rate ``rho`` (one every
-  ``1/rho`` time units) and are routed to recipes proportionally to the
+* data sets arrive according to the scenario's
+  :class:`~repro.simulation.scenarios.ArrivalProcess` — by default the paper's
+  deterministic stream at the target rate ``rho`` (arrival *n* at exactly
+  ``n / rho``, computed by index so no floating-point drift accumulates over
+  long horizons) — and are routed to recipes proportionally to the
   allocation's throughput split;
 * each task of a data set becomes ready when its recipe predecessors have
-  completed, and is then dispatched to the least-loaded rented instance of its
-  type, which serves tasks FIFO at rate ``r_q``;
+  completed, and is then dispatched to the least-loaded *available* rented
+  instance of its type, which serves tasks FIFO at rate ``r_q`` (scaled by the
+  scenario's per-type slowdown factors; instances inside a scenario failure
+  window take no new work until the window ends);
 * the simulation stops at a configurable horizon and reports the achieved
   output throughput, latencies, per-type utilisation and the peak reorder
   buffer occupancy (see :class:`~repro.simulation.metrics.SimulationReport`).
 
 This substrate is not part of the paper's evaluation (which only compares
 allocation costs); it is used to *validate* that the allocations produced by
-the solvers and heuristics actually sustain the target throughput, and it backs
-one of the example applications.
+the solvers and heuristics actually sustain the target throughput — including
+under the stochastic scenarios of :mod:`repro.simulation.scenarios` that the
+cost model makes no promise about.
 """
 
 from __future__ import annotations
 
-from typing import Iterable
-
-import numpy as np
-
 from ..core.allocation import Allocation
 from ..core.exceptions import SimulationError
 from ..core.problem import MinCostProblem
+from ..utils.rng import spawn_generators
 from .events import EventKind, EventQueue
 from .metrics import SimulationReport
-from .processor import PendingTask, ProcessorPool
+from .processor import PendingTask, ProcessorInstance, ProcessorPool
+from .scenarios import DEFAULT_SCENARIO, ScenarioSpec
 from .stream import DataSetInstance, RecipeRouter, ReorderBuffer
 
 __all__ = ["StreamSimulator"]
@@ -47,10 +51,19 @@ class StreamSimulator:
     allocation:
         The allocation to replay (split + machine counts).
     arrival_rate:
-        Data-set arrival rate; defaults to the problem's target throughput.
+        Mean data-set arrival rate; defaults to the problem's target
+        throughput.
     warmup_fraction:
-        Fraction of the horizon treated as warm-up and excluded from the
-        throughput measurement.
+        Fraction of the horizon treated as warm-up: only data sets *arriving*
+        after it count towards ``achieved_throughput``.
+    scenario:
+        Injection scenario (arrival process, per-type slowdowns, failure
+        windows); defaults to the paper's assumptions
+        (:data:`~repro.simulation.scenarios.DEFAULT_SCENARIO`).
+    seed:
+        Seed for the scenario's stochastic draws (arrival gaps, which
+        instances fail).  The default scenario consumes no randomness, so the
+        seed only matters for stochastic scenarios.
     """
 
     def __init__(
@@ -60,6 +73,8 @@ class StreamSimulator:
         *,
         arrival_rate: float | None = None,
         warmup_fraction: float = 0.1,
+        scenario: ScenarioSpec | None = None,
+        seed: int = 0,
     ) -> None:
         if not allocation.split.total > 0:
             raise SimulationError("cannot simulate an allocation with zero total throughput")
@@ -71,17 +86,24 @@ class StreamSimulator:
         if self.arrival_rate <= 0:
             raise SimulationError(f"arrival rate must be positive, got {self.arrival_rate}")
         self.warmup_fraction = float(warmup_fraction)
+        self.scenario = scenario if scenario is not None else DEFAULT_SCENARIO
+        self.seed = int(seed)
 
     # ------------------------------------------------------------------ #
     def run(self, horizon: float = 50.0, *, max_datasets: int | None = None) -> SimulationReport:
         """Run the simulation until ``horizon`` time units (or ``max_datasets`` arrivals)."""
         if horizon <= 0:
             raise SimulationError(f"horizon must be positive, got {horizon}")
-        pool = ProcessorPool(self.problem.platform, self.allocation)
+        arrival_rng, failure_rng = spawn_generators(self.seed, 2)
+        pool = ProcessorPool(
+            self.problem.platform, self.allocation, slowdowns=self.scenario.slowdown_map()
+        )
+        pool.apply_failures(self.scenario.failures, failure_rng)
         router = RecipeRouter(self.allocation.split)
         reorder = ReorderBuffer()
         queue = EventQueue()
         recipes = self.problem.application.recipes()
+        arrival_times = self.scenario.arrival.times(self.arrival_rate, arrival_rng)
 
         # Only in-flight data sets are kept: a completed instance is evicted as
         # soon as it is released, so the dict's size is the current backlog (a
@@ -90,11 +112,14 @@ class StreamSimulator:
         datasets: dict[int, DataSetInstance] = {}
         peak_in_flight = 0
         latencies: list[float] = []
-        completed_times: list[float] = []
+        # (arrival time, completion time) of every finished data set: the
+        # warm-up filter needs both ends, not just the completion stamp
+        completions: list[tuple[float, float]] = []
         arrivals = 0
-        interarrival = 1.0 / self.arrival_rate
 
-        queue.push(0.0, EventKind.ARRIVAL, dataset_id=0)
+        first_arrival = next(arrival_times)
+        if first_arrival <= horizon:
+            queue.push(first_arrival, EventKind.ARRIVAL, dataset_id=0)
         now = 0.0
         while queue:
             event = queue.pop()
@@ -112,7 +137,12 @@ class StreamSimulator:
                 peak_in_flight = max(peak_in_flight, len(datasets))
                 for task_id in dataset.initial_tasks():
                     self._dispatch(pool, queue, dataset, task_id, now)
-                next_time = now + interarrival
+                next_time = next(arrival_times)
+                if next_time < now:
+                    raise SimulationError(
+                        f"arrival process {self.scenario.arrival.kind!r} went backwards "
+                        f"({next_time} after {now})"
+                    )
                 if next_time <= horizon:
                     queue.push(next_time, EventKind.ARRIVAL, dataset_id=dataset_id + 1)
             elif event.kind is EventKind.TASK_COMPLETE:
@@ -123,40 +153,60 @@ class StreamSimulator:
                     self._dispatch(pool, queue, dataset, ready, now)
                 if dataset.is_complete:
                     latencies.append(dataset.latency or 0.0)
-                    completed_times.append(now)
+                    completions.append((dataset.arrival_time, now))
                     reorder.complete(dataset.dataset_id)
                     del datasets[dataset.dataset_id]
                 # The instance is free: start its next queued task, if any.
-                started = instance.start_next(now)
-                if started is not None:
-                    _task, completion = started
-                    queue.push(completion, EventKind.TASK_COMPLETE, instance=instance)
+                self._start_or_wake(queue, instance, now)
+            elif event.kind is EventKind.RESUME:
+                # a failure window ended on an instance with queued work
+                instance = event.payload["instance"]
+                instance.wake_at = None
+                self._start_or_wake(queue, instance, now)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {event.kind!r}")
 
         return self._report(
-            horizon, arrivals, latencies, completed_times, pool, reorder, router, datasets,
+            horizon, arrivals, latencies, completions, pool, reorder, router, datasets,
             peak_in_flight,
         )
 
     # ------------------------------------------------------------------ #
     def _dispatch(self, pool, queue, dataset: DataSetInstance, task_id: int, now: float) -> None:
-        """Send a ready task to the least-loaded instance of its type."""
+        """Send a ready task to the least-loaded available instance of its type."""
         task = dataset.recipe.task(task_id)
-        instance = pool.select_instance(task.task_type)
+        instance = pool.select_instance(task.task_type, now)
         dataset.mark_started(task_id)
         instance.enqueue(PendingTask(dataset.dataset_id, task_id, task.work))
+        self._start_or_wake(queue, instance, now)
+
+    def _start_or_wake(
+        self, queue: EventQueue, instance: ProcessorInstance, now: float
+    ) -> None:
+        """Start the instance's next task, or schedule a post-failure wake-up.
+
+        When the instance is idle with queued work but inside a failure
+        window, a single ``RESUME`` event is scheduled at the window's end
+        (``wake_at`` dedupes — several dispatches during one window must not
+        pile up wake-ups).
+        """
         started = instance.start_next(now)
         if started is not None:
             _task, completion = started
             queue.push(completion, EventKind.TASK_COMPLETE, instance=instance)
+            return
+        if instance.current is None and instance.queue:
+            wake = instance.next_available(now)
+            if wake > now and instance.wake_at != wake:
+                instance.wake_at = wake
+                queue.push(wake, EventKind.RESUME, instance=instance)
 
     def _report(
         self,
         horizon: float,
         arrivals: int,
         latencies: list[float],
-        completed_times: list[float],
+        completions: list[tuple[float, float]],
         pool: ProcessorPool,
         reorder: ReorderBuffer,
         router: RecipeRouter,
@@ -164,9 +214,15 @@ class StreamSimulator:
         peak_in_flight: int,
     ) -> SimulationReport:
         warmup = horizon * self.warmup_fraction
-        effective = [t for t in completed_times if t >= warmup]
         window = horizon - warmup
-        achieved = len(effective) / window if window > 0 else 0.0
+        # achieved_throughput counts data sets that *arrived* after the
+        # warm-up; counting every completion in the window (window_throughput,
+        # kept for reference) lets backlog built during the warm-up drain into
+        # the window and can report a rate above what actually arrived
+        steady = sum(1 for arrived, _ in completions if arrived >= warmup)
+        in_window = sum(1 for _, completed in completions if completed >= warmup)
+        achieved = steady / window if window > 0 else 0.0
+        window_throughput = in_window / window if window > 0 else 0.0
         mean_latency, max_latency = SimulationReport.latency_stats(latencies)
         # completed data sets were evicted on release, so what remains is
         # exactly the in-flight backlog — O(backlog), not O(arrivals)
@@ -174,7 +230,7 @@ class StreamSimulator:
         return SimulationReport(
             horizon=horizon,
             arrivals=arrivals,
-            completed=len(completed_times),
+            completed=len(completions),
             achieved_throughput=achieved,
             target_throughput=self.arrival_rate,
             mean_latency=mean_latency,
@@ -184,5 +240,7 @@ class StreamSimulator:
             backlog=backlog,
             recipe_mix=tuple(float(x) for x in router.mix()),
             warmup=warmup,
+            window_throughput=window_throughput,
+            scenario=self.scenario.name,
             metadata={"num_instances": pool.num_instances, "peak_in_flight": peak_in_flight},
         )

@@ -1,10 +1,12 @@
 """Event machinery of the discrete-event stream simulator.
 
 The simulator is a classical event-driven loop: a priority queue of timestamped
-events, popped in chronological order.  Two event kinds exist:
+events, popped in chronological order.  Three event kinds exist:
 
 * ``ARRIVAL`` — a new data set enters the system and is routed to a recipe;
-* ``TASK_COMPLETE`` — a processor instance finishes the task it was serving.
+* ``TASK_COMPLETE`` — a processor instance finishes the task it was serving;
+* ``RESUME`` — a processor instance leaves a scenario failure window and may
+  start the work that queued up while it was unavailable.
 
 Ties are broken by a monotonically increasing sequence number so the execution
 is fully deterministic.
@@ -28,6 +30,7 @@ class EventKind(Enum):
 
     ARRIVAL = "arrival"
     TASK_COMPLETE = "task-complete"
+    RESUME = "resume"
 
 
 @dataclass(frozen=True, order=True)

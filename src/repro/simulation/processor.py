@@ -6,18 +6,28 @@ rate ``r_q`` (a task of work ``w`` takes ``w / r_q`` time units).  A
 :class:`ProcessorPool` groups all instances of the allocation and implements
 the dispatch rule used by the engine: a ready task goes to the instance of its
 type with the least pending work (join-the-shortest-queue in work units).
+
+Scenario injection (:mod:`repro.simulation.scenarios`) hooks in at two points:
+per-type *slowdown* factors scale the instance service rates at pool
+construction, and seeded transient *failure windows* mark instances
+unavailable — an unavailable instance accepts no new dispatch (unless every
+instance of the type is down, in which case work queues on the least-loaded
+one) and starts no queued task until the window ends.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque
+from dataclasses import dataclass
+from typing import Deque, Iterable, Mapping, Sequence
+
+import numpy as np
 
 from ..core.allocation import Allocation
 from ..core.exceptions import SimulationError
 from ..core.platform import CloudPlatform
 from ..core.task import TaskType
+from .scenarios import FailureWindow
 
 __all__ = ["PendingTask", "ProcessorInstance", "ProcessorPool"]
 
@@ -45,15 +55,27 @@ class ProcessorInstance:
         self.busy_until: float = 0.0
         self.busy_time: float = 0.0
         self.completed_tasks: int = 0
+        # incremental accumulator behind the pending_work property: the
+        # dispatch rule reads it on every ready task, so it must be O(1),
+        # not a re-sum of the whole queue
+        self._pending_work: float = 0.0
+        # merged, sorted (start, end) unavailability windows (failure injection)
+        self.unavailable: tuple[tuple[float, float], ...] = ()
+        # pending wake-up the engine scheduled for the end of a window
+        # (dedupes RESUME events; None = nothing scheduled)
+        self.wake_at: float | None = None
 
     # ------------------------------------------------------------------ #
     @property
     def pending_work(self) -> float:
-        """Work units queued on this instance (including the task in service)."""
-        queued = sum(task.work for task in self.queue)
-        if self.current is not None:
-            queued += self.current.work
-        return queued
+        """Work units queued on this instance (including the task in service).
+
+        Maintained incrementally on enqueue/finish — summing the deque here
+        would make every dispatch O(queue length).  The accumulator snaps
+        back to exactly ``0.0`` whenever the instance drains, so float
+        cancellation error cannot build up across a long simulation.
+        """
+        return self._pending_work
 
     @property
     def is_idle(self) -> bool:
@@ -63,13 +85,45 @@ class ProcessorInstance:
         """Time needed to serve ``task`` on this instance."""
         return task.work / self.throughput
 
+    # -- availability (failure windows) --------------------------------- #
+    def set_unavailable(self, windows: Iterable[tuple[float, float]]) -> None:
+        """Install the instance's unavailability windows (merged, sorted)."""
+        self.unavailable = _merge_windows(windows)
+
+    def available_at(self, now: float) -> bool:
+        """True when no failure window covers ``now``."""
+        for start, end in self.unavailable:
+            if start > now:
+                break
+            if now < end:
+                return False
+        return True
+
+    def next_available(self, now: float) -> float:
+        """Earliest time ``>= now`` at which the instance is available."""
+        at = now
+        for start, end in self.unavailable:
+            if start > at:
+                break
+            if at < end:
+                at = end
+        return at
+
     # ------------------------------------------------------------------ #
     def enqueue(self, task: PendingTask) -> None:
         self.queue.append(task)
+        self._pending_work += task.work
 
     def start_next(self, now: float) -> tuple[PendingTask, float] | None:
-        """Start serving the next queued task; return (task, completion time)."""
+        """Start serving the next queued task; return (task, completion time).
+
+        Returns ``None`` when there is nothing to start, a task is already in
+        service, or the instance is inside a failure window (the engine then
+        schedules a wake-up at :meth:`next_available`).
+        """
         if self.current is not None or not self.queue:
+            return None
+        if not self.available_at(now):
             return None
         task = self.queue.popleft()
         duration = self.service_time(task)
@@ -85,6 +139,10 @@ class ProcessorInstance:
         task = self.current
         self.current = None
         self.completed_tasks += 1
+        self._pending_work -= task.work
+        if not self.queue:
+            # drained: pin the accumulator to the exact re-summed value (zero)
+            self._pending_work = 0.0
         return task
 
     def utilization(self, horizon: float) -> float:
@@ -103,22 +161,50 @@ class ProcessorInstance:
         return min(1.0, max(0.0, busy) / horizon)
 
 
-class ProcessorPool:
-    """All rented instances of an allocation, indexed by type."""
+def _merge_windows(windows: Iterable[tuple[float, float]]) -> tuple[tuple[float, float], ...]:
+    """Sort (start, end) intervals and merge overlapping/adjacent ones."""
+    ordered = sorted((float(start), float(end)) for start, end in windows)
+    merged: list[tuple[float, float]] = []
+    for start, end in ordered:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return tuple(merged)
 
-    def __init__(self, platform: CloudPlatform, allocation: Allocation) -> None:
+
+class ProcessorPool:
+    """All rented instances of an allocation, indexed by type.
+
+    ``slowdowns`` maps a type to a service-rate factor (``0.5`` = half speed);
+    types not in the mapping run at the platform rate.  Factors for types the
+    allocation does not rent are ignored — a scenario is shared by
+    allocations with different machine mixes.
+    """
+
+    def __init__(
+        self,
+        platform: CloudPlatform,
+        allocation: Allocation,
+        *,
+        slowdowns: Mapping[TaskType, float] | None = None,
+    ) -> None:
         self.platform = platform
         self._by_type: dict[TaskType, list[ProcessorInstance]] = {}
         instance_id = 0
         for type_id, count in allocation.machines.items():
+            rate = platform.throughput_of(type_id)
+            if slowdowns is not None:
+                rate *= float(slowdowns.get(type_id, 1.0))
             instances = []
             for _ in range(int(count)):
-                instances.append(
-                    ProcessorInstance(instance_id, type_id, platform.throughput_of(type_id))
-                )
+                instances.append(ProcessorInstance(instance_id, type_id, rate))
                 instance_id += 1
             self._by_type[type_id] = instances
         self._all = [inst for group in self._by_type.values() for inst in group]
+        # set by apply_failures; lets the per-dispatch availability filter be
+        # skipped entirely for failure-free scenarios (the common case)
+        self._any_unavailable = False
 
     # ------------------------------------------------------------------ #
     @property
@@ -134,14 +220,53 @@ class ProcessorPool:
     def has_type(self, type_id: TaskType) -> bool:
         return bool(self._by_type.get(type_id))
 
-    def select_instance(self, type_id: TaskType) -> ProcessorInstance:
-        """Dispatch rule: the instance of ``type_id`` with the least pending work."""
+    def apply_failures(
+        self, failures: Sequence[FailureWindow], rng: np.random.Generator
+    ) -> None:
+        """Install the scenario's transient failure windows on the pool.
+
+        For each window, ``count`` instances of the type are drawn from
+        ``rng`` (without replacement, capped at the type's instance count) —
+        the seeded draw is what makes campaigns reproducible.  Windows naming
+        a type the allocation does not rent are skipped without consuming
+        randomness, so the assignment depends only on the windows that apply.
+        """
+        by_instance: dict[int, list[tuple[float, float]]] = {}
+        for window in failures:
+            instances = self._by_type.get(window.type_id)
+            if not instances:
+                continue
+            count = min(window.count, len(instances))
+            picked = sorted(rng.choice(len(instances), size=count, replace=False).tolist())
+            for position in picked:
+                instance = instances[position]
+                by_instance.setdefault(instance.instance_id, []).append(
+                    (window.start, window.end)
+                )
+        for instance in self._all:
+            windows = by_instance.get(instance.instance_id)
+            if windows:
+                instance.set_unavailable(windows)
+                self._any_unavailable = True
+
+    def select_instance(self, type_id: TaskType, now: float | None = None) -> ProcessorInstance:
+        """Dispatch rule: the instance of ``type_id`` with the least pending work.
+
+        With ``now`` given, instances inside a failure window are excluded —
+        unless every instance of the type is down, in which case the work
+        queues on the least-loaded failed instance and starts when its window
+        ends.
+        """
         candidates = self._by_type.get(type_id)
         if not candidates:
             raise SimulationError(
                 f"the allocation rents no machine of type {type_id!r} "
                 "but a task of that type was dispatched"
             )
+        if now is not None and self._any_unavailable:
+            available = [inst for inst in candidates if inst.available_at(now)]
+            if available:
+                candidates = available
         return min(candidates, key=lambda inst: (inst.pending_work, inst.instance_id))
 
     def utilization_by_type(self, horizon: float) -> dict[TaskType, float]:

@@ -57,6 +57,15 @@ class DataSetInstance:
             raise SimulationError(
                 f"task {task_id} of data set {self.dataset_id} started twice or unknown"
             )
+        remaining = self._remaining_preds[task_id]
+        if remaining > 0:
+            # silently accepting the start would corrupt the DAG bookkeeping:
+            # the completion of a still-pending predecessor later decrements a
+            # counter that no longer guards anything
+            raise SimulationError(
+                f"task {task_id} of data set {self.dataset_id} started with "
+                f"{remaining} incomplete predecessor(s)"
+            )
         # Started tasks are tracked implicitly: they leave the pending set on completion,
         # but must not be re-dispatched; mark them by setting their predecessor count to -1.
         self._remaining_preds[task_id] = -1

@@ -21,6 +21,7 @@ from ..core.allocation import Allocation
 from ..core.problem import MinCostProblem
 from .engine import StreamSimulator
 from .metrics import SimulationReport
+from .scenarios import ScenarioSpec
 
 __all__ = ["ValidationResult", "static_check", "simulate_allocation", "validate_allocation"]
 
@@ -51,9 +52,18 @@ def simulate_allocation(
     *,
     horizon: float = 50.0,
     warmup_fraction: float = 0.1,
+    scenario: ScenarioSpec | None = None,
+    seed: int = 0,
 ) -> SimulationReport:
-    """Run the stream simulator on an allocation and return its report."""
-    simulator = StreamSimulator(problem, allocation, warmup_fraction=warmup_fraction)
+    """Run the stream simulator on an allocation and return its report.
+
+    ``scenario``/``seed`` inject a :class:`~repro.simulation.scenarios.ScenarioSpec`
+    (arrival process, slowdowns, failures); the default replays the paper's
+    smooth deterministic stream.
+    """
+    simulator = StreamSimulator(
+        problem, allocation, warmup_fraction=warmup_fraction, scenario=scenario, seed=seed
+    )
     return simulator.run(horizon=horizon)
 
 

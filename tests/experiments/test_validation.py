@@ -14,7 +14,9 @@ from repro.experiments.validation import (
     AllocationSource,
     CampaignResult,
     ValidationPlan,
+    ValidationRecord,
     ValidationStore,
+    ValidationUnit,
     backlog_series,
     latency_series,
     load_campaign,
@@ -22,11 +24,19 @@ from repro.experiments.validation import (
     plan_validation_units,
     reorder_peak_series,
     run_validation,
+    scenario_seed,
     throughput_ratio_series,
     utilization_series,
     validation_fingerprint,
     validation_plan_from_dict,
     validation_plan_to_dict,
+)
+from repro.simulation import (
+    DEFAULT_SCENARIO,
+    BurstyArrivals,
+    FailureWindow,
+    PoissonArrivals,
+    ScenarioSpec,
 )
 
 
@@ -235,6 +245,141 @@ class TestCampaignExecution:
         ]
         assert design
         assert all(record.sustains_target(tolerance=0.1) for record in design)
+
+
+SCENARIOS = (
+    DEFAULT_SCENARIO,
+    ScenarioSpec(name="poisson", arrival=PoissonArrivals()),
+    ScenarioSpec(
+        name="bursty+fail",
+        arrival=BurstyArrivals(on=1.0, off=2.0),
+        slowdowns=((1, 0.8),),
+        failures=(FailureWindow(1, 1.0, 2.0),),
+    ),
+)
+
+
+@pytest.fixture(scope="module")
+def scenario_plan(captured_sweep) -> ValidationPlan:
+    return plan_from_sweep(
+        captured_sweep, horizons=(6.0,), rate_multipliers=(1.0,), scenarios=SCENARIOS
+    )
+
+
+@pytest.fixture(scope="module")
+def scenario_campaign(scenario_plan) -> CampaignResult:
+    return run_validation(scenario_plan)
+
+
+class TestScenarioAxis:
+    def test_grid_covers_every_scenario(self, scenario_plan):
+        assert scenario_plan.num_simulations == len(scenario_plan.sources) * 3
+        units = plan_validation_units(scenario_plan)
+        covered = {
+            (unit.horizon, unit.rate_multiplier, unit.scenario, source)
+            for unit in units
+            for source in unit.sources
+        }
+        expected = {
+            (h, m, s, i)
+            for h in scenario_plan.horizons
+            for m in scenario_plan.rate_multipliers
+            for s in range(len(SCENARIOS))
+            for i in range(len(scenario_plan.sources))
+        }
+        assert covered == expected
+
+    def test_records_carry_their_scenario(self, scenario_plan, scenario_campaign):
+        names = {record.scenario for record in scenario_campaign.records}
+        assert names == {"baseline", "poisson", "bursty+fail"}
+        assert scenario_campaign.scenarios() == ["baseline", "poisson", "bursty+fail"]
+        per_scenario = len(scenario_plan.sources)
+        for name in names:
+            assert len(scenario_campaign.filter(scenario=name)) == per_scenario
+
+    def test_scenario_plan_round_trips_and_fingerprints(self, scenario_plan, campaign_plan):
+        data = validation_plan_to_dict(scenario_plan)
+        assert "scenarios" in data
+        rebuilt = validation_plan_from_dict(data)
+        assert rebuilt == scenario_plan
+        assert validation_fingerprint(rebuilt) == validation_fingerprint(scenario_plan)
+        assert validation_fingerprint(scenario_plan) != validation_fingerprint(campaign_plan)
+
+    def test_scenario_free_plan_serialises_in_pre_scenario_format(self, campaign_plan):
+        # the default axis is omitted from the plan dict and the unit dicts,
+        # so fingerprints — and checkpoint resume — match files written
+        # before scenarios existed
+        data = validation_plan_to_dict(campaign_plan)
+        assert "scenarios" not in data
+        assert validation_plan_from_dict(data).scenarios == (DEFAULT_SCENARIO,)
+        for unit in plan_validation_units(campaign_plan):
+            assert "scenario" not in unit.as_dict()
+        legacy_unit = ValidationUnit.from_dict(
+            {"index": 0, "horizon": 6.0, "rate_multiplier": 1.0, "sources": [0]}
+        )
+        assert legacy_unit.scenario == 0
+
+    def test_baseline_records_serialise_in_pre_scenario_format(self, scenario_campaign):
+        baseline = scenario_campaign.filter(scenario="baseline")
+        assert baseline
+        for record in baseline:
+            data = record.as_dict()
+            assert "scenario" not in data
+            assert ValidationRecord.from_dict(data).scenario == "baseline"
+        stressed = scenario_campaign.filter(scenario="poisson")[0]
+        assert stressed.as_dict()["scenario"] == "poisson"
+
+    def test_duplicate_scenario_names_rejected(self, captured_sweep):
+        with pytest.raises(ConfigurationError, match="unique"):
+            plan_from_sweep(
+                captured_sweep,
+                scenarios=(ScenarioSpec(), ScenarioSpec(name="baseline")),
+            )
+        with pytest.raises(ConfigurationError, match="at least one scenario"):
+            plan_from_sweep(captured_sweep, scenarios=())
+
+    def test_parallel_and_resume_byte_identical_under_scenarios(
+        self, tmp_path, scenario_plan, scenario_campaign
+    ):
+        serial_lines = record_lines(scenario_campaign)
+        parallel = run_validation(scenario_plan, backend=ProcessPoolBackend(2))
+        assert record_lines(parallel) == serial_lines
+
+        class _Interrupt(Exception):
+            pass
+
+        done = 0
+
+        def tripwire(_msg):
+            nonlocal done
+            done += 1
+            if done >= 2:
+                raise _Interrupt
+
+        path = tmp_path / "scenario-campaign.jsonl"
+        with pytest.raises(_Interrupt):
+            run_validation(scenario_plan, store=ValidationStore(path), progress=tripwire)
+        resumed = run_validation(scenario_plan, store=ValidationStore(path), resume=True)
+        assert record_lines(resumed) == serial_lines
+        assert record_lines(load_campaign(path)) == serial_lines
+
+    def test_scenario_seed_depends_on_source_and_scenario(self, scenario_plan):
+        base = scenario_plan.sweep_plan.base_seed
+        a, b = scenario_plan.sources[0], scenario_plan.sources[1]
+        poisson, bursty = SCENARIOS[1], SCENARIOS[2]
+        assert scenario_seed(base, a, poisson) == scenario_seed(base, a, poisson)
+        assert scenario_seed(base, a, poisson) != scenario_seed(base, b, poisson)
+        assert scenario_seed(base, a, poisson) != scenario_seed(base, a, bursty)
+
+    def test_series_filter_by_scenario(self, scenario_campaign):
+        overall = throughput_ratio_series(scenario_campaign)
+        baseline = throughput_ratio_series(scenario_campaign, scenario="baseline")
+        stressed = throughput_ratio_series(scenario_campaign, scenario="bursty+fail")
+        assert set(baseline.series) == set(overall.series) == {"ILP", "H1"}
+        # the degraded scenario cannot beat the baseline on average
+        for name in baseline.series:
+            for clean, noisy in zip(baseline.series[name], stressed.series[name]):
+                assert noisy <= clean + 0.05
 
 
 class TestValidationStore:

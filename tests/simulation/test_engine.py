@@ -1,5 +1,7 @@
 """Tests for the discrete-event engine and the allocation validation helpers."""
 
+import math
+
 import pytest
 
 from repro.core import Allocation, MinCostProblem, SimulationError, ThroughputSplit
@@ -133,6 +135,29 @@ class TestStreamSimulator:
         assert buffer.occupancy == 0
         assert buffer.released == 6
         assert buffer.peak_occupancy == 3  # {3, 4, 5} held while waiting for 3
+
+    def test_long_horizon_arrival_count_is_drift_free(self, illustrating_problem_70):
+        # arrival n is scheduled at exactly n / rate (computed by index):
+        # accumulating `now += 1/rate` loses the final arrival to float error
+        # once the sum drifts past the horizon (1/3 and 1/7 both drift)
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        for rate, horizon in ((3.0, 100.0), (7.0, 200.0)):
+            report = StreamSimulator(
+                illustrating_problem_70, allocation, arrival_rate=rate
+            ).run(horizon=horizon)
+            assert report.arrivals == math.floor(horizon * rate) + 1, (rate, horizon)
+
+    def test_achieved_throughput_cannot_exceed_window_arrivals(self, illustrating_problem_70):
+        # the warm-up fix: only data sets arriving after the warm-up count, so
+        # the measured rate is capped by what actually arrived in the window
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        report = StreamSimulator(
+            illustrating_problem_70, allocation, warmup_fraction=0.25
+        ).run(horizon=12.0)
+        window = report.horizon - report.warmup
+        cap = window * report.target_throughput + 1  # +1: the boundary arrival
+        assert report.achieved_throughput * window <= cap
+        assert report.window_throughput >= report.achieved_throughput
 
     def test_reorder_peak_matches_out_of_order_depth(self, illustrating_problem_70):
         # the engine's peak covers every data set held for an earlier one

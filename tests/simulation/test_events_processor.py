@@ -84,6 +84,81 @@ class TestProcessorInstance:
         # at a horizon past the completion the full service counts again
         assert instance.utilization(4.0) == pytest.approx(2.0 / 4.0)
 
+    def test_pending_work_accumulator_matches_resummation(self):
+        # pending_work is maintained incrementally (O(1) per dispatch, not a
+        # re-sum of the deque); a randomized op sequence must keep it equal
+        # to the explicit sum it replaced
+        import numpy as np
+
+        rng = np.random.default_rng(123)
+        instance = ProcessorInstance(0, 1, throughput=2.0)
+        now = 0.0
+
+        def resummed():
+            total = sum(task.work for task in instance.queue)
+            if instance.current is not None:
+                total += instance.current.work
+            return total
+
+        for step in range(500):
+            action = rng.integers(0, 3)
+            if action == 0:
+                instance.enqueue(PendingTask(step, 0, float(rng.uniform(0.1, 3.0))))
+            elif action == 1:
+                started = instance.start_next(now)
+                if started is not None:
+                    now = started[1]
+            elif instance.current is not None:
+                instance.finish_current(now)
+            assert instance.pending_work == pytest.approx(resummed(), abs=1e-9)
+        # drain completely: the accumulator snaps back to exactly zero
+        while instance.current is not None or instance.queue:
+            if instance.current is None:
+                now = instance.start_next(now)[1]
+            instance.finish_current(now)
+        assert instance.pending_work == 0.0
+
+    def test_dispatch_order_unchanged_by_incremental_accumulator(
+        self, illustrating_app, illustrating_cloud
+    ):
+        # the dispatch rule still ranks by (pending work, instance id)
+        allocation = Allocation.from_split(illustrating_app, illustrating_cloud, [10, 30, 30])
+        pool = ProcessorPool(illustrating_cloud, allocation)
+        import numpy as np
+
+        rng = np.random.default_rng(7)
+        for step in range(200):
+            expected = min(
+                pool.instances_of(1), key=lambda inst: (inst.pending_work, inst.instance_id)
+            )
+            chosen = pool.select_instance(1)
+            assert chosen is expected
+            chosen.enqueue(PendingTask(step, 0, float(rng.uniform(0.5, 2.0))))
+            if step % 3 == 0:
+                chosen.start_next(float(step))
+            if step % 5 == 0 and chosen.current is not None:
+                chosen.finish_current(float(step))
+
+    def test_availability_windows(self):
+        instance = ProcessorInstance(0, 1, throughput=1.0)
+        instance.set_unavailable([(4.0, 6.0), (1.0, 2.0), (5.0, 7.0)])
+        # merged + sorted: [(1, 2), (4, 7)]
+        assert instance.unavailable == ((1.0, 2.0), (4.0, 7.0))
+        assert instance.available_at(0.5) and not instance.available_at(1.0)
+        assert instance.available_at(2.0)  # window end is exclusive
+        assert not instance.available_at(5.5)
+        assert instance.next_available(0.5) == 0.5
+        assert instance.next_available(1.5) == 2.0
+        assert instance.next_available(4.0) == 7.0
+
+    def test_start_next_refuses_inside_failure_window(self):
+        instance = ProcessorInstance(0, 1, throughput=1.0)
+        instance.set_unavailable([(1.0, 3.0)])
+        instance.enqueue(PendingTask(0, 0, 1.0))
+        assert instance.start_next(2.0) is None
+        task, done = instance.start_next(3.0)
+        assert task.dataset_id == 0 and done == 4.0
+
     def test_utilization_exact_at_full_load(self):
         # back-to-back unit tasks ending exactly at the horizon: 100 % busy,
         # not the >100 % the pre-truncation accounting could report
@@ -125,3 +200,61 @@ class TestProcessorPool:
     def test_utilization_by_type_initially_zero(self, illustrating_app, illustrating_cloud):
         pool = self.build_pool(illustrating_app, illustrating_cloud)
         assert all(u == 0 for u in pool.utilization_by_type(10.0).values())
+
+    def test_slowdown_scales_instance_throughput(self, illustrating_app, illustrating_cloud):
+        allocation = Allocation.from_split(illustrating_app, illustrating_cloud, [10, 30, 30])
+        pool = ProcessorPool(illustrating_cloud, allocation, slowdowns={1: 0.5, 99: 0.1})
+        full = ProcessorPool(illustrating_cloud, allocation)
+        for slowed, normal in zip(pool.instances_of(1), full.instances_of(1)):
+            assert slowed.throughput == pytest.approx(0.5 * normal.throughput)
+        # other types are untouched; unrented type 99 is ignored
+        for slowed, normal in zip(pool.instances_of(2), full.instances_of(2)):
+            assert slowed.throughput == normal.throughput
+
+    def test_apply_failures_is_seeded_and_skips_unrented_types(
+        self, illustrating_app, illustrating_cloud
+    ):
+        import numpy as np
+
+        from repro.simulation import FailureWindow
+
+        allocation = Allocation.from_split(illustrating_app, illustrating_cloud, [10, 30, 30])
+        windows = (FailureWindow(1, 1.0, 2.0, count=2), FailureWindow(99, 0.0, 5.0))
+
+        def failed_ids(seed):
+            pool = self.build_pool(illustrating_app, illustrating_cloud)
+            pool.apply_failures(windows, np.random.default_rng(seed))
+            return [inst.instance_id for inst in pool.instances() if inst.unavailable]
+
+        assert failed_ids(3) == failed_ids(3)
+        assert len(failed_ids(3)) == 2
+        type1_ids = {
+            inst.instance_id
+            for inst in self.build_pool(illustrating_app, illustrating_cloud).instances_of(1)
+        }
+        assert set(failed_ids(3)) <= type1_ids
+
+    def test_select_instance_avoids_failed_instances(self, illustrating_app, illustrating_cloud):
+        import numpy as np
+
+        from repro.simulation import FailureWindow
+
+        pool = self.build_pool(illustrating_app, illustrating_cloud)
+        # take out all but one instance of type 1 during [0, 5)
+        count = len(pool.instances_of(1))
+        pool.apply_failures(
+            (FailureWindow(1, 0.0, 5.0, count=count - 1),), np.random.default_rng(0)
+        )
+        healthy = [inst for inst in pool.instances_of(1) if not inst.unavailable]
+        assert len(healthy) == 1
+        assert pool.select_instance(1, 2.0) is healthy[0]
+        # outside the window the normal least-loaded rule applies again
+        healthy[0].enqueue(PendingTask(0, 0, 50.0))
+        assert pool.select_instance(1, 6.0) is not healthy[0]
+        # with every instance down, work still queues on the least loaded one
+        pool2 = self.build_pool(illustrating_app, illustrating_cloud)
+        pool2.apply_failures(
+            (FailureWindow(1, 0.0, 5.0, count=99),), np.random.default_rng(0)
+        )
+        chosen = pool2.select_instance(1, 2.0)
+        assert chosen in pool2.instances_of(1)

@@ -53,6 +53,20 @@ class TestDataSetInstance:
         with pytest.raises(SimulationError):
             dataset.mark_started(0)
 
+    def test_start_with_incomplete_predecessors_rejected(self):
+        # task 1 depends on task 0: dispatching it before 0 completes used to
+        # be accepted silently, corrupting the predecessor bookkeeping
+        dataset = DataSetInstance(0, 0, diamond_recipe(), arrival_time=0.0)
+        with pytest.raises(SimulationError, match="incomplete predecessor"):
+            dataset.mark_started(1)
+        # the sink (two predecessors) is rejected even after one completes
+        dataset.mark_started(0)
+        dataset.complete_task(0, 1.0)
+        dataset.mark_started(1)
+        dataset.complete_task(1, 2.0)
+        with pytest.raises(SimulationError, match="incomplete predecessor"):
+            dataset.mark_started(3)
+
     def test_latency_none_until_complete(self):
         dataset = DataSetInstance(0, 0, diamond_recipe(), arrival_time=1.0)
         assert dataset.latency is None
@@ -103,3 +117,23 @@ class TestReorderBuffer:
         buffer.complete(0)
         with pytest.raises(SimulationError):
             buffer.complete(0)
+
+    def test_duplicate_completion_of_held_dataset_rejected(self):
+        # the duplicate is still in the buffer (not yet released): the id is
+        # not below next_to_release, so the held-set check must catch it
+        buffer = ReorderBuffer()
+        buffer.complete(2)
+        with pytest.raises(SimulationError):
+            buffer.complete(2)
+        assert buffer.occupancy == 1  # the failed call must not corrupt state
+
+    def test_completion_below_release_cursor_rejected(self):
+        buffer = ReorderBuffer()
+        for dataset_id in (1, 0, 2):
+            buffer.complete(dataset_id)
+        assert buffer.next_to_release == 3
+        for stale in (0, 1, 2):
+            with pytest.raises(SimulationError):
+                buffer.complete(stale)
+        # and the buffer keeps releasing correctly afterwards
+        assert buffer.complete(3) == [3]

@@ -121,6 +121,55 @@ class TestCommands:
         assert main(args) == 2
         assert "resume=True" in capsys.readouterr().err
 
+    def test_validate_scenario_flags(self, capsys, tmp_path):
+        sweep_file = tmp_path / "sweep.jsonl"
+        assert main(
+            ["figure", "figure3", "--configurations", "1", "--throughputs", "60",
+             "--iterations", "60", "--out", str(sweep_file), "--capture-allocations",
+             "--quiet"]
+        ) == 0
+        capsys.readouterr()
+
+        campaign_file = tmp_path / "campaign.jsonl"
+        args = ["validate", str(sweep_file), "--horizons", "6", "--algorithms",
+                "ILP", "--arrival", "deterministic", "poisson", "--slowdown",
+                "1=0.8", "--fail", "2:1:2", "--out", str(campaign_file), "--quiet"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "scenario deterministic+slow+fail" in out
+        assert "scenario poisson+slow+fail" in out
+
+        # the checkpoint round-trips with the scenario axis intact, and the
+        # finished campaign resumes to byte-identical output
+        from repro.experiments.validation import load_campaign
+
+        campaign = load_campaign(campaign_file)
+        assert campaign.scenarios() == ["deterministic+slow+fail", "poisson+slow+fail"]
+        assert {r.scenario for r in campaign.records} == set(campaign.scenarios())
+        assert main(args + ["--resume"]) == 0
+        assert capsys.readouterr().out == out
+
+    def test_validate_rejects_malformed_scenario_flags(self, capsys, tmp_path):
+        sweep_file = tmp_path / "sweep.jsonl"
+        assert main(
+            ["figure", "figure3", "--configurations", "1", "--throughputs", "60",
+             "--iterations", "60", "--out", str(sweep_file), "--capture-allocations",
+             "--quiet"]
+        ) == 0
+        capsys.readouterr()
+        cases = [
+            (["--arrival", "fractal"], "unknown arrival process"),
+            (["--arrival", "batch:size=five"], "not a number"),
+            (["--slowdown", "1:0.5"], "TYPE=FACTOR"),
+            (["--slowdown", "1=fast"], "not a number"),
+            (["--fail", "2:1"], "TYPE:START:DURATION"),
+            (["--fail", "2:1:zero"], "non-numeric"),
+        ]
+        for extra, message in cases:
+            code = main(["validate", str(sweep_file), "--quiet"] + extra)
+            assert code == 2, extra
+            assert message in capsys.readouterr().err, extra
+
     def test_validate_rejects_empty_algorithms(self, capsys, tmp_path):
         sweep_file = tmp_path / "sweep.jsonl"
         sweep_file.write_text("{}\n")
