@@ -1,0 +1,184 @@
+"""Benchmark of the declarative study pipeline: serial vs pool vs resume.
+
+Builds a tiny end-to-end :class:`~repro.experiments.spec.StudySpec` (sweep
+with captured allocations + validation campaign), runs it three ways and
+records wall-clock into ``BENCH_study.json``:
+
+* **serial** — the spec as-is through :class:`repro.api.Study`;
+* **parallel** — the same spec with ``--workers`` processes, asserting the
+  results are **identical** to the serial run: record identities (the
+  authoritative wall-clock-free criterion) for the sweep, byte-identical
+  canonical JSON lines for the campaign;
+* **resume** — the study is checkpointed to a store directory, interrupted
+  after a fixed number of work units (mid-campaign), resumed **from its own
+  study.json file**, and asserted identical again — the one-spec-drives-
+  everything property the API redesign promises.
+
+Run directly to emit ``BENCH_study.json`` next to this file::
+
+    PYTHONPATH=src python benchmarks/bench_study.py [--smoke] [--workers N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.api import Study, StudyResult
+from repro.experiments.spec import (
+    ExecutionSpec,
+    StudySpec,
+    ValidationSpec,
+    WorkloadSpec,
+)
+from repro.experiments.config import paper_algorithms
+
+
+def build_spec(smoke: bool) -> StudySpec:
+    keep = ("ILP", "H1", "H2", "H32")
+    algorithms = tuple(
+        spec
+        for spec in paper_algorithms(iterations=120 if smoke else 400)
+        if spec.name in keep
+    )
+    return StudySpec(
+        name="bench-study",
+        description="tiny end-to-end study for the serial/parallel/resume identity bench",
+        workload=WorkloadSpec(
+            setting="small",
+            num_configurations=2 if smoke else 4,
+            target_throughputs=(40, 80) if smoke else (20, 60, 100, 140),
+        ),
+        algorithms=algorithms,
+        validation=ValidationSpec(
+            horizons=(10.0,) if smoke else (25.0, 50.0),
+            rate_multipliers=(1.0, 1.05),
+        ),
+    )
+
+
+def sweep_identities(result: StudyResult) -> list[tuple]:
+    return [record.identity() for record in result.sweep.records]
+
+
+def campaign_lines(result: StudyResult) -> list[str]:
+    """Canonical JSONL line of every campaign record — the byte-identity criterion."""
+    return [
+        json.dumps(record.as_dict(), sort_keys=True, separators=(",", ":"))
+        for record in result.campaign.records
+    ]
+
+
+class _InterruptStudy(Exception):
+    pass
+
+
+def run_interrupted_then_resume(spec: StudySpec, store_dir: Path, stop_after: int) -> StudyResult:
+    """Kill a checkpointed study mid-pipeline, then resume it from study.json."""
+    spec = spec.with_execution(store_dir=str(store_dir))
+    study_json = spec.to_json(store_dir / "study.json")
+    completed = 0
+
+    def tripwire(_msg: str) -> None:
+        nonlocal completed
+        completed += 1
+        if completed >= stop_after:
+            raise _InterruptStudy
+
+    try:
+        Study.from_spec(spec).run(progress=tripwire)
+        raise RuntimeError("study finished before the interrupt fired; lower stop_after")
+    except _InterruptStudy:
+        pass
+    return Study.from_file(study_json).run(resume=True)
+
+
+def run(smoke: bool, workers: int) -> dict:
+    spec = build_spec(smoke)
+
+    t0 = time.perf_counter()
+    serial = Study.from_spec(spec).run()
+    serial_seconds = time.perf_counter() - t0
+    serial_sweep = sweep_identities(serial)
+    serial_campaign = campaign_lines(serial)
+
+    t0 = time.perf_counter()
+    parallel = Study.from_spec(spec.with_execution(workers=workers)).run()
+    parallel_seconds = time.perf_counter() - t0
+    parallel_identical = (
+        sweep_identities(parallel) == serial_sweep
+        and campaign_lines(parallel) == serial_campaign
+    )
+
+    t0 = time.perf_counter()
+    with tempfile.TemporaryDirectory() as tmp:
+        # stop after the sweep units plus one campaign unit, so the resumed
+        # run has to finish a half-done second stage
+        resumed = run_interrupted_then_resume(
+            spec, Path(tmp), stop_after=len(serial.sweep.records) // 4 + 1
+        )
+    resume_seconds = time.perf_counter() - t0
+    resume_identical = (
+        sweep_identities(resumed) == serial_sweep
+        and campaign_lines(resumed) == serial_campaign
+    )
+
+    import os
+
+    return {
+        "benchmark": "study",
+        "smoke": smoke,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
+        "study": {
+            "name": spec.name,
+            "fingerprint": spec.fingerprint(),
+            "setting": spec.workload.setting.name,
+            "algorithms": [a.name for a in spec.algorithms],
+            "sweep_records": len(serial.sweep.records),
+            "simulations": len(serial.campaign.records),
+        },
+        "worst_throughput_ratio": serial.worst_ratio(),
+        "serial_seconds": serial_seconds,
+        "parallel_seconds": parallel_seconds,
+        "resume_seconds": resume_seconds,
+        "speedup": serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf"),
+        "parallel_identical": parallel_identical,
+        "resume_identical": resume_identical,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="reduced sizes for CI")
+    parser.add_argument("--workers", type=int, default=2, help="process-pool width")
+    parser.add_argument(
+        "--out", type=Path, default=Path(__file__).parent / "BENCH_study.json"
+    )
+    args = parser.parse_args(argv)
+    report = run(smoke=args.smoke, workers=args.workers)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    print(f"study ({report['study']['sweep_records']} sweep records, "
+          f"{report['study']['simulations']} simulations)  "
+          f"serial={report['serial_seconds']:.2f}s  "
+          f"parallel[{report['workers']}]={report['parallel_seconds']:.2f}s  "
+          f"speedup={report['speedup']:.2f}x  "
+          f"resume={report['resume_seconds']:.2f}s")
+    print(f"worst achieved/target ratio: {report['worst_throughput_ratio']:.3f}")
+    print(f"parallel identical to serial: {report['parallel_identical']}")
+    print(f"resume identical to serial:   {report['resume_identical']}")
+    print(f"report written to {args.out}")
+
+    if not (report["parallel_identical"] and report["resume_identical"]):
+        print("FAIL: parallel/resumed study diverges from the serial run", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -55,8 +55,29 @@ __all__ = [
     "ThroughputSplit",
     "available_solvers",
     "create_solver",
+    "Study",
+    "StudyBuilder",
+    "StudySpec",
     "__version__",
 ]
 
 # Make the paper's algorithm names ("ILP", "H1", ...) resolvable by name.
 _register_defaults()
+
+#: The declarative study layer, loaded lazily (PEP 562) so that plain
+#: ``import repro`` keeps its small footprint: the facade pulls in the
+#: experiment and simulation stacks, which most solver-only users never touch.
+_LAZY_EXPORTS = {
+    "Study": ("repro.api", "Study"),
+    "StudyBuilder": ("repro.api", "StudyBuilder"),
+    "StudySpec": ("repro.experiments.spec", "StudySpec"),
+}
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EXPORTS:
+        import importlib
+
+        module_name, attribute = _LAZY_EXPORTS[name]
+        return getattr(importlib.import_module(module_name), attribute)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -3,6 +3,13 @@
 Sub-commands
 ------------
 
+``run``
+    Execute a declarative study (``study.json``, a serialised
+    :class:`~repro.experiments.spec.StudySpec`) end to end: sweep →
+    capture allocations → validation campaign → series, resumable as one
+    pipeline with ``--resume``.  This is the canonical entry point; the
+    ``figure`` and ``validate`` sub-commands below are thin constructors of
+    the same specs.
 ``table3``
     Reproduce Table III of the paper (illustrating example, all algorithms)
     and compare the exact costs against the published column.
@@ -24,20 +31,26 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import Sequence
 
 from . import available_solvers, create_solver
 from .core.exceptions import ConfigurationError, SimulationError
-from .experiments.backends import ProcessPoolBackend, SerialBackend
-from .experiments.figures import FIGURES
-from .experiments.reporting import render_series, render_table3, sweep_summary, table3_vs_paper
-from .experiments.store import SweepStore
+from .experiments.figures import FIGURES, figure_spec
+from .experiments.reporting import (
+    campaign_summary,
+    render_campaign,
+    render_series,
+    render_table3,
+    sweep_summary,
+    table3_vs_paper,
+)
 from .experiments.tables import illustrating_problem, reproduce_table3
 from .generators.workload import PAPER_SETTINGS, generate_configuration, get_setting
 from .simulation.validate import validate_allocation
 
-__all__ = ["main", "build_parser"]
+__all__ = ["main", "build_parser", "validation_study_spec"]
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -47,6 +60,23 @@ def build_parser() -> argparse.ArgumentParser:
         "Applications in the Cloud' (Hanna et al., IPDPSW 2016)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser(
+        "run",
+        help="run a declarative study (study.json) end to end: "
+             "sweep -> validation -> series",
+    )
+    p_run.add_argument("spec", type=Path,
+                       help="path to a study.json (a serialised StudySpec; see the "
+                            "README's 'Declarative studies' section)")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="override the spec's worker count")
+    p_run.add_argument("--store-dir", type=Path, default=None,
+                       help="override the spec's checkpoint directory")
+    p_run.add_argument("--resume", action="store_true",
+                       help="resume both pipeline stages from their checkpoints "
+                            "(requires checkpoint stores in the spec or --store-dir)")
+    p_run.add_argument("--quiet", action="store_true", help="suppress progress messages")
 
     p_table = sub.add_parser("table3", help="reproduce Table III (illustrating example)")
     p_table.add_argument("--iterations", type=int, default=2000, help="heuristic iteration budget")
@@ -138,53 +168,98 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     return 0
 
 
-def _parallel_run_args(args: argparse.Namespace) -> "tuple[object, str | None]":
-    """Validate the shared --workers/--resume/--out flags; return (backend, error).
-
-    ``backend`` is ``None`` when the caller should use its default (serial)
-    backend; a non-``None`` error message means the invocation is invalid.
-    """
+def _check_parallel_run_args(args: argparse.Namespace) -> str | None:
+    """Validate the shared --workers/--resume/--out flags; return an error or None."""
     if args.workers is not None and args.workers < 1:
-        return None, f"--workers must be >= 1, got {args.workers}"
+        return f"--workers must be >= 1, got {args.workers}"
     if args.resume and args.out is None:
-        return None, "--resume requires --out (the checkpoint file to resume from)"
-    if args.workers is not None and args.workers > 1:
-        return ProcessPoolBackend(args.workers), None
-    if args.workers is not None:
-        return SerialBackend(), None
-    return None, None
+        return "--resume requires --out (the checkpoint file to resume from)"
+    if args.resume and not args.out.exists():
+        # unlike `run --resume` (which starts any stage whose checkpoint is
+        # missing), the single-stage sub-commands treat a missing checkpoint
+        # as a typo, exactly like the stores themselves do
+        return (
+            f"{args.out} does not exist; nothing to resume "
+            f"(check the path, or drop --resume to start fresh)"
+        )
+    return None
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from .api import Study
+    from .experiments.spec import StudySpec
+
+    progress = None if args.quiet else (lambda msg: print(msg, file=sys.stderr))
+    try:
+        spec = StudySpec.from_json(args.spec)
+        overrides = {}
+        if args.workers is not None:
+            overrides["workers"] = args.workers
+        if args.store_dir is not None:
+            # a directory override replaces the spec's checkpoint locations
+            # wholesale; explicit sweep_store/validation_store paths must not
+            # silently win over it (the manifest lives in store_dir too)
+            overrides["store_dir"] = str(args.store_dir)
+            overrides["sweep_store"] = None
+            overrides["validation_store"] = None
+        if args.resume:
+            overrides["resume"] = True
+        # ExecutionSpec itself rejects resume without a checkpoint location,
+        # so a bare `--resume` on a store-less spec fails cleanly here
+        if overrides:
+            spec = replace(spec, execution=replace(spec.execution, **overrides))
+        study = Study.from_spec(spec)
+        result = study.run(progress=progress)
+    except (ConfigurationError, SimulationError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    header = f"study '{spec.name}'"
+    if spec.description:
+        header += f": {spec.description}"
+    print(header)
+    print(render_series(result.series))
+    if result.campaign is not None:
+        print()
+        print(campaign_summary(result.campaign))
+        print(render_campaign(result.campaign))
+    if study.sweep_store_path is not None:
+        print(f"{sweep_summary(result.sweep)} -> {study.sweep_store_path}", file=sys.stderr)
+    if result.campaign is not None and study.validation_store_path is not None:
+        print(f"campaign checkpoint -> {study.validation_store_path}", file=sys.stderr)
+    return 0
 
 
 def _cmd_figure(args: argparse.Namespace) -> int:
+    from .api import Study
+
     progress = None if args.quiet else (lambda msg: print(msg, file=sys.stderr))
-    kwargs: dict = {
-        "num_configurations": args.configurations,
-        "iterations": args.iterations,
-        "progress": progress,
-    }
     # "--throughputs" (given but empty) is an error, unlike the flag being absent
-    if args.throughputs is not None:
-        if not args.throughputs:
-            print("error: --throughputs requires at least one value", file=sys.stderr)
-            return 2
-        kwargs["target_throughputs"] = tuple(args.throughputs)
-    backend, error = _parallel_run_args(args)
+    if args.throughputs is not None and not args.throughputs:
+        print("error: --throughputs requires at least one value", file=sys.stderr)
+        return 2
+    error = _check_parallel_run_args(args)
     if error is not None:
         print(f"error: {error}", file=sys.stderr)
         return 2
-    if backend is not None:
-        kwargs["backend"] = backend
-    if args.out is not None:
-        kwargs["store"] = SweepStore(args.out)
-        kwargs["resume"] = args.resume
-    if args.capture_allocations:
-        kwargs["capture_allocations"] = True
     try:
-        result = FIGURES[args.name](**kwargs)
+        spec = figure_spec(
+            args.name,
+            num_configurations=args.configurations,
+            target_throughputs=args.throughputs,
+            iterations=args.iterations,
+            workers=args.workers,
+            sweep_store=None if args.out is None else str(args.out),
+            resume=args.resume,
+            capture_allocations=args.capture_allocations,
+        )
+        result = Study.from_spec(spec).run(progress=progress)
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    print(result.description)
+    print(spec.description)
     print(render_series(result.series))
     if args.out is not None:
         print(f"{sweep_summary(result.sweep)} -> {args.out}", file=sys.stderr)
@@ -262,24 +337,66 @@ def _build_scenarios(args: argparse.Namespace):
     return tuple(scenarios)
 
 
-def _cmd_validate(args: argparse.Namespace) -> int:
-    from .experiments.runner import SweepResult
-    from .experiments.validation import (
-        backlog_series,
-        latency_series,
-        plan_from_sweep,
-        reorder_peak_series,
-        run_validation,
-        throughput_ratio_series,
-        utilization_series,
+def validation_study_spec(
+    sweep_plan,
+    *,
+    sweep_store,
+    horizons: Sequence[float] = (50.0,),
+    rate_multipliers: Sequence[float] = (1.0,),
+    warmup_fraction: float = 0.1,
+    max_datasets: int | None = None,
+    algorithms: Sequence[str] | None = None,
+    scenarios=None,
+    workers: int | None = None,
+    validation_store=None,
+):
+    """The :class:`StudySpec` equivalent of one ``repro-cloud validate`` invocation.
+
+    The workload and algorithms are lifted from the sweep checkpoint's own
+    plan and the sweep store points at the existing checkpoint with
+    ``resume=True`` — so running the returned spec with ``repro-cloud run``
+    resumes (i.e. skips) the already-completed sweep and executes exactly the
+    campaign the ``validate`` flags describe.  The parity tests assert this
+    arg-to-spec mapping against hand-written ``study.json`` files.
+    """
+    from .experiments.spec import ExecutionSpec, StudySpec, ValidationSpec, WorkloadSpec
+
+    return StudySpec(
+        name=f"validate-{sweep_plan.name}",
+        workload=WorkloadSpec(
+            setting=sweep_plan.setting,
+            num_configurations=sweep_plan.num_configurations,
+            target_throughputs=sweep_plan.target_throughputs,
+            base_seed=sweep_plan.base_seed,
+        ),
+        algorithms=sweep_plan.algorithms,
+        execution=ExecutionSpec(
+            workers=workers,
+            sweep_store=str(sweep_store),
+            validation_store=None if validation_store is None else str(validation_store),
+            resume=True,
+        ),
+        validation=ValidationSpec(
+            horizons=tuple(horizons),
+            rate_multipliers=tuple(rate_multipliers),
+            warmup_fraction=warmup_fraction,
+            max_datasets=max_datasets,
+            algorithms=None if algorithms is None else tuple(algorithms),
+            scenarios=scenarios,
+        ),
     )
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from .api import Study
+    from .experiments.runner import SweepResult
 
     progress = None if args.quiet else (lambda msg: print(msg, file=sys.stderr))
     # "--algorithms" (given but empty) is an error, unlike the flag being absent
     if args.algorithms is not None and not args.algorithms:
         print("error: --algorithms requires at least one name", file=sys.stderr)
         return 2
-    backend, error = _parallel_run_args(args)
+    error = _check_parallel_run_args(args)
     if error is not None:
         print(f"error: {error}", file=sys.stderr)
         return 2
@@ -291,72 +408,40 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     except ConfigurationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    expected_records = (
-        sweep.plan.num_configurations
-        * len(sweep.plan.target_throughputs)
-        * len(sweep.plan.algorithms)
-    )
-    if len(sweep.records) != expected_records:
+    if len(sweep.records) != sweep.plan.num_records:
         print(
             f"warning: {args.sweep} holds {len(sweep.records)} of the "
-            f"{expected_records} records its plan calls for (incomplete sweep); "
+            f"{sweep.plan.num_records} records its plan calls for (incomplete sweep); "
             f"only those allocations are validated — resume the sweep for full "
             f"coverage",
             file=sys.stderr,
         )
     try:
-        plan = plan_from_sweep(
-            sweep,
+        spec = validation_study_spec(
+            sweep.plan,
+            sweep_store=args.sweep,
             horizons=args.horizons,
             rate_multipliers=args.multipliers,
             warmup_fraction=args.warmup,
             max_datasets=args.max_datasets,
             algorithms=args.algorithms,
             scenarios=_build_scenarios(args),
+            workers=args.workers,
+            validation_store=args.out,
         )
-        campaign = run_validation(
-            plan,
-            backend=backend,
-            store=args.out,
+        # the sweep is passed in pre-loaded (partial checkpoints included), so
+        # the sweep stage is skipped and only the campaign runs
+        result = Study.from_spec(spec).run(
+            sweep=sweep,
             resume=args.resume,
             progress=progress,
         )
     except (ConfigurationError, SimulationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
-    captured = sum(1 for source in plan.sources if source.payload is not None)
-    print(
-        f"validation campaign '{plan.name}': {len(campaign.records)} simulations "
-        f"({len(plan.sources)} allocations, {captured} captured / "
-        f"{len(plan.sources) - captured} re-solved, horizons "
-        f"{', '.join(f'{h:g}' for h in plan.horizons)}, rate multipliers "
-        f"{', '.join(f'{m:g}' for m in plan.rate_multipliers)}, scenarios "
-        f"{', '.join(scenario.name for scenario in plan.scenarios)})"
-    )
-    # one series block per (multiplier, scenario) cell; the scenario part of
-    # the banner (and filter) is dropped for single-scenario campaigns so the
-    # pre-scenario output stays exactly as it was
-    single_scenario = len(plan.scenarios) == 1
-    for multiplier in plan.rate_multipliers:
-        for scenario in plan.scenarios:
-            name = None if single_scenario else scenario.name
-            banner = f"--- arrival rate x{multiplier:g}"
-            if name is not None:
-                banner += f" · scenario {name}"
-            print()
-            print(banner + " ---")
-            print(render_series(throughput_ratio_series(
-                campaign, rate_multiplier=multiplier, scenario=name)))
-            print(render_series(latency_series(
-                campaign, rate_multiplier=multiplier, scenario=name)))
-            print(render_series(utilization_series(
-                campaign, rate_multiplier=multiplier, scenario=name)))
-    print()
-    print(render_series(reorder_peak_series(campaign)))
-    print(render_series(backlog_series(campaign)))
-    worst = campaign.worst_ratio()
-    print()
-    print(f"worst achieved/target ratio over the campaign: {worst:.3f}")
+    campaign = result.campaign
+    print(campaign_summary(campaign))
+    print(render_campaign(campaign))
     if args.out is not None:
         print(f"campaign checkpoint -> {args.out}", file=sys.stderr)
     return 0
@@ -402,6 +487,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     handlers = {
+        "run": _cmd_run,
         "table3": _cmd_table3,
         "figure": _cmd_figure,
         "validate": _cmd_validate,

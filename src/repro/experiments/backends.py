@@ -48,7 +48,27 @@ __all__ = [
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
+    "make_backend",
 ]
+
+
+def make_backend(
+    workers: int | None, *, mp_context: str | None = None
+) -> "ExecutionBackend | None":
+    """The backend a worker count asks for (the CLI/spec convention).
+
+    ``None`` means "caller's default" (the drivers fall back to a fresh
+    :class:`SerialBackend`), ``1`` is an explicit serial run and anything
+    larger a :class:`ProcessPoolBackend` of that width.  Invalid counts raise
+    :class:`~repro.core.exceptions.ConfigurationError`.
+    """
+    if workers is None:
+        return None
+    if workers < 1:
+        raise ConfigurationError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        return SerialBackend()
+    return ProcessPoolBackend(workers, mp_context=mp_context)
 
 
 @dataclass(frozen=True)

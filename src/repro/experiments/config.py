@@ -50,6 +50,25 @@ class AlgorithmSpec:
             params.setdefault("seed", seed)
         return create_solver(self.name, **params)
 
+    def validate(self) -> None:
+        """Fail fast on unknown algorithms or misspelled construction options.
+
+        Checks the spec against the registry's typed parameter schema —
+        including that a ``seed_sensitive`` algorithm actually accepts a
+        ``seed`` — without instantiating the solver.  :meth:`build` performs
+        the same parameter validation at construction time; this method lets
+        the declarative study layer reject a bad spec before any work runs.
+        """
+        from ..solvers.registry import solver_entry
+
+        entry = solver_entry(self.name)
+        entry.validate_params(self.params)
+        if self.seed_sensitive and not entry.accepts("seed"):
+            raise ConfigurationError(
+                f"algorithm {self.name!r} is marked seed_sensitive but solver "
+                f"{entry.display_name!r} does not accept a 'seed' parameter"
+            )
+
 
 def paper_algorithms(
     *,
@@ -104,6 +123,23 @@ class ExperimentPlan:
             raise ConfigurationError("target_throughputs must not be empty")
         if not self.algorithms:
             raise ConfigurationError("at least one algorithm is required")
+        # Canonicalise to float so every construction path — presets, CLI
+        # int flags, StudySpec JSON — serialises work units and plan headers
+        # byte-identically (the fingerprint already normalised to float).
+        object.__setattr__(
+            self,
+            "target_throughputs",
+            tuple(float(rho) for rho in self.target_throughputs),
+        )
+
+    @property
+    def num_records(self) -> int:
+        """Number of records a complete sweep of this plan produces."""
+        return (
+            self.num_configurations
+            * len(self.target_throughputs)
+            * len(self.algorithms)
+        )
 
     def scaled(
         self,

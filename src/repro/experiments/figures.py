@@ -1,11 +1,13 @@
 """Regeneration of the paper's evaluation figures (Figures 3 to 8) plus ablations.
 
-Every ``figureN`` function runs the corresponding sweep and returns a
-:class:`FigureResult` holding the plotted series (one curve per algorithm over
-the throughput axis) together with the raw sweep records.  The benchmark
-harness calls these functions with a reduced number of configurations so a full
-``pytest benchmarks/ --benchmark-only`` stays laptop-friendly; passing
-``num_configurations=100`` reproduces the paper-scale experiment.
+Since the declarative study layer (:mod:`repro.experiments.spec` /
+:mod:`repro.api`) every ``figureN`` function is a thin **spec constructor**:
+:func:`figure_spec` maps the figure name to its workload setting, algorithm
+line-up and series aggregation (the table below), and the figure function
+runs the resulting :class:`~repro.experiments.spec.StudySpec` through the
+:class:`~repro.api.Study` facade.  The signatures — and the records the
+sweeps produce — are unchanged from the pre-study API, so existing callers
+and checkpoint files keep working; new code should build studies directly.
 
 Figure-to-setting mapping (see DESIGN.md):
 
@@ -13,6 +15,11 @@ Figure-to-setting mapping (see DESIGN.md):
 * Figure 6 — "medium" setting (10-20 tasks, 8 types);
 * Figure 7 — "large" setting (50-100 tasks, 8 types);
 * Figure 8 — "xlarge" ILP stress setting (100-200 tasks, 50 types, 100 s limit).
+
+Every ``figureN`` function returns a :class:`FigureResult` holding the plotted
+series (one curve per algorithm over the throughput axis) together with the
+raw sweep records; passing ``num_configurations=100`` reproduces the
+paper-scale experiment.
 """
 
 from __future__ import annotations
@@ -20,18 +27,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from .config import ExperimentPlan, default_plan
-from .metrics import (
-    SeriesByAlgorithm,
-    best_count_series,
-    mean_cost_series,
-    mean_time_series,
-    normalized_cost_series,
-)
+from ..core.exceptions import ConfigurationError
+from .config import ExperimentPlan, default_plan, paper_algorithms
+from .metrics import SeriesByAlgorithm, mean_cost_series, normalized_cost_series
 from .runner import SweepResult, run_plan
+from .spec import ExecutionSpec, StudySpec, WorkloadSpec
 
 __all__ = [
     "FigureResult",
+    "figure_spec",
+    "FIGURE_DEFINITIONS",
     "figure3",
     "figure4",
     "figure5",
@@ -56,22 +61,166 @@ class FigureResult:
     description: str = ""
 
 
-def _run(
-    plan: ExperimentPlan,
-    progress: Callable[[str], None] | None,
+@dataclass(frozen=True)
+class _FigureDefinition:
+    """What distinguishes one paper figure: setting, series, defaults."""
+
+    setting: str
+    series: str
+    description: str
+    default_configurations: int = 100
+    default_ilp_time_limit: float | None = None
+
+
+#: The paper's figures as data: the single source the spec constructor,
+#: the ``figureN`` wrappers and the CLI draw from.
+FIGURE_DEFINITIONS: dict[str, _FigureDefinition] = {
+    "figure3": _FigureDefinition(
+        setting="small",
+        series="normalized_cost",
+        description="Normalisation of cost with the optimal solution "
+        "(20 alternative graphs, 5-8 tasks per graph)",
+    ),
+    "figure4": _FigureDefinition(
+        setting="small",
+        series="best_count",
+        description="Number of times each algorithm finds the best solution "
+        "(20 alternative graphs, 5-8 tasks per graph)",
+    ),
+    "figure5": _FigureDefinition(
+        setting="small",
+        series="mean_time",
+        description="Computation time for the heuristics "
+        "(20 alternative graphs, 5-8 tasks per graph)",
+    ),
+    "figure6": _FigureDefinition(
+        setting="medium",
+        series="normalized_cost",
+        description="Normalisation of cost with the optimal solution "
+        "(20 alternative graphs, 10-20 tasks per graph)",
+    ),
+    "figure7": _FigureDefinition(
+        setting="large",
+        series="normalized_cost",
+        description="Normalisation of cost with the optimal solution "
+        "(20 alternative graphs, 50-100 tasks per graph)",
+    ),
+    "figure8": _FigureDefinition(
+        setting="xlarge",
+        series="mean_time",
+        description="Computation time for the heuristics and the time-limited ILP "
+        "(10 alternative graphs, 100-200 tasks per graph, 50 machine types)",
+        default_configurations=10,
+        default_ilp_time_limit=100.0,
+    ),
+}
+
+
+def figure_spec(
+    name: str,
     *,
+    num_configurations: int | None = None,
+    target_throughputs: Sequence[float] | None = None,
+    iterations: int = 1000,
+    ilp_time_limit: float | None = None,
+    workers: int | None = None,
+    sweep_store=None,
+    validation_store=None,
+    resume: bool = False,
+    capture_allocations: bool = False,
+) -> StudySpec:
+    """The :class:`StudySpec` equivalent of one ``repro-cloud figure`` invocation.
+
+    This is the canonical arg-to-spec mapping: the CLI builds its spec through
+    this function, and a hand-written ``study.json`` with the same content is
+    guaranteed to run the identical sweep (the parity tests assert it).
+    """
+    if name not in FIGURE_DEFINITIONS:
+        raise ConfigurationError(
+            f"unknown figure {name!r}; available: {', '.join(sorted(FIGURE_DEFINITIONS))}"
+        )
+    definition = FIGURE_DEFINITIONS[name]
+    if ilp_time_limit is None:
+        ilp_time_limit = definition.default_ilp_time_limit
+    return StudySpec(
+        name=name,
+        workload=WorkloadSpec(
+            setting=definition.setting,
+            num_configurations=definition.default_configurations
+            if num_configurations is None
+            else num_configurations,
+            target_throughputs=None
+            if target_throughputs is None
+            else tuple(target_throughputs),
+        ),
+        algorithms=tuple(
+            paper_algorithms(iterations=iterations, ilp_time_limit=ilp_time_limit)
+        ),
+        execution=ExecutionSpec(
+            workers=workers,
+            sweep_store=sweep_store,
+            validation_store=validation_store,
+            resume=resume,
+            capture_allocations=capture_allocations,
+        ),
+        series=definition.series,
+        description=definition.description,
+    )
+
+
+def _run_figure(
+    name: str,
+    spec: StudySpec,
+    *,
+    progress: Callable[[str], None] | None = None,
     backend=None,
     store=None,
     resume: bool = False,
-    capture_allocations: bool = False,
-) -> SweepResult:
-    return run_plan(
-        plan,
-        backend=backend,
-        store=store,
-        resume=resume,
+    sweep: SweepResult | None = None,
+) -> FigureResult:
+    """Run a figure study, honouring the legacy object-style overrides."""
+    from ..api import Study
+
+    result = Study.from_spec(spec).run(
         progress=progress,
+        backend=backend,
+        sweep_store=store,
+        resume=resume,
+        sweep=sweep,
+    )
+    return FigureResult(
+        figure=name,
+        series=result.series,
+        sweep=result.sweep,
+        description=spec.description,
+    )
+
+
+def _figure(
+    name: str,
+    *,
+    num_configurations: int | None,
+    target_throughputs: Sequence[int] | None,
+    iterations: int,
+    ilp_time_limit: float | None = None,
+    progress: Callable[[str], None] | None,
+    backend,
+    store,
+    resume: bool,
+    capture_allocations: bool,
+    sweep: SweepResult | None = None,
+) -> FigureResult:
+    spec = figure_spec(
+        name,
+        num_configurations=num_configurations,
+        target_throughputs=target_throughputs,
+        iterations=iterations,
+        ilp_time_limit=ilp_time_limit,
         capture_allocations=capture_allocations,
+    )
+    return _run_figure(
+        name, spec, progress=progress, backend=backend, store=store,
+        resume=resume, sweep=sweep,
     )
 
 
@@ -92,20 +241,16 @@ def figure3(
     capture_allocations: bool = False,
 ) -> FigureResult:
     """Figure 3: normalised cost vs optimal, small application graphs."""
-    plan = default_plan(
-        "small",
+    return _figure(
+        "figure3",
         num_configurations=num_configurations,
         target_throughputs=target_throughputs,
         iterations=iterations,
-    )
-    sweep = _run(plan, progress, backend=backend, store=store, resume=resume,
-                 capture_allocations=capture_allocations)
-    return FigureResult(
-        figure="figure3",
-        series=normalized_cost_series(sweep),
-        sweep=sweep,
-        description="Normalisation of cost with the optimal solution "
-        "(20 alternative graphs, 5-8 tasks per graph)",
+        progress=progress,
+        backend=backend,
+        store=store,
+        resume=resume,
+        capture_allocations=capture_allocations,
     )
 
 
@@ -127,21 +272,17 @@ def figure4(
     the same setting) to avoid running the experiment twice; in that case no
     new sweep runs, so ``backend``/``store``/``resume`` are ignored.
     """
-    if sweep is None:
-        plan = default_plan(
-            "small",
-            num_configurations=num_configurations,
-            target_throughputs=target_throughputs,
-            iterations=iterations,
-        )
-        sweep = _run(plan, progress, backend=backend, store=store, resume=resume,
-                 capture_allocations=capture_allocations)
-    return FigureResult(
-        figure="figure4",
-        series=best_count_series(sweep),
+    return _figure(
+        "figure4",
+        num_configurations=num_configurations,
+        target_throughputs=target_throughputs,
+        iterations=iterations,
+        progress=progress,
+        backend=backend,
+        store=store,
+        resume=resume,
+        capture_allocations=capture_allocations,
         sweep=sweep,
-        description="Number of times each algorithm finds the best solution "
-        "(20 alternative graphs, 5-8 tasks per graph)",
     )
 
 
@@ -162,21 +303,17 @@ def figure5(
     Like :func:`figure4`, a pre-computed ``sweep`` short-circuits the run and
     ``backend``/``store``/``resume`` are then ignored.
     """
-    if sweep is None:
-        plan = default_plan(
-            "small",
-            num_configurations=num_configurations,
-            target_throughputs=target_throughputs,
-            iterations=iterations,
-        )
-        sweep = _run(plan, progress, backend=backend, store=store, resume=resume,
-                 capture_allocations=capture_allocations)
-    return FigureResult(
-        figure="figure5",
-        series=mean_time_series(sweep),
+    return _figure(
+        "figure5",
+        num_configurations=num_configurations,
+        target_throughputs=target_throughputs,
+        iterations=iterations,
+        progress=progress,
+        backend=backend,
+        store=store,
+        resume=resume,
+        capture_allocations=capture_allocations,
         sweep=sweep,
-        description="Computation time for the heuristics "
-        "(20 alternative graphs, 5-8 tasks per graph)",
     )
 
 
@@ -192,20 +329,16 @@ def figure6(
     capture_allocations: bool = False,
 ) -> FigureResult:
     """Figure 6: normalised cost, medium application graphs (10-20 tasks, 8 types)."""
-    plan = default_plan(
-        "medium",
+    return _figure(
+        "figure6",
         num_configurations=num_configurations,
         target_throughputs=target_throughputs,
         iterations=iterations,
-    )
-    sweep = _run(plan, progress, backend=backend, store=store, resume=resume,
-                 capture_allocations=capture_allocations)
-    return FigureResult(
-        figure="figure6",
-        series=normalized_cost_series(sweep),
-        sweep=sweep,
-        description="Normalisation of cost with the optimal solution "
-        "(20 alternative graphs, 10-20 tasks per graph)",
+        progress=progress,
+        backend=backend,
+        store=store,
+        resume=resume,
+        capture_allocations=capture_allocations,
     )
 
 
@@ -221,20 +354,16 @@ def figure7(
     capture_allocations: bool = False,
 ) -> FigureResult:
     """Figure 7: normalised cost, large application graphs (50-100 tasks)."""
-    plan = default_plan(
-        "large",
+    return _figure(
+        "figure7",
         num_configurations=num_configurations,
         target_throughputs=target_throughputs,
         iterations=iterations,
-    )
-    sweep = _run(plan, progress, backend=backend, store=store, resume=resume,
-                 capture_allocations=capture_allocations)
-    return FigureResult(
-        figure="figure7",
-        series=normalized_cost_series(sweep),
-        sweep=sweep,
-        description="Normalisation of cost with the optimal solution "
-        "(20 alternative graphs, 50-100 tasks per graph)",
+        progress=progress,
+        backend=backend,
+        store=store,
+        resume=resume,
+        capture_allocations=capture_allocations,
     )
 
 
@@ -256,27 +385,42 @@ def figure8(
     where the limit is hit it returns its incumbent, exactly as the paper
     describes.
     """
-    plan = default_plan(
-        "xlarge",
+    return _figure(
+        "figure8",
         num_configurations=num_configurations,
         target_throughputs=target_throughputs,
         iterations=iterations,
         ilp_time_limit=ilp_time_limit,
-    )
-    sweep = _run(plan, progress, backend=backend, store=store, resume=resume,
-                 capture_allocations=capture_allocations)
-    return FigureResult(
-        figure="figure8",
-        series=mean_time_series(sweep),
-        sweep=sweep,
-        description="Computation time for the heuristics and the time-limited ILP "
-        "(10 alternative graphs, 100-200 tasks per graph, 50 machine types)",
+        progress=progress,
+        backend=backend,
+        store=store,
+        resume=resume,
+        capture_allocations=capture_allocations,
     )
 
 
 # --------------------------------------------------------------------------- #
 # ablations (design choices called out in DESIGN.md, not in the paper)
 # --------------------------------------------------------------------------- #
+
+
+def _run(
+    plan: ExperimentPlan,
+    progress: Callable[[str], None] | None,
+    *,
+    backend=None,
+    store=None,
+    resume: bool = False,
+    capture_allocations: bool = False,
+) -> SweepResult:
+    return run_plan(
+        plan,
+        backend=backend,
+        store=store,
+        resume=resume,
+        progress=progress,
+        capture_allocations=capture_allocations,
+    )
 
 
 def ablation_iterations(
@@ -316,7 +460,7 @@ def ablation_delta(
     backend=None,
 ) -> dict[float, FigureResult]:
     """Effect of the throughput-exchange granularity ``delta`` on the heuristics."""
-    from .config import AlgorithmSpec, ExperimentPlan
+    from .config import AlgorithmSpec
     from ..generators.workload import get_setting
 
     results: dict[float, FigureResult] = {}
@@ -364,7 +508,6 @@ def ablation_mutation(
     from dataclasses import replace
 
     from ..generators.workload import get_setting
-    from .config import ExperimentPlan, paper_algorithms
 
     base = get_setting("small")
     results: dict[float, FigureResult] = {}
@@ -405,7 +548,7 @@ def ablation_sharing(
     saves.
     """
     from ..generators.workload import get_setting
-    from .config import AlgorithmSpec, ExperimentPlan
+    from .config import AlgorithmSpec
 
     algorithms = (
         AlgorithmSpec("ILP", {}),

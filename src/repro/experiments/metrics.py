@@ -27,6 +27,7 @@ __all__ = [
     "best_count_series",
     "mean_time_series",
     "mean_cost_series",
+    "SERIES",
 ]
 
 
@@ -165,3 +166,13 @@ def mean_cost_series(
         ylabel="mean cost",
         title="Mean rental cost",
     )
+
+
+#: Named series aggregations selectable by a :class:`~repro.experiments.spec.
+#: StudySpec` (its ``series`` field) and by the figure definitions.
+SERIES = {
+    "normalized_cost": normalized_cost_series,
+    "best_count": best_count_series,
+    "mean_time": mean_time_series,
+    "mean_cost": mean_cost_series,
+}

@@ -20,6 +20,8 @@ __all__ = [
     "render_series",
     "render_table3",
     "sweep_summary",
+    "campaign_summary",
+    "render_campaign",
     "table3_vs_paper",
 ]
 
@@ -60,6 +62,65 @@ def sweep_summary(result: SweepResult) -> str:
         f"{len(configurations)} configurations, "
         f"{len(result.algorithms())} algorithms, throughputs {rho_span}"
     )
+
+
+def campaign_summary(campaign) -> str:
+    """One-line description of a validation campaign (printed before the series)."""
+    plan = campaign.plan
+    captured = sum(1 for source in plan.sources if source.payload is not None)
+    return (
+        f"validation campaign '{plan.name}': {len(campaign.records)} simulations "
+        f"({len(plan.sources)} allocations, {captured} captured / "
+        f"{len(plan.sources) - captured} re-solved, horizons "
+        f"{', '.join(f'{h:g}' for h in plan.horizons)}, rate multipliers "
+        f"{', '.join(f'{m:g}' for m in plan.rate_multipliers)}, scenarios "
+        f"{', '.join(scenario.name for scenario in plan.scenarios)})"
+    )
+
+
+def render_campaign(campaign) -> str:
+    """Render a validation campaign's series blocks as text.
+
+    One block per (rate multiplier, scenario) cell — throughput ratio, latency
+    and utilization — followed by the campaign-wide reorder/backlog series and
+    the worst achieved/target ratio.  The scenario part of the banner (and the
+    series filter) is dropped for single-scenario campaigns, so pre-scenario
+    output is reproduced exactly.  Shared by the ``validate`` and ``run``
+    sub-commands of the CLI.
+    """
+    from .validation import (
+        backlog_series,
+        latency_series,
+        reorder_peak_series,
+        throughput_ratio_series,
+        utilization_series,
+    )
+
+    plan = campaign.plan
+    lines: list[str] = []
+    single_scenario = len(plan.scenarios) == 1
+    for multiplier in plan.rate_multipliers:
+        for scenario in plan.scenarios:
+            name = None if single_scenario else scenario.name
+            banner = f"--- arrival rate x{multiplier:g}"
+            if name is not None:
+                banner += f" · scenario {name}"
+            lines.append("")
+            lines.append(banner + " ---")
+            lines.append(render_series(throughput_ratio_series(
+                campaign, rate_multiplier=multiplier, scenario=name)))
+            lines.append(render_series(latency_series(
+                campaign, rate_multiplier=multiplier, scenario=name)))
+            lines.append(render_series(utilization_series(
+                campaign, rate_multiplier=multiplier, scenario=name)))
+    lines.append("")
+    lines.append(render_series(reorder_peak_series(campaign)))
+    lines.append(render_series(backlog_series(campaign)))
+    lines.append("")
+    lines.append(
+        f"worst achieved/target ratio over the campaign: {campaign.worst_ratio():.3f}"
+    )
+    return "\n".join(lines)
 
 
 def render_table3(table: Table3) -> str:

@@ -395,9 +395,7 @@ def load_sweep_result(path: str | Path, *, allow_partial: bool = False) -> Sweep
         )
     for index in sorted(units):
         result.extend(units[index])
-    expected = (
-        plan.num_configurations * len(plan.target_throughputs) * len(plan.algorithms)
-    )
+    expected = plan.num_records
     if len(result.records) != expected and not allow_partial:
         raise ConfigurationError(
             f"{path} holds {len(result.records)} of the {expected} records its plan "

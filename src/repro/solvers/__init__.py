@@ -8,7 +8,18 @@ from .exhaustive import ExhaustiveSolver, enumerate_splits
 from .knapsack import BlackBoxKnapsackSolver, solve_covering_knapsack
 from .lp_relaxation import LpSolution, relaxed_cost, solve_lp_relaxation
 from .milp import MilpFormulation, MilpSolver, build_formulation
-from .registry import available_solvers, create_solver, create_solvers, register_solver
+from .registry import (
+    SolverEntry,
+    SolverParameter,
+    available_solvers,
+    create_solver,
+    create_solvers,
+    register_solver,
+    solver_entry,
+    solver_parameters,
+    solver_seed_sensitive,
+    validate_solver_params,
+)
 
 __all__ = [
     "Solver",
@@ -28,8 +39,14 @@ __all__ = [
     "MilpFormulation",
     "MilpSolver",
     "build_formulation",
+    "SolverEntry",
+    "SolverParameter",
     "available_solvers",
     "create_solver",
     "create_solvers",
     "register_solver",
+    "solver_entry",
+    "solver_parameters",
+    "solver_seed_sensitive",
+    "validate_solver_params",
 ]

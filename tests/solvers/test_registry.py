@@ -4,7 +4,13 @@ import pytest
 
 from repro.core import ConfigurationError
 from repro.solvers import Solver, available_solvers, create_solver, create_solvers, register_solver
-from repro.solvers.registry import _REGISTRY
+from repro.solvers.registry import (
+    _REGISTRY,
+    solver_entry,
+    solver_parameters,
+    solver_seed_sensitive,
+    validate_solver_params,
+)
 
 
 class TestRegistry:
@@ -56,3 +62,76 @@ class TestRegistry:
         result = create_solver("H1").solve(illustrating_problem_70)
         text = result.summary()
         assert "H1" in text and "cost=138" in text
+
+
+class TestParameterSchemas:
+    def test_listing_never_instantiates_factories(self):
+        class Exploding(Solver):
+            name = "Exploding"
+
+            def __init__(self):
+                raise RuntimeError("listing must not construct solvers")
+
+            def _solve(self, problem):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        register_solver("exploding-test-solver", Exploding)
+        try:
+            assert "Exploding" in available_solvers()
+        finally:
+            _REGISTRY.pop("exploding-test-solver", None)
+
+    def test_display_names_use_paper_capitalisation(self):
+        # aliases collapse onto one display name, read from the class attribute
+        assert solver_entry("milp").display_name == "ILP"
+        assert solver_entry("h4").display_name == "H4-SA"
+        assert available_solvers().count("ILP") == 1
+
+    def test_schema_lists_constructor_options(self):
+        names = [p.name for p in solver_parameters("ILP")]
+        assert "time_limit" in names and "mip_rel_gap" in names
+        h2 = {p.name: p for p in solver_parameters("H2")}
+        assert not h2["iterations"].required
+        assert h2["iterations"].default == 1000
+
+    def test_create_solver_rejects_misspelled_option(self):
+        with pytest.raises(ConfigurationError, match="iteration"):
+            create_solver("H2", iteration=42)
+
+    def test_create_solvers_rejects_option_no_solver_accepts(self):
+        # 'iteration' (missing s) used to be silently dropped for every solver
+        with pytest.raises(ConfigurationError, match="iteration"):
+            create_solvers(["H2", "H31"], iteration=42)
+
+    def test_validate_solver_params_names_the_accepted_options(self):
+        with pytest.raises(ConfigurationError, match="time_limit"):
+            validate_solver_params("ILP", {"deadline": 5})
+        validate_solver_params("ILP", {"time_limit": 5})  # no raise
+
+    def test_seed_sensitivity_flags(self):
+        assert solver_seed_sensitive("H2") is True
+        assert solver_seed_sensitive("h32jump") is True
+        assert solver_seed_sensitive("ILP") is False
+        assert solver_seed_sensitive("H32") is False
+
+    def test_explicit_display_name_and_schema_override(self):
+        from repro.solvers.registry import SolverParameter
+
+        class Custom(Solver):
+            name = "ignored"
+
+            def _solve(self, problem):  # pragma: no cover - never called
+                raise NotImplementedError
+
+        register_solver(
+            "custom-test-solver",
+            Custom,
+            display_name="Custom",
+            parameters=(SolverParameter(name="knob"),),
+        )
+        try:
+            assert solver_entry("custom-test-solver").display_name == "Custom"
+            with pytest.raises(ConfigurationError, match="knob"):
+                validate_solver_params("custom-test-solver", {"dial": 1})
+        finally:
+            _REGISTRY.pop("custom-test-solver", None)

@@ -187,3 +187,247 @@ class TestCommands:
     def test_validate_rejects_missing_sweep(self, capsys, tmp_path):
         code = main(["validate", str(tmp_path / "typo.jsonl"), "--quiet"])
         assert code == 2
+
+
+def _tiny_figure_args(sweep_file):
+    return ["figure", "figure3", "--configurations", "1", "--throughputs", "60",
+            "--iterations", "60", "--out", str(sweep_file), "--capture-allocations",
+            "--quiet"]
+
+
+def _tiny_study_dict(sweep_store, validation_store):
+    """The study.json equivalent of the tiny figure3 + validate invocations."""
+    return {
+        "name": "figure3",
+        "description": "Normalisation of cost with the optimal solution "
+                       "(20 alternative graphs, 5-8 tasks per graph)",
+        "series": "normalized_cost",
+        "workload": {"setting": "small", "num_configurations": 1,
+                     "target_throughputs": [60], "base_seed": 2016},
+        "algorithms": [
+            {"name": "ILP"}, {"name": "H1"},
+            {"name": "H2", "params": {"iterations": 60}},
+            {"name": "H31", "params": {"iterations": 60}},
+            {"name": "H32", "params": {"iterations": 60}},
+            {"name": "H32Jump", "params": {"iterations": 60}},
+        ],
+        "execution": {"sweep_store": str(sweep_store),
+                      "validation_store": str(validation_store),
+                      "capture_allocations": True},
+        "validation": {"horizons": [8], "rate_multipliers": [1.0, 1.05]},
+    }
+
+
+class TestRunCommand:
+    def test_run_study_end_to_end(self, capsys, tmp_path):
+        import json
+
+        study = tmp_path / "study.json"
+        study.write_text(json.dumps(_tiny_study_dict(
+            tmp_path / "sweep.jsonl", tmp_path / "campaign.jsonl")))
+        assert main(["run", str(study), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "study 'figure3'" in out
+        assert "normalised cost" in out
+        assert "achieved / target throughput" in out
+        assert "x1.05" in out
+        assert (tmp_path / "sweep.jsonl").exists()
+        assert (tmp_path / "campaign.jsonl").exists()
+
+    def test_run_reproduces_figure_plus_validate_byte_identically(self, capsys, tmp_path):
+        """The acceptance criterion: one study.json drives the pipeline end to
+        end, reproducing the records of the equivalent `figure
+        --capture-allocations` + `validate` invocations — byte-identically for
+        the campaign checkpoint, identity-for-identity (the authoritative
+        RunRecord criterion, which excludes wall-clock) for the sweep."""
+        import json
+
+        from repro.experiments import SweepResult
+        from repro.experiments.validation import load_campaign
+
+        legacy_sweep = tmp_path / "legacy-sweep.jsonl"
+        legacy_campaign = tmp_path / "legacy-campaign.jsonl"
+        assert main(_tiny_figure_args(legacy_sweep)) == 0
+        assert main(["validate", str(legacy_sweep), "--horizons", "8",
+                     "--multipliers", "1.0", "1.05",
+                     "--out", str(legacy_campaign), "--quiet"]) == 0
+        capsys.readouterr()
+
+        study_sweep = tmp_path / "study-sweep.jsonl"
+        study_campaign = tmp_path / "study-campaign.jsonl"
+        study = tmp_path / "study.json"
+        study.write_text(json.dumps(_tiny_study_dict(study_sweep, study_campaign)))
+        assert main(["run", str(study), "--resume", "--quiet"]) == 0
+
+        a = SweepResult.load(legacy_sweep)
+        b = SweepResult.load(study_sweep)
+        assert [r.identity() for r in a.records] == [r.identity() for r in b.records]
+        assert [r.allocation.as_dict() for r in a.records] == [
+            r.allocation.as_dict() for r in b.records
+        ]
+        assert legacy_campaign.read_bytes() == study_campaign.read_bytes()
+        # the campaign checkpoints loaded back agree record for record too
+        assert [r.as_dict() for r in load_campaign(legacy_campaign).records] == [
+            r.as_dict() for r in load_campaign(study_campaign).records
+        ]
+
+    def test_run_resume_continues_both_stages(self, capsys, tmp_path):
+        import json
+
+        study = tmp_path / "study.json"
+        study.write_text(json.dumps(_tiny_study_dict(
+            tmp_path / "sweep.jsonl", tmp_path / "campaign.jsonl")))
+        assert main(["run", str(study), "--quiet"]) == 0
+        first = capsys.readouterr().out
+        # a finished study resumes to byte-identical output
+        assert main(["run", str(study), "--resume", "--quiet"]) == 0
+        assert capsys.readouterr().out == first
+        # and a re-run without --resume must not wipe the checkpoints
+        assert main(["run", str(study), "--quiet"]) == 2
+        assert "resume=True" in capsys.readouterr().err
+
+
+
+    def test_run_store_dir_overrides_explicit_stores(self, capsys, tmp_path):
+        """--store-dir replaces the spec's checkpoint locations wholesale:
+        explicit sweep_store/validation_store paths must not silently win."""
+        import json
+
+        study = tmp_path / "study.json"
+        study.write_text(json.dumps(_tiny_study_dict(
+            tmp_path / "spec-sweep.jsonl", tmp_path / "spec-campaign.jsonl")))
+        target = tmp_path / "elsewhere"
+        assert main(["run", str(study), "--store-dir", str(target), "--quiet"]) == 0
+        capsys.readouterr()
+        assert (target / "figure3-sweep.jsonl").exists()
+        assert (target / "figure3-validation.jsonl").exists()
+        assert (target / "figure3-study.json").exists()
+        assert not (tmp_path / "spec-sweep.jsonl").exists()
+        assert not (tmp_path / "spec-campaign.jsonl").exists()
+
+    def test_run_wrong_typed_spec_value_is_clean_error(self, capsys, tmp_path):
+        import json
+
+        study = tmp_path / "study.json"
+        data = _tiny_study_dict(tmp_path / "s.jsonl", tmp_path / "c.jsonl")
+        data["execution"]["workers"] = "four"
+        study.write_text(json.dumps(data))
+        assert main(["run", str(study), "--quiet"]) == 2
+        assert "invalid study spec" in capsys.readouterr().err
+
+    def test_run_missing_spec_is_clean_error(self, capsys, tmp_path):
+        assert main(["run", str(tmp_path / "nope.json"), "--quiet"]) == 2
+        assert "cannot read" in capsys.readouterr().err
+
+    def test_run_rejects_unknown_spec_fields(self, capsys, tmp_path):
+        import json
+
+        study = tmp_path / "study.json"
+        data = _tiny_study_dict(tmp_path / "s.jsonl", tmp_path / "c.jsonl")
+        data["workers"] = 4  # belongs under "execution"
+        study.write_text(json.dumps(data))
+        assert main(["run", str(study), "--quiet"]) == 2
+        assert "unknown field" in capsys.readouterr().err
+
+    def test_run_rejects_misspelled_algorithm_param(self, capsys, tmp_path):
+        import json
+
+        study = tmp_path / "study.json"
+        data = _tiny_study_dict(tmp_path / "s.jsonl", tmp_path / "c.jsonl")
+        data["algorithms"][2]["params"] = {"iteration": 60}
+        study.write_text(json.dumps(data))
+        assert main(["run", str(study), "--quiet"]) == 2
+        err = capsys.readouterr().err
+        assert "iteration" in err and "accepted" in err
+
+    def test_run_resume_without_stores_is_clean_error(self, capsys, tmp_path):
+        import json
+
+        study = tmp_path / "study.json"
+        data = _tiny_study_dict(tmp_path / "s.jsonl", tmp_path / "c.jsonl")
+        del data["execution"]
+        study.write_text(json.dumps(data))
+        assert main(["run", str(study), "--resume", "--quiet"]) == 2
+        assert "requires a checkpoint location" in capsys.readouterr().err
+
+
+class TestArgToSpecParity:
+    def test_figure_args_build_the_study_json_spec(self, tmp_path):
+        """`repro-cloud figure` and `run study.json` meet at the same StudySpec."""
+        import json
+
+        from repro.experiments.figures import figure_spec
+        from repro.experiments.spec import StudySpec
+
+        sweep_store = tmp_path / "sweep.jsonl"
+        from_args = figure_spec(
+            "figure3",
+            num_configurations=1,
+            target_throughputs=(60,),
+            iterations=60,
+            sweep_store=str(sweep_store),
+            capture_allocations=True,
+        )
+        data = _tiny_study_dict(sweep_store, tmp_path / "unused.jsonl")
+        del data["validation"]
+        data["execution"] = {"sweep_store": str(sweep_store),
+                             "capture_allocations": True}
+        from_json = StudySpec.from_dict(data)
+        assert from_args == from_json
+        assert from_args.fingerprint() == from_json.fingerprint()
+
+    def test_validate_args_build_the_study_json_spec(self, tmp_path):
+        import json
+
+        from repro.cli import validation_study_spec
+        from repro.experiments import SweepResult
+        from repro.experiments.spec import StudySpec
+
+        sweep_file = tmp_path / "sweep.jsonl"
+        assert main(_tiny_figure_args(sweep_file)) == 0
+        sweep = SweepResult.load(sweep_file)
+
+        from_args = validation_study_spec(
+            sweep.plan,
+            sweep_store=sweep_file,
+            horizons=(8.0,),
+            rate_multipliers=(1.0, 1.05),
+            validation_store=tmp_path / "campaign.jsonl",
+        )
+        data = _tiny_study_dict(sweep_file, tmp_path / "campaign.jsonl")
+        data["name"] = "validate-small"
+        data["description"] = ""
+        data["execution"] = {"sweep_store": str(sweep_file),
+                             "validation_store": str(tmp_path / "campaign.jsonl"),
+                             "resume": True}
+        from_json = StudySpec.from_dict(data)
+        assert from_args == from_json
+        assert from_args.fingerprint() == from_json.fingerprint()
+
+    def test_figure8_spec_carries_the_paper_time_limit(self):
+        from repro.experiments.figures import figure_spec
+
+        spec = figure_spec("figure8")
+        ilp = next(a for a in spec.algorithms if a.name == "ILP")
+        assert ilp.params == {"time_limit": 100.0}
+        assert spec.workload.num_configurations == 10
+        assert spec.series == "mean_time"
+
+    def test_malformed_scenario_tokens_are_clean_errors(self, capsys, tmp_path):
+        """_parse_type_id error paths: every malformed --slowdown/--fail token
+        exits 2 with a ConfigurationError message, never a traceback."""
+        sweep_file = tmp_path / "sweep.jsonl"
+        assert main(_tiny_figure_args(sweep_file)) == 0
+        capsys.readouterr()
+        cases = [
+            (["--slowdown", "=0.5"], "TYPE=FACTOR"),
+            (["--slowdown", "2"], "TYPE=FACTOR"),
+            (["--slowdown", "2=", ], "not a number"),
+            (["--fail", "1:2:3:4:5"], "TYPE:START:DURATION"),
+            (["--fail", "gpu:zero:3"], "non-numeric"),
+            (["--fail", "1:0:2:many"], "non-numeric"),
+        ]
+        for extra, message in cases:
+            code = main(["validate", str(sweep_file), "--quiet"] + extra)
+            assert code == 2, extra
+            assert message in capsys.readouterr().err, extra
