@@ -139,6 +139,7 @@ def run(smoke: bool, workers: int) -> dict:
         "worst_throughput_ratio_by_scenario": ratios,
         "sweep_seconds": sweep_seconds,
         "serial_seconds": serial_seconds,
+        "per_simulation_seconds": serial_seconds / plan.num_simulations,
         "parallel_seconds": parallel_seconds,
         "speedup": serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf"),
         "parallel_identical": parallel_identical,
@@ -153,9 +154,17 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--out", type=Path, default=Path(__file__).parent / "BENCH_scenarios.json"
     )
+    parser.add_argument(
+        "--check-budget", action="store_true",
+        help="perf regression guard: instead of overwriting --out, read it as the "
+             "committed baseline and fail if this run's per-simulation wall-clock "
+             "exceeds twice the recorded per_simulation_seconds (smoke horizons are "
+             "shorter than the baseline's, so headroom is real, not accounting slack)",
+    )
     args = parser.parse_args(argv)
     report = run(smoke=args.smoke, workers=args.workers)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    if not args.check_budget:
+        args.out.write_text(json.dumps(report, indent=2) + "\n")
 
     print(f"scenarios ({report['records']} records over "
           f"{report['campaign']['simulations']} simulations, "
@@ -167,12 +176,28 @@ def main(argv: list[str] | None = None) -> int:
         print(f"worst achieved/target ratio under {name}: {ratio:.3f}")
     print(f"parallel byte-identical to serial: {report['parallel_identical']}")
     print(f"resume byte-identical to serial:   {report['resume_identical']}")
-    print(f"report written to {args.out}")
 
     if not (report["parallel_identical"] and report["resume_identical"]):
         print("FAIL: parallel/resumed scenario campaign diverges from the serial run",
               file=sys.stderr)
         return 1
+    if args.check_budget:
+        try:
+            baseline = json.loads(args.out.read_text())
+            budget = baseline["per_simulation_seconds"]
+        except (OSError, json.JSONDecodeError, KeyError) as exc:
+            print(f"FAIL: cannot read budget from {args.out}: {exc}", file=sys.stderr)
+            return 1
+        measured = report["per_simulation_seconds"]
+        print(f"budget check: {measured * 1e3:.2f} ms/simulation against the "
+              f"committed {budget * 1e3:.2f} ms/simulation (fail above 2.00x)")
+        if measured > 2.0 * budget:
+            print(f"FAIL: per-simulation wall-clock regressed "
+                  f"{measured / budget:.2f}x past the committed budget in {args.out}",
+                  file=sys.stderr)
+            return 1
+    else:
+        print(f"report written to {args.out}")
     return 0
 
 

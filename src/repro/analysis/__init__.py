@@ -6,11 +6,14 @@ remark) and the dual budget-constrained throughput maximisation.
 """
 
 from .budget import BudgetResult, max_throughput_for_budget
+from .fluid import FluidCellEstimate, fluid_estimate
 from .tradeoff import CostCurve, cost_curve, cost_per_unit, efficient_throughputs, marginal_costs
 
 __all__ = [
     "BudgetResult",
     "max_throughput_for_budget",
+    "FluidCellEstimate",
+    "fluid_estimate",
     "CostCurve",
     "cost_curve",
     "cost_per_unit",

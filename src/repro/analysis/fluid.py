@@ -1,0 +1,214 @@
+"""Closed-form fluid approximation of a validation cell.
+
+A validation campaign replays every (allocation, horizon, rate multiplier,
+scenario) grid cell through the discrete-event simulator.  Most cells are
+boring: a well-dimensioned allocation under a mild scenario sustains its
+target with every machine type far from saturation, and the DES spends
+hundreds of thousands of events confirming a verdict a back-of-the-envelope
+bound already gives.  This module is that envelope, made precise enough to
+act on:
+
+* **per-type utilisation** — the fluid demand each processor type sees
+  (arrival rate × per-recipe task work, split over recipes exactly like the
+  simulator's stride router) divided by its effective capacity (rented
+  machines × service rate × the scenario's slowdown factor);
+* **failure capacity loss** — a scenario failure window removes ``count``
+  machines of a type for ``duration`` time units, i.e. an average capacity
+  loss of ``count · r · duration / horizon`` plus a *transient* utilisation
+  spike while the window is open; both are bounded here;
+* **arrival peakedness** — bursty arrival processes concentrate the same
+  mean rate into on-phases; :meth:`ArrivalProcess.peak_rate_factor` scales
+  the utilisation bound accordingly;
+* **throughput-ratio bound** — ``min(1, 1 / max utilisation)``: a fluid
+  system at utilisation ``u > 1`` completes work at most at rate ``1/u``
+  of its input.
+
+The screen tier of :mod:`repro.experiments.validation` uses these estimates
+to decide which cells *must* run the exact DES (anything whose peak
+utilisation reaches the escalation threshold, or whose structure the fluid
+model cannot bound) and which can be recorded analytically.  The estimate is
+deliberately conservative in the flagging direction: it may escalate a cell
+the DES would have passed, but a cell it screens out is one the fluid model
+puts well inside capacity on every axis it knows about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Mapping
+
+from ..core.exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.allocation import Allocation
+    from ..core.problem import MinCostProblem
+    from ..simulation.scenarios import ScenarioSpec
+
+__all__ = ["FluidCellEstimate", "fluid_estimate"]
+
+
+@dataclass(frozen=True)
+class FluidCellEstimate:
+    """The fluid model's verdict on one validation cell.
+
+    ``utilization`` holds ``(type, steady-state busy fraction)`` pairs in the
+    same canonical order validation records use.  ``peak_utilization`` is the
+    worst utilisation any type reaches on any axis the model bounds — steady
+    state scaled by the arrival process's peak-rate factor, and the transient
+    spike inside each failure window — and is what the screen threshold is
+    compared against.  ``throughput_ratio`` is the fluid completion/arrival
+    bound (``1.0`` when every type has slack), ``latency`` the weighted
+    critical-path service time across recipes (a no-queueing lower bound that
+    turns into an honest estimate exactly in the screened-out regime, where
+    queues stay short).
+    """
+
+    arrival_rate: float
+    utilization: tuple[tuple[Any, float], ...]
+    bottleneck_utilization: float
+    peak_utilization: float
+    throughput_ratio: float
+    latency: float
+
+    def flagged(self, threshold: float) -> bool:
+        """True when the cell must escalate to the exact DES."""
+        return not (self.peak_utilization < threshold)
+
+
+def _critical_path_time(recipe, rates: Mapping[Any, float]) -> float:
+    """Longest start-to-sink service time of one recipe (no queueing).
+
+    Node weight is ``work / effective rate`` of the task's type; a type with
+    zero effective capacity makes the path (and the latency bound) infinite.
+    """
+    finish: dict[int, float] = {}
+    for task_id in recipe.topological_order():
+        task = recipe.task(task_id)
+        rate = rates.get(task.task_type, 0.0)
+        service = task.work / rate if rate > 0 else float("inf")
+        earliest = max(
+            (finish[pred] for pred in recipe.predecessors(task_id)), default=0.0
+        )
+        finish[task_id] = earliest + service
+    return max(finish.values(), default=0.0)
+
+
+def fluid_estimate(
+    problem: "MinCostProblem",
+    allocation: "Allocation",
+    *,
+    arrival_rate: float,
+    horizon: float,
+    scenario: "ScenarioSpec",
+) -> FluidCellEstimate:
+    """Bound one validation cell analytically.
+
+    Mirrors the simulator's model exactly where a fluid view can: arrivals
+    are split over recipes proportionally to the allocation's throughput
+    split, each recipe task contributes its ``work`` to its type's demand,
+    and capacities carry the scenario's slowdown factors.  Failure windows
+    enter twice — as an average capacity loss over ``horizon`` and as a
+    transient utilisation spike while open.  Types the allocation does not
+    rent but the active recipes need yield infinite utilisation (the DES
+    would raise; the screen escalates instead, so the error surfaces with
+    the exact engine's message).
+    """
+    if arrival_rate <= 0:
+        raise SimulationError(f"arrival rate must be positive, got {arrival_rate}")
+    if horizon <= 0:
+        raise SimulationError(f"horizon must be positive, got {horizon}")
+
+    split_total = allocation.split.total
+    if not split_total > 0:
+        raise SimulationError("cannot estimate an allocation with zero total throughput")
+    recipes = problem.application.recipes()
+    slowdowns = scenario.slowdown_map()
+
+    # fluid demand per type: work/time the stream feeds each processor type
+    demand: dict[Any, float] = {}
+    for recipe, weight in zip(recipes, allocation.split.values):
+        if weight <= 0:
+            continue
+        rate_j = arrival_rate * (weight / split_total)
+        for task in recipe.tasks():
+            demand[task.task_type] = demand.get(task.task_type, 0.0) + rate_j * task.work
+
+    # effective capacity per type (scenario slowdowns applied), plus the
+    # per-machine rate needed for the failure-window arithmetic below
+    capacity: dict[Any, float] = {}
+    unit_rate: dict[Any, float] = {}
+    for type_id in set(demand) | set(allocation.machines):
+        machines = allocation.machines_of(type_id)
+        rate = problem.platform.throughput_of(type_id) * slowdowns.get(type_id, 1.0)
+        unit_rate[type_id] = rate
+        capacity[type_id] = machines * rate
+
+    # average capacity loss from failure windows (windows past the horizon
+    # are clipped; windows naming unrented types are skipped, like the DES)
+    lost: dict[Any, float] = {}
+    for window in scenario.failures:
+        machines = allocation.machines_of(window.type_id)
+        if machines <= 0:
+            continue
+        overlap = min(window.end, horizon) - min(window.start, horizon)
+        if overlap <= 0:
+            continue
+        down = min(window.count, machines)
+        lost[window.type_id] = (
+            lost.get(window.type_id, 0.0)
+            + down * unit_rate[window.type_id] * overlap / horizon
+        )
+
+    peak_factor = scenario.arrival.peak_rate_factor()
+    utilization: dict[Any, float] = {}
+    peak = 0.0
+    for type_id, load in sorted(demand.items(), key=lambda kv: str(kv[0])):
+        cap = capacity.get(type_id, 0.0)
+        effective = cap - lost.get(type_id, 0.0)
+        steady = load / effective if effective > 0 else float("inf")
+        utilization[type_id] = steady
+        worst = steady * peak_factor
+        # transient spike: while a window is open the type runs on fewer
+        # machines — the open-window utilisation, not its horizon average,
+        # is what decides whether queues build up during the outage
+        for window in scenario.failures:
+            if window.type_id != type_id or window.start >= horizon:
+                continue
+            machines = allocation.machines_of(type_id)
+            if machines <= 0:
+                continue
+            remaining = (machines - min(window.count, machines)) * unit_rate[type_id]
+            spike = load * peak_factor / remaining if remaining > 0 else float("inf")
+            if spike > worst:
+                worst = spike
+        if worst > peak:
+            peak = worst
+
+    bottleneck = max(utilization.values(), default=0.0)
+    ratio = 1.0 if bottleneck <= 1.0 else 1.0 / bottleneck
+
+    # latency: critical-path service time, mixed over recipes by the split
+    rates_per_task = {
+        type_id: (
+            unit_rate[type_id] if capacity.get(type_id, 0.0) > 0 else 0.0
+        )
+        for type_id in capacity
+    }
+    latency = 0.0
+    for recipe, weight in zip(recipes, allocation.split.values):
+        if weight <= 0:
+            continue
+        latency += (weight / split_total) * _critical_path_time(recipe, rates_per_task)
+
+    try:
+        ordered = tuple(sorted(utilization.items()))
+    except TypeError:
+        ordered = tuple(sorted(utilization.items(), key=lambda kv: str(kv[0])))
+    return FluidCellEstimate(
+        arrival_rate=float(arrival_rate),
+        utilization=ordered,
+        bottleneck_utilization=bottleneck,
+        peak_utilization=peak,
+        throughput_ratio=ratio,
+        latency=latency,
+    )

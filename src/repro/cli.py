@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from dataclasses import replace
 from pathlib import Path
 from typing import Sequence
@@ -76,6 +77,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--resume", action="store_true",
                        help="resume both pipeline stages from their checkpoints "
                             "(requires checkpoint stores in the spec or --store-dir)")
+    p_run.add_argument("--profile", type=Path, default=None, metavar="STATS",
+                       help="profile the pipeline with cProfile and dump the stats "
+                            "to this file (inspect with 'python -m pstats')")
     p_run.add_argument("--quiet", action="store_true", help="suppress progress messages")
 
     p_table = sub.add_parser("table3", help="reproduce Table III (illustrating example)")
@@ -136,6 +140,15 @@ def build_parser() -> argparse.ArgumentParser:
                        help="transient failure windows applied to every scenario: "
                             "COUNT seeded instances of TYPE take no new work during "
                             "[START, START+DURATION) (COUNT defaults to 1)")
+    p_val.add_argument("--screen", choices=("none", "fluid"), default="none",
+                       help="fast-screen tier: 'fluid' bounds every grid cell with the "
+                            "closed-form fluid model first and only runs the exact DES "
+                            "for cells whose peak utilisation reaches the escalation "
+                            "threshold; screened-out cells are recorded as explicit "
+                            "tier='fluid' records (default: exact DES everywhere)")
+    p_val.add_argument("--screen-threshold", type=float, default=0.85,
+                       help="fluid peak utilisation at which a cell escalates to the "
+                            "exact DES (default: 0.85)")
     p_val.add_argument("--workers", type=int, default=None,
                        help="worker processes for the campaign (default: run serially)")
     p_val.add_argument("--out", type=Path, default=None,
@@ -143,6 +156,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "so an interrupted campaign can be resumed")
     p_val.add_argument("--resume", action="store_true",
                        help="resume from the --out checkpoint, skipping completed work units")
+    p_val.add_argument("--profile", type=Path, default=None, metavar="STATS",
+                       help="profile the campaign with cProfile and dump the stats "
+                            "to this file (inspect with 'python -m pstats')")
     p_val.add_argument("--quiet", action="store_true", help="suppress progress messages")
 
     p_solve = sub.add_parser("solve", help="solve one MinCOST instance and print the allocation")
@@ -166,6 +182,33 @@ def _cmd_table3(args: argparse.Namespace) -> int:
     print("Exact-cost comparison with the paper's Table III:")
     print(table3_vs_paper(table))
     return 0
+
+
+@contextmanager
+def _maybe_profile(stats_path: Path | None):
+    """Run the enclosed block under cProfile when ``--profile`` was given.
+
+    Dumps the raw stats to ``stats_path`` (loadable with ``python -m pstats``
+    or ``snakeviz``) and prints the top cumulative-time entries to stderr so a
+    quick look needs no second command.  With parallel workers only the
+    coordinating process is profiled; run serially to profile the hot path.
+    """
+    if stats_path is None:
+        yield
+        return
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        yield
+    finally:
+        profiler.disable()
+        profiler.dump_stats(stats_path)
+        stats = pstats.Stats(profiler, stream=sys.stderr)
+        print(f"profile stats -> {stats_path}", file=sys.stderr)
+        stats.sort_stats("cumulative").print_stats(15)
 
 
 def _check_parallel_run_args(args: argparse.Namespace) -> str | None:
@@ -209,7 +252,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         if overrides:
             spec = replace(spec, execution=replace(spec.execution, **overrides))
         study = Study.from_spec(spec)
-        result = study.run(progress=progress)
+        with _maybe_profile(args.profile):
+            result = study.run(progress=progress)
     except (ConfigurationError, SimulationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -347,6 +391,8 @@ def validation_study_spec(
     max_datasets: int | None = None,
     algorithms: Sequence[str] | None = None,
     scenarios=None,
+    screen: str = "none",
+    screen_threshold: float = 0.85,
     workers: int | None = None,
     validation_store=None,
 ):
@@ -383,6 +429,8 @@ def validation_study_spec(
             max_datasets=max_datasets,
             algorithms=None if algorithms is None else tuple(algorithms),
             scenarios=scenarios,
+            screen=screen,
+            screen_threshold=screen_threshold,
         ),
     )
 
@@ -426,16 +474,19 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             max_datasets=args.max_datasets,
             algorithms=args.algorithms,
             scenarios=_build_scenarios(args),
+            screen=args.screen,
+            screen_threshold=args.screen_threshold,
             workers=args.workers,
             validation_store=args.out,
         )
         # the sweep is passed in pre-loaded (partial checkpoints included), so
         # the sweep stage is skipped and only the campaign runs
-        result = Study.from_spec(spec).run(
-            sweep=sweep,
-            resume=args.resume,
-            progress=progress,
-        )
+        with _maybe_profile(args.profile):
+            result = Study.from_spec(spec).run(
+                sweep=sweep,
+                resume=args.resume,
+                progress=progress,
+            )
     except (ConfigurationError, SimulationError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

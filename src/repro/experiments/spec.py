@@ -269,7 +269,11 @@ class ValidationSpec:
     The fields mirror :func:`~repro.experiments.validation.plan_from_sweep`
     one for one; ``algorithms`` optionally restricts the campaign to a subset
     of the study's algorithms and ``scenarios`` adds the injection axis
-    (``None`` = the paper's single baseline scenario).
+    (``None`` = the paper's single baseline scenario).  ``screen`` selects
+    the fast-screen tier (``"none"`` = exact DES everywhere, ``"fluid"`` =
+    analytic pre-screen escalating only cells whose fluid peak utilisation
+    reaches ``screen_threshold``); both serialise only when non-default, so
+    existing study fingerprints are unchanged.
     """
 
     horizons: tuple[float, ...] = (50.0,)
@@ -278,6 +282,8 @@ class ValidationSpec:
     max_datasets: int | None = None
     algorithms: tuple[str, ...] | None = None
     scenarios: tuple[ScenarioSpec, ...] | None = None
+    screen: str = "none"
+    screen_threshold: float = 0.85
 
     _FIELDS = (
         "horizons",
@@ -286,6 +292,8 @@ class ValidationSpec:
         "max_datasets",
         "algorithms",
         "scenarios",
+        "screen",
+        "screen_threshold",
     )
 
     def __post_init__(self) -> None:
@@ -326,6 +334,16 @@ class ValidationSpec:
             if len(set(names)) != len(names):
                 raise ConfigurationError(f"scenario names must be unique, got {names}")
             object.__setattr__(self, "scenarios", scenarios)
+        object.__setattr__(self, "screen", str(self.screen))
+        object.__setattr__(self, "screen_threshold", float(self.screen_threshold))
+        if self.screen not in ("none", "fluid"):
+            raise ConfigurationError(
+                f"unknown screen tier {self.screen!r} (choose 'none' or 'fluid')"
+            )
+        if not (0 < self.screen_threshold):
+            raise ConfigurationError(
+                f"screen_threshold must be positive, got {self.screen_threshold}"
+            )
 
     def plan(self, sweep, *, name: str | None = None):
         """The :class:`~repro.experiments.validation.ValidationPlan` of ``sweep``."""
@@ -339,11 +357,13 @@ class ValidationSpec:
             max_datasets=self.max_datasets,
             algorithms=self.algorithms,
             scenarios=self.scenarios,
+            screen=self.screen,
+            screen_threshold=self.screen_threshold,
             name=name,
         )
 
     def as_dict(self) -> dict[str, Any]:
-        return {
+        data = {
             "horizons": list(self.horizons),
             "rate_multipliers": list(self.rate_multipliers),
             "warmup_fraction": self.warmup_fraction,
@@ -353,6 +373,11 @@ class ValidationSpec:
             if self.scenarios is None
             else [scenario.as_dict() for scenario in self.scenarios],
         }
+        # omitted when default so pre-screen study fingerprints are unchanged
+        if self.screen != "none":
+            data["screen"] = self.screen
+            data["screen_threshold"] = self.screen_threshold
+        return data
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ValidationSpec":
@@ -368,6 +393,8 @@ class ValidationSpec:
             scenarios=None
             if scenarios is None
             else tuple(ScenarioSpec.from_dict(entry) for entry in scenarios),
+            screen=str(data.get("screen", "none")),
+            screen_threshold=float(data.get("screen_threshold", 0.85)),
         )
 
 

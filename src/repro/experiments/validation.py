@@ -50,6 +50,7 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from ..analysis.fluid import fluid_estimate
 from ..core.exceptions import ConfigurationError
 from ..generators.workload import generate_configuration_at
 from ..simulation.engine import StreamSimulator
@@ -166,6 +167,14 @@ class ValidationPlan:
     per-type slowdowns, seeded failure windows); the default single baseline
     scenario reproduces the pre-scenario behaviour — and serialisation —
     exactly.
+
+    ``screen`` selects the campaign's fast-screen tier: ``"none"`` (the
+    default) runs the exact DES for every grid cell; ``"fluid"`` first bounds
+    each cell with the closed-form model of :mod:`repro.analysis.fluid` and
+    only escalates to the DES the cells whose fluid peak utilisation reaches
+    ``screen_threshold`` (or that the fluid model cannot bound).  Screened-out
+    cells still produce one record each — marked ``tier="fluid"`` — so a
+    screened campaign covers exactly the same grid, never silently less.
     """
 
     name: str
@@ -176,6 +185,8 @@ class ValidationPlan:
     warmup_fraction: float = 0.1
     max_datasets: int | None = None
     scenarios: tuple[ScenarioSpec, ...] = _DEFAULT_SCENARIOS
+    screen: str = "none"
+    screen_threshold: float = 0.85
 
     def __post_init__(self) -> None:
         if not self.sources:
@@ -203,6 +214,14 @@ class ValidationPlan:
                 f"scenario names must be unique, got {names} "
                 f"(the name keys seeds and series)"
             )
+        if self.screen not in ("none", "fluid"):
+            raise ConfigurationError(
+                f"unknown screen tier {self.screen!r} (choose 'none' or 'fluid')"
+            )
+        if not (0 < self.screen_threshold):
+            raise ConfigurationError(
+                f"screen_threshold must be positive, got {self.screen_threshold}"
+            )
 
     @property
     def num_simulations(self) -> int:
@@ -223,6 +242,8 @@ def plan_from_sweep(
     max_datasets: int | None = None,
     algorithms: Sequence[str] | None = None,
     scenarios: Sequence[ScenarioSpec] | None = None,
+    screen: str = "none",
+    screen_threshold: float = 0.85,
     name: str | None = None,
 ) -> ValidationPlan:
     """Build the campaign that validates every allocation of ``sweep``.
@@ -260,6 +281,8 @@ def plan_from_sweep(
         scenarios=(
             _DEFAULT_SCENARIOS if scenarios is None else tuple(scenarios)
         ),
+        screen=screen,
+        screen_threshold=float(screen_threshold),
     )
 
 
@@ -268,7 +291,10 @@ def validation_plan_to_dict(plan: ValidationPlan) -> dict[str, Any]:
 
     The ``scenarios`` field is omitted for the default single-baseline axis,
     so scenario-free plans fingerprint identically to the pre-scenario format
-    and their old checkpoints keep resuming.
+    and their old checkpoints keep resuming.  The screen fields are likewise
+    omitted for ``screen="none"`` — and included (threshold and all) for a
+    screened plan, because which cells ran the exact DES *is* part of what
+    the campaign computed and must participate in the fingerprint.
     """
     data: dict[str, Any] = {
         "name": plan.name,
@@ -281,6 +307,9 @@ def validation_plan_to_dict(plan: ValidationPlan) -> dict[str, Any]:
     }
     if plan.scenarios != _DEFAULT_SCENARIOS:
         data["scenarios"] = [scenario.as_dict() for scenario in plan.scenarios]
+    if plan.screen != "none":
+        data["screen"] = plan.screen
+        data["screen_threshold"] = plan.screen_threshold
     return data
 
 
@@ -302,6 +331,8 @@ def validation_plan_from_dict(data: Mapping[str, Any]) -> ValidationPlan:
             if "scenarios" in data
             else _DEFAULT_SCENARIOS
         ),
+        screen=str(data.get("screen", "none")),
+        screen_threshold=float(data.get("screen_threshold", 0.85)),
     )
 
 
@@ -331,6 +362,14 @@ class ValidationRecord:
     ``scenario`` names the plan scenario the simulation ran under; records
     from the default baseline scenario serialise without the field, so
     pre-scenario checkpoint lines round-trip unchanged.
+
+    ``tier`` records which engine produced the measurement: ``"des"`` (the
+    exact discrete-event simulation, the default — omitted from the dict
+    form so pre-screen checkpoint lines round-trip unchanged) or ``"fluid"``
+    (the closed-form screen of :mod:`repro.analysis.fluid`: utilisations and
+    the throughput ratio are analytic bounds, latencies are the no-queueing
+    critical-path estimate, and the reorder/backlog counters are zero by
+    construction — the fluid system never queues in the screened-out regime).
     """
 
     configuration: int
@@ -350,6 +389,7 @@ class ValidationRecord:
     backlog: int
     peak_in_flight: int
     scenario: str = DEFAULT_SCENARIO.name
+    tier: str = "des"
 
     def sustains_target(self, tolerance: float = 0.05) -> bool:
         """True when the measured throughput is within ``tolerance`` of the rate."""
@@ -388,6 +428,8 @@ class ValidationRecord:
         }
         if self.scenario != DEFAULT_SCENARIO.name:
             data["scenario"] = self.scenario
+        if self.tier != "des":
+            data["tier"] = self.tier
         return data
 
     @classmethod
@@ -410,6 +452,7 @@ class ValidationRecord:
             backlog=int(data["backlog"]),
             peak_in_flight=int(data["peak_in_flight"]),
             scenario=str(data.get("scenario", DEFAULT_SCENARIO.name)),
+            tier=str(data.get("tier", "des")),
         )
 
 
@@ -481,10 +524,25 @@ class ValidationUnit:
                 configurations[source.configuration] = configuration
             problem = configuration.problem(source.rho)
             allocation = _resolve_allocation(plan.sweep_plan, source, problem)
+            arrival_rate = source.rho * self.rate_multiplier
+            if plan.screen == "fluid":
+                estimate = fluid_estimate(
+                    problem,
+                    allocation,
+                    arrival_rate=arrival_rate,
+                    horizon=self.horizon,
+                    scenario=scenario,
+                )
+                if not estimate.flagged(plan.screen_threshold):
+                    records.append(
+                        _fluid_record(source, self.horizon, self.rate_multiplier,
+                                      scenario, estimate)
+                    )
+                    continue
             simulator = StreamSimulator(
                 problem,
                 allocation,
-                arrival_rate=source.rho * self.rate_multiplier,
+                arrival_rate=arrival_rate,
                 warmup_fraction=plan.warmup_fraction,
                 scenario=scenario,
                 seed=scenario_seed(plan.sweep_plan.base_seed, source, scenario),
@@ -512,6 +570,44 @@ class ValidationUnit:
                 )
             )
         return records
+
+
+def _fluid_record(
+    source: AllocationSource,
+    horizon: float,
+    rate_multiplier: float,
+    scenario: ScenarioSpec,
+    estimate,
+) -> ValidationRecord:
+    """The screen-tier record of a cell the fluid model cleared.
+
+    Deterministic in the plan alone (the fluid model draws no randomness),
+    so screened campaigns keep the serial/parallel/resume byte-identity
+    guarantee.  Arrival and completion counts are the fluid expectation
+    ``rate × horizon``; the queueing-born counters (reorder peak, backlog,
+    peak in flight beyond the pipeline depth) are zero by construction.
+    """
+    expected = int(estimate.arrival_rate * horizon)
+    return ValidationRecord(
+        configuration=source.configuration,
+        rho=source.rho,
+        algorithm=source.algorithm,
+        horizon=horizon,
+        rate_multiplier=rate_multiplier,
+        arrival_rate=estimate.arrival_rate,
+        arrivals=expected,
+        completed=expected,
+        achieved_throughput=estimate.throughput_ratio * estimate.arrival_rate,
+        throughput_ratio=estimate.throughput_ratio,
+        mean_latency=estimate.latency,
+        max_latency=estimate.latency,
+        utilization=tuple((type_id, value) for type_id, value in estimate.utilization),
+        reorder_buffer_peak=0,
+        backlog=0,
+        peak_in_flight=0,
+        scenario=scenario.name,
+        tier="fluid",
+    )
 
 
 def _sorted_utilization(utilization: Mapping) -> tuple:

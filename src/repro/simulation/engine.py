@@ -18,6 +18,19 @@ the execution of the data-set stream on the rented instances:
   output throughput, latencies, per-type utilisation and the peak reorder
   buffer occupancy (see :class:`~repro.simulation.metrics.SimulationReport`).
 
+Two engine implementations share this model.  ``engine="fast"`` (the default)
+is an inlined hot loop: raw ``(time, seq, kind, arg)`` heap tuples, per-recipe
+precomputed task tables (work, successor list, dispatch heap of the task's
+type), data sets as plain lists, a pure-Python stride router, and per-type
+heap-indexed least-loaded selection.  ``engine="reference"`` is the original
+object-per-concept loop (``EventQueue`` /
+:class:`~repro.simulation.stream.DataSetInstance` /
+:class:`~repro.simulation.stream.RecipeRouter` / the linear least-loaded
+scan).  Both push events in the exact same order, so they produce identical
+``(time, sequence)`` event streams and byte-identical reports — the test suite
+asserts this across randomized scenarios, which is what lets validation
+records stay byte-identical to pre-optimization checkpoints.
+
 This substrate is not part of the paper's evaluation (which only compares
 allocation costs); it is used to *validate* that the allocations produced by
 the solvers and heuristics actually sustain the target throughput — including
@@ -27,8 +40,11 @@ cost model makes no promise about.
 
 from __future__ import annotations
 
+from heapq import heappop, heappush, heapreplace
+
 from ..core.allocation import Allocation
 from ..core.exceptions import SimulationError
+from ..core.graph import RecipeGraph
 from ..core.problem import MinCostProblem
 from ..utils.rng import spawn_generators
 from .events import EventKind, EventQueue
@@ -38,6 +54,11 @@ from .scenarios import DEFAULT_SCENARIO, ScenarioSpec
 from .stream import DataSetInstance, RecipeRouter, ReorderBuffer
 
 __all__ = ["StreamSimulator"]
+
+# raw event-kind integers for the fast loop (EventKind members, as plain ints)
+_ARRIVAL = int(EventKind.ARRIVAL)
+_TASK_COMPLETE = int(EventKind.TASK_COMPLETE)
+_RESUME = int(EventKind.RESUME)
 
 
 class StreamSimulator:
@@ -64,6 +85,11 @@ class StreamSimulator:
         Seed for the scenario's stochastic draws (arrival gaps, which
         instances fail).  The default scenario consumes no randomness, so the
         seed only matters for stochastic scenarios.
+    engine:
+        ``"fast"`` (default) runs the inlined hot loop; ``"reference"`` runs
+        the original loop.  Both produce byte-identical reports — the
+        reference engine exists as the independent implementation the
+        equivalence tests compare against.
     """
 
     def __init__(
@@ -75,11 +101,14 @@ class StreamSimulator:
         warmup_fraction: float = 0.1,
         scenario: ScenarioSpec | None = None,
         seed: int = 0,
+        engine: str = "fast",
     ) -> None:
         if not allocation.split.total > 0:
             raise SimulationError("cannot simulate an allocation with zero total throughput")
         if not (0 <= warmup_fraction < 1):
             raise SimulationError(f"warmup_fraction must be in [0, 1), got {warmup_fraction}")
+        if engine not in ("fast", "reference"):
+            raise SimulationError(f"unknown engine {engine!r} (choose 'fast' or 'reference')")
         self.problem = problem
         self.allocation = allocation
         self.arrival_rate = float(arrival_rate if arrival_rate is not None else problem.target_throughput)
@@ -88,28 +117,126 @@ class StreamSimulator:
         self.warmup_fraction = float(warmup_fraction)
         self.scenario = scenario if scenario is not None else DEFAULT_SCENARIO
         self.seed = int(seed)
+        self.engine = engine
 
     # ------------------------------------------------------------------ #
     def run(self, horizon: float = 50.0, *, max_datasets: int | None = None) -> SimulationReport:
         """Run the simulation until ``horizon`` time units (or ``max_datasets`` arrivals)."""
         if horizon <= 0:
             raise SimulationError(f"horizon must be positive, got {horizon}")
+        if self.engine == "fast":
+            return self._run_fast(horizon, max_datasets)
+        return self._run_reference(horizon, max_datasets)
+
+    # ------------------------------------------------------------------ #
+    # shared setup
+    # ------------------------------------------------------------------ #
+    def _build_pool(self) -> tuple[ProcessorPool, "object"]:
+        """Build the seeded processor pool and the arrival-time stream."""
         arrival_rng, failure_rng = spawn_generators(self.seed, 2)
         pool = ProcessorPool(
             self.problem.platform, self.allocation, slowdowns=self.scenario.slowdown_map()
         )
         pool.apply_failures(self.scenario.failures, failure_rng)
-        router = RecipeRouter(self.allocation.split)
-        reorder = ReorderBuffer()
-        queue = EventQueue()
-        recipes = self.problem.application.recipes()
         arrival_times = self.scenario.arrival.times(self.arrival_rate, arrival_rng)
+        return pool, arrival_times
 
-        # Only in-flight data sets are kept: a completed instance is evicted as
-        # soon as it is released, so the dict's size is the current backlog (a
-        # few data sets for a well-dimensioned allocation) rather than the total
-        # number of arrivals — long-horizon campaign runs depend on this bound.
-        datasets: dict[int, DataSetInstance] = {}
+    def _first_arrival(self, arrival_times) -> float:
+        """Draw and validate the first arrival (the schedule-boundary check).
+
+        Event times are validated here and at every subsequent draw (the
+        monotonicity check in the loop) rather than per event push — see the
+        invariant documented in :mod:`repro.simulation.events`.
+        """
+        first = next(arrival_times)
+        if first < 0:
+            raise SimulationError(
+                f"arrival process {self.scenario.arrival.kind!r} produced a negative "
+                f"first arrival time ({first})"
+            )
+        return first
+
+    # ------------------------------------------------------------------ #
+    # fast engine
+    # ------------------------------------------------------------------ #
+    def _profile(self, recipe: RecipeGraph, pool: ProcessorPool) -> tuple:
+        """Precompute the per-recipe task table the fast loop indexes.
+
+        Returns ``(taskinfo, npred, initial, ntasks)``.  ``taskinfo`` maps a
+        task id to ``(work, selector, successor ids, type id, guard)``:
+        *selector* is the type's dispatch heap (heap-indexed group), the
+        instance tuple (small group, direct least-loaded walk), or ``None``
+        for a type the allocation does not rent — an error only if such a
+        task is actually dispatched, exactly like the reference's selection;
+        *guard* is the end of the type's last failure window (0.0 when never
+        affected), before which dispatch must run the availability-filtered
+        scan.  ``npred`` is the remaining-predecessor template copied per
+        data set.  Both are lists indexed by task id when the ids are dense
+        (the common case), dicts otherwise — the loop subscripts either.
+        Successor/source orders are captured once from the same live graph
+        the reference engine queries per completion, so the dispatch order is
+        bit-for-bit the reference's.
+        """
+        ids = recipe.task_ids()
+        info_by_id = {}
+        npred_by_id = {}
+        for task_id in ids:
+            task = recipe.task(task_id)
+            type_id = task.task_type
+            selector: list | tuple | None = pool._heaps.get(type_id)
+            if selector is None:
+                group = pool._by_type.get(type_id)
+                if group:
+                    selector = tuple(group)
+            info_by_id[task_id] = (
+                task.work,
+                selector,
+                tuple(recipe.successors(task_id)),
+                type_id,
+                pool.guard_until(type_id),
+            )
+            npred_by_id[task_id] = len(recipe.predecessors(task_id))
+        if ids == list(range(len(ids))):
+            taskinfo = [info_by_id[i] for i in ids]
+            npred: list | dict = [npred_by_id[i] for i in ids]
+        else:
+            taskinfo, npred = info_by_id, npred_by_id
+        return taskinfo, npred, tuple(recipe.sources()), recipe.num_tasks
+
+    def _run_fast(self, horizon: float, max_datasets: int | None) -> SimulationReport:
+        """The inlined hot loop.
+
+        Everything per-event is local: raw ``(time, seq, kind, arg)`` tuples
+        on a plain heap, pending tasks as bare ``(dataset_id, task_id, work)``
+        tuples, data sets as ``[taskinfo, arrival, remaining, count]`` lists,
+        the reorder buffer as a set plus a release cursor.  Selection walks
+        the type's instance tuple directly for small groups and uses the
+        pool's lazy heap (with ``heapreplace`` fusing the selected entry's
+        key update) for large ones; availability is a single ``now < guard``
+        float comparison per dispatch, 0.0 for everything a failure window
+        never touches.  ``ProcessorInstance.completed_tasks`` is not
+        maintained here (nothing in a report reads it); every report field is
+        byte-identical to the reference engine's.
+        """
+        pool, arrival_times = self._build_pool()
+        recipes = self.problem.application.recipes()
+        profiles = [self._profile(recipe, pool) for recipe in recipes]
+
+        # pure-Python stride router state (reference: RecipeRouter) — data set
+        # i goes to the active recipe j minimising (assigned_j + 1) / rho_j;
+        # first index wins ties, matching np.argmin's first-minimum semantics
+        weights = [float(v) for v in self.allocation.split.values]
+        if sum(weights) <= 0:
+            raise SimulationError("cannot route a stream with an all-zero throughput split")
+        active = [j for j, w in enumerate(weights) if w > 0]
+        assigned = [0] * len(weights)
+
+        # Only in-flight data sets are kept: a completed data set is evicted
+        # as soon as it is released, so the dict's size is the current backlog
+        # (a few data sets for a well-dimensioned allocation) rather than the
+        # total number of arrivals — long-horizon campaigns depend on this.
+        datasets: dict[int, list] = {}
+        in_flight = 0
         peak_in_flight = 0
         latencies: list[float] = []
         # (arrival time, completion time) of every finished data set: the
@@ -117,17 +244,293 @@ class StreamSimulator:
         completions: list[tuple[float, float]] = []
         arrivals = 0
 
-        first_arrival = next(arrival_times)
+        # inlined reorder buffer: completed-out-of-order data sets wait in
+        # `held` until every earlier one finished (release is in arrival
+        # order, so a cursor suffices); the peak is the reported buffer size
+        held: set[int] = set()
+        held_add = held.add
+        held_discard = held.discard
+        next_release = 0
+        reorder_peak = 0
+
+        # raw (time, seq, kind, arg) event tuples on a local heap; `seq`
+        # increments per push exactly like EventQueue's counter, so the
+        # (time, sequence) stream matches the reference engine's event order
+        events: list = []
+        seq = 0
+        push = heappush
+        pop = heappop
+        replace = heapreplace
+        arrival_next = arrival_times.__next__
+        latencies_append = latencies.append
+        completions_append = completions.append
+        INF = float("inf")
+
+        first_arrival = self._first_arrival(arrival_times)
         if first_arrival <= horizon:
-            queue.push(first_arrival, EventKind.ARRIVAL, dataset_id=0)
+            events.append((first_arrival, 0, _ARRIVAL, 0))
+            seq = 1
+        now = 0.0
+        while events:
+            ev = pop(events)
+            now = ev[0]
+            if now > horizon:
+                break
+            kind = ev[2]
+
+            if kind == 1:  # TASK_COMPLETE — one per task served, the hottest arm
+                inst = ev[3]
+                task = inst.current
+                if task is None:
+                    raise SimulationError(
+                        f"instance {inst.instance_id} has no task in service at t={now}"
+                    )
+                ds_id, finished_id, finished_work = task
+                inst.current = None
+                pw = inst._pending_work - finished_work
+                if not inst.queue:
+                    pw = 0.0
+                inst._pending_work = pw
+                heap = inst._heap
+                if heap is not None:
+                    push(heap, (pw, inst.instance_id, inst))
+
+                ds = datasets[ds_id]
+                taskinfo = ds[0]
+                remaining = ds[2]
+                for succ in taskinfo[finished_id][2]:
+                    left = remaining[succ] - 1
+                    remaining[succ] = left
+                    if left == 0:
+                        # -- dispatch `succ` of data set `ds_id` ---------- #
+                        info = taskinfo[succ]
+                        sel = info[1]
+                        work = info[0]
+                        if now < info[4]:  # type failure window open (rare)
+                            target = pool.select_instance(info[3], now)
+                            target.queue.append((ds_id, succ, work))
+                            tw = target._pending_work + work
+                            target._pending_work = tw
+                            if target._heap is not None:
+                                push(target._heap, (tw, target.instance_id, target))
+                        elif type(sel) is tuple:  # small group: direct walk
+                            best = INF
+                            target = None
+                            for cand in sel:
+                                w = cand._pending_work
+                                if w < best:
+                                    best = w
+                                    target = cand
+                            target.queue.append((ds_id, succ, work))
+                            target._pending_work = best + work
+                        elif sel is None:
+                            raise SimulationError(
+                                f"the allocation rents no machine of type {info[3]!r} "
+                                "but a task of that type was dispatched"
+                            )
+                        else:  # heap-indexed group
+                            while True:
+                                entry = sel[0]
+                                target = entry[2]
+                                if entry[0] == target._pending_work:
+                                    break
+                                pop(sel)
+                            target.queue.append((ds_id, succ, work))
+                            tw = target._pending_work + work
+                            target._pending_work = tw
+                            # the selected entry is the (valid) top: replace
+                            # its key in one sift instead of push + stale pop
+                            replace(sel, (tw, target.instance_id, target))
+                        if target.current is None:
+                            if now < target.guard_until and not target.available_at(now):
+                                wake = target.next_available(now)
+                                if wake > now and target.wake_at != wake:
+                                    target.wake_at = wake
+                                    push(events, (wake, seq, 2, target))
+                                    seq += 1
+                            else:
+                                started = target.queue.popleft()
+                                duration = started[2] / target.throughput
+                                target.current = started
+                                until = now + duration
+                                target.busy_until = until
+                                target.busy_time += duration
+                                push(events, (until, seq, 1, target))
+                                seq += 1
+                pending = ds[3] - 1
+                ds[3] = pending
+                if pending == 0:
+                    arrived = ds[1]
+                    latencies_append(now - arrived)
+                    completions_append((arrived, now))
+                    del datasets[ds_id]
+                    in_flight -= 1
+                    held_add(ds_id)
+                    occupancy = len(held)
+                    if occupancy > reorder_peak:
+                        reorder_peak = occupancy
+                    while next_release in held:
+                        held_discard(next_release)
+                        next_release += 1
+                # the instance is free: start its next queued task, if any
+                if inst.current is None and inst.queue:
+                    if now < inst.guard_until and not inst.available_at(now):
+                        wake = inst.next_available(now)
+                        if wake > now and inst.wake_at != wake:
+                            inst.wake_at = wake
+                            push(events, (wake, seq, 2, inst))
+                            seq += 1
+                    else:
+                        started = inst.queue.popleft()
+                        duration = started[2] / inst.throughput
+                        inst.current = started
+                        until = now + duration
+                        inst.busy_until = until
+                        inst.busy_time += duration
+                        push(events, (until, seq, 1, inst))
+                        seq += 1
+
+            elif kind == 0:  # ARRIVAL
+                ds_id = ev[3]
+                if max_datasets is not None and ds_id >= max_datasets:
+                    continue
+                # route: first active recipe minimising (assigned + 1) / weight
+                best_recipe = -1
+                best_score = INF
+                for j in active:
+                    score = (assigned[j] + 1) / weights[j]
+                    if score < best_score:
+                        best_score = score
+                        best_recipe = j
+                assigned[best_recipe] += 1
+                profile = profiles[best_recipe]
+                taskinfo = profile[0]
+                datasets[ds_id] = [taskinfo, now, profile[1].copy(), profile[3]]
+                arrivals += 1
+                in_flight += 1
+                if in_flight > peak_in_flight:
+                    peak_in_flight = in_flight
+                for task_id in profile[2]:
+                    # -- dispatch source task `task_id` ------------------- #
+                    info = taskinfo[task_id]
+                    sel = info[1]
+                    work = info[0]
+                    if now < info[4]:  # type failure window open (rare)
+                        target = pool.select_instance(info[3], now)
+                        target.queue.append((ds_id, task_id, work))
+                        tw = target._pending_work + work
+                        target._pending_work = tw
+                        if target._heap is not None:
+                            push(target._heap, (tw, target.instance_id, target))
+                    elif type(sel) is tuple:  # small group: direct walk
+                        best = INF
+                        target = None
+                        for cand in sel:
+                            w = cand._pending_work
+                            if w < best:
+                                best = w
+                                target = cand
+                        target.queue.append((ds_id, task_id, work))
+                        target._pending_work = best + work
+                    elif sel is None:
+                        raise SimulationError(
+                            f"the allocation rents no machine of type {info[3]!r} "
+                            "but a task of that type was dispatched"
+                        )
+                    else:  # heap-indexed group
+                        while True:
+                            entry = sel[0]
+                            target = entry[2]
+                            if entry[0] == target._pending_work:
+                                break
+                            pop(sel)
+                        target.queue.append((ds_id, task_id, work))
+                        tw = target._pending_work + work
+                        target._pending_work = tw
+                        replace(sel, (tw, target.instance_id, target))
+                    if target.current is None:
+                        if now < target.guard_until and not target.available_at(now):
+                            wake = target.next_available(now)
+                            if wake > now and target.wake_at != wake:
+                                target.wake_at = wake
+                                push(events, (wake, seq, 2, target))
+                                seq += 1
+                        else:
+                            started = target.queue.popleft()
+                            duration = started[2] / target.throughput
+                            target.current = started
+                            until = now + duration
+                            target.busy_until = until
+                            target.busy_time += duration
+                            push(events, (until, seq, 1, target))
+                            seq += 1
+                next_time = arrival_next()
+                if next_time < now:
+                    raise SimulationError(
+                        f"arrival process {self.scenario.arrival.kind!r} went backwards "
+                        f"({next_time} after {now})"
+                    )
+                if next_time <= horizon:
+                    push(events, (next_time, seq, 0, ds_id + 1))
+                    seq += 1
+
+            else:  # RESUME — a failure window ended on an instance with queued work
+                inst = ev[3]
+                inst.wake_at = None
+                if inst.current is None and inst.queue:
+                    if now < inst.guard_until and not inst.available_at(now):
+                        wake = inst.next_available(now)
+                        if wake > now and inst.wake_at != wake:
+                            inst.wake_at = wake
+                            push(events, (wake, seq, 2, inst))
+                            seq += 1
+                    else:
+                        started = inst.queue.popleft()
+                        duration = started[2] / inst.throughput
+                        inst.current = started
+                        until = now + duration
+                        inst.busy_until = until
+                        inst.busy_time += duration
+                        push(events, (until, seq, 1, inst))
+                        seq += 1
+
+        total_routed = sum(assigned)
+        if total_routed:
+            recipe_mix = tuple(count / total_routed for count in assigned)
+        else:
+            recipe_mix = tuple(0.0 for _ in weights)
+        return self._report(
+            horizon, arrivals, latencies, completions, pool, reorder_peak,
+            recipe_mix, len(datasets), peak_in_flight,
+        )
+
+    # ------------------------------------------------------------------ #
+    # reference engine (the original loop, kept as the equivalence oracle)
+    # ------------------------------------------------------------------ #
+    def _run_reference(self, horizon: float, max_datasets: int | None) -> SimulationReport:
+        pool, arrival_times = self._build_pool()
+        router = RecipeRouter(self.allocation.split)
+        reorder = ReorderBuffer()
+        queue = EventQueue()
+        recipes = self.problem.application.recipes()
+
+        datasets: dict[int, DataSetInstance] = {}
+        peak_in_flight = 0
+        latencies: list[float] = []
+        completions: list[tuple[float, float]] = []
+        arrivals = 0
+
+        first_arrival = self._first_arrival(arrival_times)
+        if first_arrival <= horizon:
+            queue.push(first_arrival, EventKind.ARRIVAL, 0)
         now = 0.0
         while queue:
             event = queue.pop()
             now = event.time
             if now > horizon:
                 break
-            if event.kind is EventKind.ARRIVAL:
-                dataset_id = event.payload["dataset_id"]
+            if event.kind == EventKind.ARRIVAL:
+                dataset_id = event.arg
                 if max_datasets is not None and dataset_id >= max_datasets:
                     continue
                 recipe_index = router.route()
@@ -144,38 +547,52 @@ class StreamSimulator:
                         f"({next_time} after {now})"
                     )
                 if next_time <= horizon:
-                    queue.push(next_time, EventKind.ARRIVAL, dataset_id=dataset_id + 1)
-            elif event.kind is EventKind.TASK_COMPLETE:
-                instance = event.payload["instance"]
+                    queue.push(next_time, EventKind.ARRIVAL, dataset_id + 1)
+            elif event.kind == EventKind.TASK_COMPLETE:
+                instance = event.arg
                 finished = instance.finish_current(now)
                 dataset = datasets[finished.dataset_id]
                 for ready in dataset.complete_task(finished.task_id, now):
                     self._dispatch(pool, queue, dataset, ready, now)
                 if dataset.is_complete:
-                    latencies.append(dataset.latency or 0.0)
+                    latency = dataset.latency
+                    if latency is None:
+                        # completion bookkeeping failed to stamp the data set;
+                        # recording 0.0 here would silently poison mean_latency
+                        raise SimulationError(
+                            f"data set {dataset.dataset_id} completed at t={now} "
+                            "without a completion timestamp"
+                        )
+                    latencies.append(latency)
                     completions.append((dataset.arrival_time, now))
                     reorder.complete(dataset.dataset_id)
                     del datasets[dataset.dataset_id]
                 # The instance is free: start its next queued task, if any.
                 self._start_or_wake(queue, instance, now)
-            elif event.kind is EventKind.RESUME:
+            elif event.kind == EventKind.RESUME:
                 # a failure window ended on an instance with queued work
-                instance = event.payload["instance"]
+                instance = event.arg
                 instance.wake_at = None
                 self._start_or_wake(queue, instance, now)
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event kind {event.kind!r}")
 
+        recipe_mix = tuple(float(x) for x in router.mix())
         return self._report(
-            horizon, arrivals, latencies, completions, pool, reorder, router, datasets,
-            peak_in_flight,
+            horizon, arrivals, latencies, completions, pool, reorder.peak_occupancy,
+            recipe_mix, len(datasets), peak_in_flight,
         )
 
     # ------------------------------------------------------------------ #
     def _dispatch(self, pool, queue, dataset: DataSetInstance, task_id: int, now: float) -> None:
-        """Send a ready task to the least-loaded available instance of its type."""
+        """Send a ready task to the least-loaded available instance of its type.
+
+        Reference-engine path: selection goes through the original linear
+        scan, keeping this implementation independent of the heap index the
+        fast engine (and :meth:`ProcessorPool.select_instance`) relies on.
+        """
         task = dataset.recipe.task(task_id)
-        instance = pool.select_instance(task.task_type, now)
+        instance = pool.select_instance_scan(task.task_type, now)
         dataset.mark_started(task_id)
         instance.enqueue(PendingTask(dataset.dataset_id, task_id, task.work))
         self._start_or_wake(queue, instance, now)
@@ -193,14 +610,15 @@ class StreamSimulator:
         started = instance.start_next(now)
         if started is not None:
             _task, completion = started
-            queue.push(completion, EventKind.TASK_COMPLETE, instance=instance)
+            queue.push(completion, EventKind.TASK_COMPLETE, instance)
             return
         if instance.current is None and instance.queue:
             wake = instance.next_available(now)
             if wake > now and instance.wake_at != wake:
                 instance.wake_at = wake
-                queue.push(wake, EventKind.RESUME, instance=instance)
+                queue.push(wake, EventKind.RESUME, instance)
 
+    # ------------------------------------------------------------------ #
     def _report(
         self,
         horizon: float,
@@ -208,9 +626,9 @@ class StreamSimulator:
         latencies: list[float],
         completions: list[tuple[float, float]],
         pool: ProcessorPool,
-        reorder: ReorderBuffer,
-        router: RecipeRouter,
-        datasets: dict[int, DataSetInstance],
+        reorder_peak: int,
+        recipe_mix: tuple[float, ...],
+        backlog: int,
         peak_in_flight: int,
     ) -> SimulationReport:
         warmup = horizon * self.warmup_fraction
@@ -224,9 +642,6 @@ class StreamSimulator:
         achieved = steady / window if window > 0 else 0.0
         window_throughput = in_window / window if window > 0 else 0.0
         mean_latency, max_latency = SimulationReport.latency_stats(latencies)
-        # completed data sets were evicted on release, so what remains is
-        # exactly the in-flight backlog — O(backlog), not O(arrivals)
-        backlog = len(datasets)
         return SimulationReport(
             horizon=horizon,
             arrivals=arrivals,
@@ -236,9 +651,9 @@ class StreamSimulator:
             mean_latency=mean_latency,
             max_latency=max_latency,
             utilization=pool.utilization_by_type(horizon),
-            reorder_buffer_peak=reorder.peak_occupancy,
+            reorder_buffer_peak=reorder_peak,
             backlog=backlog,
-            recipe_mix=tuple(float(x) for x in router.mix()),
+            recipe_mix=recipe_mix,
             warmup=warmup,
             window_throughput=window_throughput,
             scenario=self.scenario.name,

@@ -10,55 +10,78 @@ events, popped in chronological order.  Three event kinds exist:
 
 Ties are broken by a monotonically increasing sequence number so the execution
 is fully deterministic.
+
+Events are plain ``(time, sequence, kind, arg)`` tuples (a :class:`Event`
+``NamedTuple``), not frozen dataclasses with a payload dict: the engine pushes
+one event per task served, so event construction and heap comparison are the
+hottest allocations of the whole simulator.  Tuple comparison stops at
+``sequence`` (unique), so ``kind`` and ``arg`` never participate in ordering.
+
+**Time invariant**: event times are validated at the *schedule boundaries*,
+not per push — the engine checks the first arrival for negativity and every
+subsequent arrival for monotonicity when it draws them from the arrival
+process, completion times are ``now + duration`` with ``duration > 0``, and
+wake-ups are ``next_available(now) >= now``.  Callers pushing events directly
+are responsible for the same guarantee; :meth:`EventQueue.push` itself no
+longer spends a comparison per event on it.
 """
 
 from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass, field
-from enum import Enum
-from typing import Any
+from enum import IntEnum
+from typing import Any, NamedTuple
 
 from ..core.exceptions import SimulationError
 
 __all__ = ["EventKind", "Event", "EventQueue"]
 
 
-class EventKind(Enum):
-    """Kinds of events handled by the simulation engine."""
+class EventKind(IntEnum):
+    """Kinds of events handled by the simulation engine.
 
-    ARRIVAL = "arrival"
-    TASK_COMPLETE = "task-complete"
-    RESUME = "resume"
+    An ``IntEnum`` so the hot loop can compare the raw integers it stores in
+    the event tuples against the symbolic names without conversion.
+    """
+
+    ARRIVAL = 0
+    TASK_COMPLETE = 1
+    RESUME = 2
 
 
-@dataclass(frozen=True, order=True)
-class Event:
-    """A timestamped simulation event.
+class Event(NamedTuple):
+    """A timestamped simulation event: ``(time, sequence, kind, arg)``.
 
-    The ordering is (time, sequence) so the payload never participates in
-    comparisons.
+    The ordering is (time, sequence); ``sequence`` is unique per queue, so
+    ``kind`` and ``arg`` never participate in comparisons.  ``arg`` carries
+    the single payload the kind needs: the data-set id for ``ARRIVAL``, the
+    :class:`~repro.simulation.processor.ProcessorInstance` for
+    ``TASK_COMPLETE`` and ``RESUME``.
     """
 
     time: float
     sequence: int
-    kind: EventKind = field(compare=False)
-    payload: dict[str, Any] = field(compare=False, default_factory=dict)
+    kind: int
+    arg: Any = None
 
 
 class EventQueue:
-    """A deterministic priority queue of :class:`Event` objects."""
+    """A deterministic priority queue of :class:`Event` tuples.
+
+    Equal-time events pop in push order (the sequence tie-break); see the
+    module docstring for the non-negative-time invariant callers uphold.
+    """
+
+    __slots__ = ("_heap", "_counter")
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._counter = itertools.count()
 
-    def push(self, time: float, kind: EventKind, **payload: Any) -> Event:
+    def push(self, time: float, kind: int, arg: Any = None) -> Event:
         """Schedule an event at ``time`` and return it."""
-        if time < 0:
-            raise SimulationError(f"cannot schedule an event at negative time {time}")
-        event = Event(time=time, sequence=next(self._counter), kind=kind, payload=payload)
+        event = Event(time, next(self._counter), kind, arg)
         heapq.heappush(self._heap, event)
         return event
 
@@ -70,7 +93,7 @@ class EventQueue:
 
     def peek_time(self) -> float | None:
         """Time of the next event, or ``None`` when the queue is empty."""
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None
 
     def __len__(self) -> int:
         return len(self._heap)

@@ -7,19 +7,36 @@ rate ``r_q`` (a task of work ``w`` takes ``w / r_q`` time units).  A
 the dispatch rule used by the engine: a ready task goes to the instance of its
 type with the least pending work (join-the-shortest-queue in work units).
 
+Selection is *indexed* for large groups: types renting at least
+:data:`HEAP_MIN_GROUP` instances keep a lazily-invalidated heap keyed on
+``(pending_work, instance_id)``.  Every time such an instance's pending work
+changes it pushes its new key; :meth:`ProcessorPool.select_instance` peeks the
+heap top and discards entries whose recorded key no longer matches the
+instance's current pending work.  Because the key includes the unique instance
+id, the heap top is exactly the instance the linear least-loaded scan would
+have chosen.  Small groups — the common case, where a direct walk over the
+instances is cheaper than heap maintenance — and any selection inside an open
+failure window (the availability filter must inspect every candidate) fall
+back to the scan, which survives as
+:meth:`ProcessorPool.select_instance_scan` and doubles as the reference
+implementation in the heap-equivalence tests.
+
 Scenario injection (:mod:`repro.simulation.scenarios`) hooks in at two points:
 per-type *slowdown* factors scale the instance service rates at pool
 construction, and seeded transient *failure windows* mark instances
 unavailable — an unavailable instance accepts no new dispatch (unless every
 instance of the type is down, in which case work queues on the least-loaded
-one) and starts no queued task until the window ends.
+one) and starts no queued task until the window ends.  Each instance carries
+``guard_until`` (the end of its last own window) and the pool tracks the same
+bound per type, so availability checks cost one float comparison for the
+unaffected majority of dispatches.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Deque, Iterable, Mapping, Sequence
+from heapq import heappop, heappush
+from typing import Deque, Iterable, Mapping, NamedTuple, Sequence
 
 import numpy as np
 
@@ -29,12 +46,23 @@ from ..core.platform import CloudPlatform
 from ..core.task import TaskType
 from .scenarios import FailureWindow
 
-__all__ = ["PendingTask", "ProcessorInstance", "ProcessorPool"]
+__all__ = ["HEAP_MIN_GROUP", "PendingTask", "ProcessorInstance", "ProcessorPool"]
+
+#: Smallest per-type instance count for which the heap index is built.  Below
+#: this a direct least-loaded walk is faster than heap maintenance (two key
+#: pushes plus amortised stale pops per served task); the break-even sits
+#: around eight instances for CPython's heapq.
+HEAP_MIN_GROUP = 9
 
 
-@dataclass(frozen=True)
-class PendingTask:
-    """A (data set, task) pair waiting for or receiving service."""
+class PendingTask(NamedTuple):
+    """A (data set, task) pair waiting for or receiving service.
+
+    A ``NamedTuple`` rather than a frozen dataclass: it makes the pool API
+    self-describing while staying a plain tuple — the engine's hot loop only
+    ever builds and indexes bare ``(dataset_id, task_id, work)`` tuples, which
+    unpack and index identically.
+    """
 
     dataset_id: int
     task_id: int
@@ -44,13 +72,29 @@ class PendingTask:
 class ProcessorInstance:
     """One rented machine of a given processor type."""
 
+    __slots__ = (
+        "instance_id",
+        "type_id",
+        "throughput",
+        "queue",
+        "current",
+        "busy_until",
+        "busy_time",
+        "completed_tasks",
+        "_pending_work",
+        "unavailable",
+        "guard_until",
+        "wake_at",
+        "_heap",
+    )
+
     def __init__(self, instance_id: int, type_id: TaskType, throughput: float) -> None:
         if throughput <= 0:
             raise SimulationError(f"instance throughput must be positive, got {throughput}")
         self.instance_id = instance_id
         self.type_id = type_id
         self.throughput = float(throughput)
-        self.queue: Deque[PendingTask] = deque()
+        self.queue: Deque = deque()
         self.current: PendingTask | None = None
         self.busy_until: float = 0.0
         self.busy_time: float = 0.0
@@ -61,9 +105,17 @@ class ProcessorInstance:
         self._pending_work: float = 0.0
         # merged, sorted (start, end) unavailability windows (failure injection)
         self.unavailable: tuple[tuple[float, float], ...] = ()
+        # end of the instance's last window: before this time availability
+        # must be checked, after it the instance is always available — one
+        # float comparison replaces the window walk for unaffected instances
+        self.guard_until: float = 0.0
         # pending wake-up the engine scheduled for the end of a window
         # (dedupes RESUME events; None = nothing scheduled)
         self.wake_at: float | None = None
+        # the owning pool's selection heap when the instance's type group is
+        # heap-indexed (None for small groups and standalone instances);
+        # enqueue/finish push the updated (pending_work, id) key
+        self._heap: list | None = None
 
     # ------------------------------------------------------------------ #
     @property
@@ -88,7 +140,9 @@ class ProcessorInstance:
     # -- availability (failure windows) --------------------------------- #
     def set_unavailable(self, windows: Iterable[tuple[float, float]]) -> None:
         """Install the instance's unavailability windows (merged, sorted)."""
-        self.unavailable = _merge_windows(windows)
+        merged = _merge_windows(windows)
+        self.unavailable = merged
+        self.guard_until = merged[-1][1] if merged else 0.0
 
     def available_at(self, now: float) -> bool:
         """True when no failure window covers ``now``."""
@@ -112,7 +166,10 @@ class ProcessorInstance:
     # ------------------------------------------------------------------ #
     def enqueue(self, task: PendingTask) -> None:
         self.queue.append(task)
-        self._pending_work += task.work
+        work = self._pending_work + task.work
+        self._pending_work = work
+        if self._heap is not None:
+            heappush(self._heap, (work, self.instance_id, self))
 
     def start_next(self, now: float) -> tuple[PendingTask, float] | None:
         """Start serving the next queued task; return (task, completion time).
@@ -123,10 +180,10 @@ class ProcessorInstance:
         """
         if self.current is not None or not self.queue:
             return None
-        if not self.available_at(now):
+        if now < self.guard_until and not self.available_at(now):
             return None
         task = self.queue.popleft()
-        duration = self.service_time(task)
+        duration = task.work / self.throughput
         self.current = task
         self.busy_until = now + duration
         self.busy_time += duration
@@ -134,15 +191,18 @@ class ProcessorInstance:
 
     def finish_current(self, now: float) -> PendingTask:
         """Mark the in-service task as finished and return it."""
-        if self.current is None:
-            raise SimulationError(f"instance {self.instance_id} has no task in service at t={now}")
         task = self.current
+        if task is None:
+            raise SimulationError(f"instance {self.instance_id} has no task in service at t={now}")
         self.current = None
         self.completed_tasks += 1
-        self._pending_work -= task.work
+        work = self._pending_work - task[2]
         if not self.queue:
             # drained: pin the accumulator to the exact re-summed value (zero)
-            self._pending_work = 0.0
+            work = 0.0
+        self._pending_work = work
+        if self._heap is not None:
+            heappush(self._heap, (work, self.instance_id, self))
         return task
 
     def utilization(self, horizon: float) -> float:
@@ -191,6 +251,9 @@ class ProcessorPool:
     ) -> None:
         self.platform = platform
         self._by_type: dict[TaskType, list[ProcessorInstance]] = {}
+        # lazily-invalidated selection heaps, only for heap-indexed groups
+        # (len >= HEAP_MIN_GROUP); small groups use the direct scan
+        self._heaps: dict[TaskType, list] = {}
         instance_id = 0
         for type_id, count in allocation.machines.items():
             rate = platform.throughput_of(type_id)
@@ -201,10 +264,20 @@ class ProcessorPool:
                 instances.append(ProcessorInstance(instance_id, type_id, rate))
                 instance_id += 1
             self._by_type[type_id] = instances
+            if len(instances) >= HEAP_MIN_GROUP:
+                # (0.0, increasing id): already a valid heap, no heapify needed
+                heap = [(0.0, inst.instance_id, inst) for inst in instances]
+                for inst in instances:
+                    inst._heap = heap
+                self._heaps[type_id] = heap
         self._all = [inst for group in self._by_type.values() for inst in group]
-        # set by apply_failures; lets the per-dispatch availability filter be
-        # skipped entirely for failure-free scenarios (the common case)
+        # set by apply_failures; lets availability checks be skipped entirely
+        # for failure-free scenarios (the common case)
         self._any_unavailable = False
+        # per-type end of the last failure window: selections for a type past
+        # its bound (or never affected, bound 0.0) use the index/scan without
+        # the availability filter
+        self._type_guard: dict[TaskType, float] = {}
 
     # ------------------------------------------------------------------ #
     @property
@@ -248,15 +321,49 @@ class ProcessorPool:
             if windows:
                 instance.set_unavailable(windows)
                 self._any_unavailable = True
+                guard = self._type_guard.get(instance.type_id, 0.0)
+                self._type_guard[instance.type_id] = max(guard, instance.guard_until)
+
+    def guard_until(self, type_id: TaskType) -> float:
+        """End of the type's last failure window (0.0 when never affected)."""
+        return self._type_guard.get(type_id, 0.0)
 
     def select_instance(self, type_id: TaskType, now: float | None = None) -> ProcessorInstance:
         """Dispatch rule: the instance of ``type_id`` with the least pending work.
+
+        Heap-indexed groups peek the per-type heap, lazily discarding entries
+        whose recorded ``(pending_work, instance_id)`` key is stale.  An entry
+        matching the instance's *current* pending work is its live key no
+        matter when it was pushed, and since instance ids are unique the heap
+        top equals the linear scan's ``min`` exactly.  Small groups, and any
+        selection while the type's failure window is open (``now`` before the
+        type's guard bound — the availability filter must inspect every
+        candidate), run the scan instead.
 
         With ``now`` given, instances inside a failure window are excluded —
         unless every instance of the type is down, in which case the work
         queues on the least-loaded failed instance and starts when its window
         ends.
         """
+        if (
+            self._any_unavailable
+            and now is not None
+            and now < self._type_guard.get(type_id, 0.0)
+        ):
+            return self.select_instance_scan(type_id, now)
+        heap = self._heaps.get(type_id)
+        if heap is None:
+            return self.select_instance_scan(type_id, now)
+        while True:
+            entry = heap[0]
+            if entry[0] == entry[2]._pending_work:
+                return entry[2]
+            heappop(heap)
+
+    def select_instance_scan(
+        self, type_id: TaskType, now: float | None = None
+    ) -> ProcessorInstance:
+        """The linear least-loaded scan (small groups, failure windows, tests)."""
         candidates = self._by_type.get(type_id)
         if not candidates:
             raise SimulationError(
@@ -267,7 +374,7 @@ class ProcessorPool:
             available = [inst for inst in candidates if inst.available_at(now)]
             if available:
                 candidates = available
-        return min(candidates, key=lambda inst: (inst.pending_work, inst.instance_id))
+        return min(candidates, key=lambda inst: (inst._pending_work, inst.instance_id))
 
     def utilization_by_type(self, horizon: float) -> dict[TaskType, float]:
         """Mean utilization of the instances of each type."""

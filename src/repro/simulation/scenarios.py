@@ -76,6 +76,18 @@ class ArrivalProcess:
         """Yield arrival times forever; deterministic given ``rate`` and ``rng``."""
         raise NotImplementedError
 
+    def peak_rate_factor(self) -> float:
+        """Sustained peak rate over the mean rate (``>= 1``).
+
+        The factor by which the process concentrates its mean rate into its
+        busiest sustained phase: ``1.0`` for processes whose rate never
+        departs from the mean over any on-phase-length window (deterministic,
+        Poisson, batch — batches burst instantaneously but not over a
+        sustained window).  The fluid screen multiplies utilisations by this
+        before comparing against its escalation threshold.
+        """
+        return 1.0
+
     def as_dict(self) -> dict[str, Any]:
         data: dict[str, Any] = {"kind": self.kind}
         for spec in dataclasses.fields(self):
@@ -145,6 +157,11 @@ class BurstyArrivals(ArrivalProcess):
             cycles, within = divmod(on_time, self.on)
             yield cycles * cycle + within
             on_time += rng.exponential(1.0 / burst_rate)
+
+    def peak_rate_factor(self) -> float:
+        """The on-phase rate scaling, ``(on + off) / on`` — the whole mean
+        rate is delivered inside the on-fraction of each cycle."""
+        return (self.on + self.off) / self.on
 
 
 @dataclass(frozen=True)

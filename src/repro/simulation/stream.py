@@ -25,7 +25,21 @@ __all__ = ["DataSetInstance", "RecipeRouter", "ReorderBuffer"]
 
 
 class DataSetInstance:
-    """One data set flowing through one recipe graph."""
+    """One data set flowing through one recipe graph.
+
+    Slotted: the reference engine allocates one per arrival, and the instances
+    only ever carry these seven fields.
+    """
+
+    __slots__ = (
+        "dataset_id",
+        "recipe_index",
+        "recipe",
+        "arrival_time",
+        "completion_time",
+        "_remaining_preds",
+        "_pending",
+    )
 
     def __init__(self, dataset_id: int, recipe_index: int, recipe: RecipeGraph, arrival_time: float) -> None:
         self.dataset_id = dataset_id

@@ -266,3 +266,43 @@ class TestResumeIdentity:
         full = (tmp_path / "full" / "tiny-validation.jsonl").read_bytes()
         partial = (tmp_path / "resumed" / "tiny-validation.jsonl").read_bytes()
         assert full == partial
+
+
+class TestScreenSpec:
+    def test_screened_validation_round_trips(self):
+        spec = tiny_spec(
+            validation=ValidationSpec(screen="fluid", screen_threshold=0.75)
+        )
+        assert StudySpec.from_dict(spec.as_dict()) == spec
+        data = spec.validation.as_dict()
+        assert data["screen"] == "fluid"
+        assert data["screen_threshold"] == 0.75
+
+    def test_default_screen_serialises_without_fields(self):
+        data = ValidationSpec().as_dict()
+        assert "screen" not in data
+        assert "screen_threshold" not in data
+
+    def test_screen_does_not_move_unscreened_fingerprints(self):
+        plain = tiny_spec(validation=ValidationSpec())
+        assert plain.fingerprint() == StudySpec.from_dict(plain.as_dict()).fingerprint()
+
+    def test_screen_changes_the_fingerprint(self):
+        plain = tiny_spec(validation=ValidationSpec())
+        screened = tiny_spec(validation=ValidationSpec(screen="fluid"))
+        assert plain.fingerprint() != screened.fingerprint()
+
+    def test_invalid_screen_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ValidationSpec(screen="magic")
+        with pytest.raises(ConfigurationError):
+            ValidationSpec(screen="fluid", screen_threshold=-1.0)
+
+    def test_screened_plan_carries_screen(self):
+        spec = tiny_spec(validation=ValidationSpec(screen="fluid"))
+        from repro.experiments.runner import run_plan
+
+        sweep = run_plan(spec.experiment_plan(), capture_allocations=True)
+        plan = spec.validation.plan(sweep)
+        assert plan.screen == "fluid"
+        assert plan.screen_threshold == 0.85

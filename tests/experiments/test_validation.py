@@ -493,3 +493,133 @@ class TestSeries:
             r.algorithm == "ILP" and r.rho == 50.0 and r.rate_multiplier == 1.05
             for r in subset
         )
+
+
+# --------------------------------------------------------------------------- #
+# the fluid fast-screen tier
+# --------------------------------------------------------------------------- #
+
+
+@pytest.fixture(scope="module")
+def screen_grid():
+    """A grid with clearly underloaded cells (x0.5) and design-point cells."""
+    return dict(
+        horizons=(10.0,),
+        rate_multipliers=(0.5, 1.0),
+        scenarios=[ScenarioSpec(name="poisson", arrival=PoissonArrivals())],
+    )
+
+
+@pytest.fixture(scope="module")
+def screened_plan(captured_sweep, screen_grid) -> ValidationPlan:
+    return plan_from_sweep(
+        captured_sweep, screen="fluid", screen_threshold=0.85, **screen_grid
+    )
+
+
+@pytest.fixture(scope="module")
+def screened_campaign(screened_plan) -> CampaignResult:
+    return run_validation(screened_plan)
+
+
+@pytest.fixture(scope="module")
+def unscreened_campaign(captured_sweep, screen_grid) -> CampaignResult:
+    return run_validation(plan_from_sweep(captured_sweep, **screen_grid))
+
+
+def _cell(record):
+    return (
+        record.configuration, record.rho, record.algorithm,
+        record.horizon, record.rate_multiplier, record.scenario,
+    )
+
+
+class TestFluidScreen:
+    def test_invalid_screen_values_rejected(self, captured_sweep, screen_grid):
+        with pytest.raises(ConfigurationError):
+            plan_from_sweep(captured_sweep, screen="magic", **screen_grid)
+        with pytest.raises(ConfigurationError):
+            plan_from_sweep(
+                captured_sweep, screen="fluid", screen_threshold=0.0, **screen_grid
+            )
+
+    def test_screened_plan_round_trips(self, screened_plan):
+        data = validation_plan_to_dict(screened_plan)
+        assert data["screen"] == "fluid"
+        assert data["screen_threshold"] == 0.85
+        assert validation_plan_from_dict(data) == screened_plan
+
+    def test_screen_participates_in_fingerprint(
+        self, captured_sweep, screened_plan, screen_grid
+    ):
+        plain = plan_from_sweep(captured_sweep, **screen_grid)
+        assert validation_fingerprint(screened_plan) != validation_fingerprint(plain)
+        tighter = plan_from_sweep(
+            captured_sweep, screen="fluid", screen_threshold=0.7, **screen_grid
+        )
+        assert validation_fingerprint(screened_plan) != validation_fingerprint(tighter)
+
+    def test_unscreened_plan_serialises_without_screen_fields(self, campaign_plan):
+        data = validation_plan_to_dict(campaign_plan)
+        assert "screen" not in data
+        assert "screen_threshold" not in data
+
+    def test_every_grid_cell_is_recorded(
+        self, screened_plan, screened_campaign, unscreened_campaign
+    ):
+        assert len(screened_campaign.records) == screened_plan.num_simulations
+        assert sorted(map(_cell, screened_campaign.records)) == sorted(
+            map(_cell, unscreened_campaign.records)
+        )
+
+    def test_both_tiers_present(self, screened_campaign):
+        tiers = {record.tier for record in screened_campaign.records}
+        assert tiers == {"fluid", "des"}
+        # the underloaded half of the grid screens out, the design point runs
+        for record in screened_campaign.records:
+            if record.rate_multiplier == 0.5:
+                assert record.tier == "fluid"
+
+    def test_escalated_cells_byte_identical_to_unscreened(
+        self, screened_campaign, unscreened_campaign
+    ):
+        exact = {_cell(r): r for r in unscreened_campaign.records}
+        escalated = [r for r in screened_campaign.records if r.tier == "des"]
+        assert escalated
+        for record in escalated:
+            assert record.as_dict() == exact[_cell(record)].as_dict()
+
+    def test_screened_out_cells_agree_with_exact_des(
+        self, screened_campaign, unscreened_campaign
+    ):
+        """Capacity verdict: every cell the fluid model cleared is one where
+        the exact DES kept up with what actually arrived."""
+        exact = {_cell(r): r for r in unscreened_campaign.records}
+        cleared = [r for r in screened_campaign.records if r.tier == "fluid"]
+        assert cleared
+        for record in cleared:
+            des = exact[_cell(record)]
+            assert des.completed >= 0.95 * des.arrivals
+            assert record.throughput_ratio == pytest.approx(1.0)
+
+    def test_fluid_records_round_trip_with_tier(self, screened_campaign):
+        record = next(r for r in screened_campaign.records if r.tier == "fluid")
+        data = record.as_dict()
+        assert data["tier"] == "fluid"
+        assert ValidationRecord.from_dict(data) == record
+
+    def test_des_records_serialise_without_tier(self, serial_campaign):
+        for record in serial_campaign.records:
+            assert "tier" not in record.as_dict()
+
+    def test_screened_campaign_is_deterministic(self, screened_plan, screened_campaign):
+        again = run_validation(screened_plan)
+        assert record_lines(again) == record_lines(screened_campaign)
+
+    def test_screened_checkpoint_round_trips(
+        self, tmp_path, screened_plan, screened_campaign
+    ):
+        store = ValidationStore(tmp_path / "screened.jsonl")
+        run_validation(screened_plan, store=store)
+        loaded = load_campaign(store.path)
+        assert record_lines(loaded) == record_lines(screened_campaign)

@@ -9,23 +9,44 @@ from repro.simulation import EventKind, EventQueue, PendingTask, ProcessorInstan
 class TestEventQueue:
     def test_events_pop_in_time_order(self):
         queue = EventQueue()
-        queue.push(5.0, EventKind.ARRIVAL, dataset_id=1)
-        queue.push(1.0, EventKind.ARRIVAL, dataset_id=0)
+        queue.push(5.0, EventKind.ARRIVAL, 1)
+        queue.push(1.0, EventKind.ARRIVAL, 0)
         queue.push(3.0, EventKind.TASK_COMPLETE)
         times = [queue.pop().time for _ in range(3)]
         assert times == [1.0, 3.0, 5.0]
 
     def test_ties_break_by_insertion_order(self):
+        # deterministic tie-break: equal-time events pop in push order
         queue = EventQueue()
-        first = queue.push(2.0, EventKind.ARRIVAL, tag="a")
-        second = queue.push(2.0, EventKind.ARRIVAL, tag="b")
-        assert queue.pop().payload["tag"] == "a"
-        assert queue.pop().payload["tag"] == "b"
+        first = queue.push(2.0, EventKind.ARRIVAL, "a")
+        second = queue.push(2.0, EventKind.ARRIVAL, "b")
+        assert queue.pop().arg == "a"
+        assert queue.pop().arg == "b"
         assert first.sequence < second.sequence
 
-    def test_negative_time_rejected(self):
-        with pytest.raises(SimulationError):
-            EventQueue().push(-1.0, EventKind.ARRIVAL)
+    def test_many_way_ties_pop_in_push_order(self):
+        queue = EventQueue()
+        for tag in range(20):
+            queue.push(1.0, EventKind.TASK_COMPLETE, tag)
+        # interleave an earlier and later event: ordering is (time, sequence)
+        queue.push(0.5, EventKind.ARRIVAL, "early")
+        queue.push(2.0, EventKind.ARRIVAL, "late")
+        assert queue.pop().arg == "early"
+        assert [queue.pop().arg for _ in range(20)] == list(range(20))
+        assert queue.pop().arg == "late"
+
+    def test_push_does_not_validate_time(self):
+        # time validity is a schedule-boundary invariant (the engine checks
+        # arrivals as it draws them); push itself spends no comparison on it
+        queue = EventQueue()
+        event = queue.push(-1.0, EventKind.ARRIVAL)
+        assert queue.pop() is event
+
+    def test_events_are_plain_tuples(self):
+        # the engine's hot loop indexes events positionally
+        event = EventQueue().push(3.0, EventKind.RESUME, "arg")
+        assert tuple(event) == (3.0, 0, EventKind.RESUME, "arg")
+        assert event[0] == event.time and event[3] == event.arg
 
     def test_pop_empty_rejected(self):
         with pytest.raises(SimulationError):

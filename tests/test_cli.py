@@ -149,6 +149,72 @@ class TestCommands:
         assert main(args + ["--resume"]) == 0
         assert capsys.readouterr().out == out
 
+    def test_validate_screen_flags(self, capsys, tmp_path):
+        """--screen fluid screens quiet cells into tier='fluid' records while
+        keeping full grid coverage, and resumes byte-identically."""
+        sweep_file = tmp_path / "sweep.jsonl"
+        assert main(
+            ["figure", "figure3", "--configurations", "1", "--throughputs", "60",
+             "--iterations", "60", "--out", str(sweep_file), "--capture-allocations",
+             "--quiet"]
+        ) == 0
+        capsys.readouterr()
+
+        campaign_file = tmp_path / "campaign.jsonl"
+        args = ["validate", str(sweep_file), "--horizons", "8", "--multipliers",
+                "0.5", "1.0", "--algorithms", "ILP", "--screen", "fluid",
+                "--out", str(campaign_file), "--quiet"]
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "achieved / target throughput" in out
+
+        from repro.experiments.validation import load_campaign
+
+        campaign = load_campaign(campaign_file)
+        tiers = {r.tier for r in campaign.records}
+        # design-point allocations run at full utilisation, so x1.0 escalates
+        # to the exact DES while x0.5 clears the fluid screen
+        assert tiers == {"des", "fluid"}
+        assert all(
+            r.tier == "fluid" for r in campaign.records if r.rate_multiplier == 0.5
+        )
+        assert main(args + ["--resume"]) == 0
+        assert capsys.readouterr().out == out
+
+    def test_validate_rejects_bad_screen_threshold(self, capsys, tmp_path):
+        sweep_file = tmp_path / "sweep.jsonl"
+        assert main(
+            ["figure", "figure3", "--configurations", "1", "--throughputs", "60",
+             "--iterations", "60", "--out", str(sweep_file), "--capture-allocations",
+             "--quiet"]
+        ) == 0
+        capsys.readouterr()
+        code = main(["validate", str(sweep_file), "--screen", "fluid",
+                     "--screen-threshold", "0", "--quiet"])
+        assert code == 2
+        assert "screen_threshold" in capsys.readouterr().err
+
+    def test_validate_profile_dumps_stats(self, capsys, tmp_path):
+        sweep_file = tmp_path / "sweep.jsonl"
+        assert main(
+            ["figure", "figure3", "--configurations", "1", "--throughputs", "60",
+             "--iterations", "60", "--out", str(sweep_file), "--capture-allocations",
+             "--quiet"]
+        ) == 0
+        capsys.readouterr()
+
+        stats_file = tmp_path / "validate.pstats"
+        assert main(["validate", str(sweep_file), "--horizons", "6",
+                     "--algorithms", "ILP", "--profile", str(stats_file),
+                     "--quiet"]) == 0
+        err = capsys.readouterr().err
+        assert stats_file.exists()
+        assert f"profile stats -> {stats_file}" in err
+
+        import pstats
+
+        assert pstats.Stats(str(stats_file)).total_calls > 0
+
     def test_validate_rejects_malformed_scenario_flags(self, capsys, tmp_path):
         sweep_file = tmp_path / "sweep.jsonl"
         assert main(
@@ -288,6 +354,20 @@ class TestRunCommand:
 
 
 
+    def test_run_profile_dumps_stats(self, capsys, tmp_path):
+        import json
+        import pstats
+
+        study = tmp_path / "study.json"
+        study.write_text(json.dumps(_tiny_study_dict(
+            tmp_path / "sweep.jsonl", tmp_path / "campaign.jsonl")))
+        stats_file = tmp_path / "run.pstats"
+        assert main(["run", str(study), "--profile", str(stats_file), "--quiet"]) == 0
+        err = capsys.readouterr().err
+        assert stats_file.exists()
+        assert f"profile stats -> {stats_file}" in err
+        assert pstats.Stats(str(stats_file)).total_calls > 0
+
     def test_run_store_dir_overrides_explicit_stores(self, capsys, tmp_path):
         """--store-dir replaces the spec's checkpoint locations wholesale:
         explicit sweep_store/validation_store paths must not silently win."""
@@ -400,6 +480,38 @@ class TestArgToSpecParity:
         data["execution"] = {"sweep_store": str(sweep_file),
                              "validation_store": str(tmp_path / "campaign.jsonl"),
                              "resume": True}
+        from_json = StudySpec.from_dict(data)
+        assert from_args == from_json
+        assert from_args.fingerprint() == from_json.fingerprint()
+
+    def test_validate_screen_args_build_the_study_json_spec(self, tmp_path):
+        """The --screen/--screen-threshold flags land in the spec's validation
+        section exactly as a hand-written study.json would spell them."""
+        from repro.cli import validation_study_spec
+        from repro.experiments import SweepResult
+        from repro.experiments.spec import StudySpec
+
+        sweep_file = tmp_path / "sweep.jsonl"
+        assert main(_tiny_figure_args(sweep_file)) == 0
+        sweep = SweepResult.load(sweep_file)
+
+        from_args = validation_study_spec(
+            sweep.plan,
+            sweep_store=sweep_file,
+            horizons=(8.0,),
+            rate_multipliers=(1.0, 1.05),
+            screen="fluid",
+            screen_threshold=0.7,
+            validation_store=tmp_path / "campaign.jsonl",
+        )
+        data = _tiny_study_dict(sweep_file, tmp_path / "campaign.jsonl")
+        data["name"] = "validate-small"
+        data["description"] = ""
+        data["execution"] = {"sweep_store": str(sweep_file),
+                             "validation_store": str(tmp_path / "campaign.jsonl"),
+                             "resume": True}
+        data["validation"] = {"horizons": [8], "rate_multipliers": [1.0, 1.05],
+                              "screen": "fluid", "screen_threshold": 0.7}
         from_json = StudySpec.from_dict(data)
         assert from_args == from_json
         assert from_args.fingerprint() == from_json.fingerprint()

@@ -1,0 +1,202 @@
+"""Tests for the closed-form fluid approximation (analysis.fluid)."""
+
+import math
+
+import pytest
+
+from repro.analysis import FluidCellEstimate, fluid_estimate
+from repro.core import Allocation, SimulationError, ThroughputSplit
+from repro.simulation import (
+    BurstyArrivals,
+    FailureWindow,
+    PoissonArrivals,
+    ScenarioSpec,
+    StreamSimulator,
+)
+
+BASELINE = ScenarioSpec()
+
+
+def _allocation(problem, split):
+    return problem.allocation_for(split)
+
+
+class TestFluidEstimate:
+    def test_design_point_utilisation_matches_ceiled_capacity(
+        self, illustrating_problem_70
+    ):
+        allocation = _allocation(illustrating_problem_70, [10, 30, 30])
+        estimate = fluid_estimate(
+            illustrating_problem_70, allocation,
+            arrival_rate=70.0, horizon=20.0, scenario=BASELINE,
+        )
+        # machine counts are demand ceilings, so no type can exceed 1.0 and
+        # the bottleneck sits in (0, 1]
+        assert 0 < estimate.bottleneck_utilization <= 1.0 + 1e-9
+        assert all(0 < u <= 1.0 + 1e-9 for _, u in estimate.utilization)
+        assert estimate.throughput_ratio == pytest.approx(1.0)
+        assert estimate.latency > 0
+
+    def test_utilisation_scales_linearly_with_rate(self, illustrating_problem_70):
+        allocation = _allocation(illustrating_problem_70, [10, 30, 30])
+        full = fluid_estimate(
+            illustrating_problem_70, allocation,
+            arrival_rate=70.0, horizon=20.0, scenario=BASELINE,
+        )
+        half = fluid_estimate(
+            illustrating_problem_70, allocation,
+            arrival_rate=35.0, horizon=20.0, scenario=BASELINE,
+        )
+        assert half.bottleneck_utilization == pytest.approx(
+            full.bottleneck_utilization / 2
+        )
+
+    def test_overload_bounds_throughput_ratio(self, illustrating_problem_70):
+        allocation = _allocation(illustrating_problem_70, [10, 30, 30])
+        over = fluid_estimate(
+            illustrating_problem_70, allocation,
+            arrival_rate=140.0, horizon=20.0, scenario=BASELINE,
+        )
+        assert over.bottleneck_utilization > 1.0
+        assert over.throughput_ratio == pytest.approx(1.0 / over.bottleneck_utilization)
+
+    def test_slowdown_raises_utilisation(self, illustrating_problem_70):
+        allocation = _allocation(illustrating_problem_70, [10, 30, 30])
+        base = fluid_estimate(
+            illustrating_problem_70, allocation,
+            arrival_rate=70.0, horizon=20.0, scenario=BASELINE,
+        )
+        slowed = fluid_estimate(
+            illustrating_problem_70, allocation,
+            arrival_rate=70.0, horizon=20.0,
+            scenario=ScenarioSpec(name="slow", slowdowns=((1, 0.5),)),
+        )
+        base_util = dict(base.utilization)
+        slowed_util = dict(slowed.utilization)
+        assert slowed_util[1] == pytest.approx(2 * base_util[1])
+
+    def test_bursty_peak_factor_scales_peak_not_steady(self, illustrating_problem_70):
+        allocation = _allocation(illustrating_problem_70, [10, 30, 30])
+        bursty = ScenarioSpec(name="bursty", arrival=BurstyArrivals(on=1.0, off=3.0))
+        estimate = fluid_estimate(
+            illustrating_problem_70, allocation,
+            arrival_rate=70.0, horizon=20.0, scenario=bursty,
+        )
+        smooth = fluid_estimate(
+            illustrating_problem_70, allocation,
+            arrival_rate=70.0, horizon=20.0, scenario=BASELINE,
+        )
+        assert estimate.bottleneck_utilization == pytest.approx(
+            smooth.bottleneck_utilization
+        )
+        assert estimate.peak_utilization == pytest.approx(
+            4.0 * smooth.peak_utilization
+        )
+
+    def test_failure_window_adds_average_loss_and_transient_spike(
+        self, illustrating_problem_70
+    ):
+        allocation = _allocation(illustrating_problem_70, [10, 30, 30])
+        failing = ScenarioSpec(
+            name="fail", failures=(FailureWindow(1, 2.0, 4.0, count=1),)
+        )
+        estimate = fluid_estimate(
+            illustrating_problem_70, allocation,
+            arrival_rate=70.0, horizon=20.0, scenario=failing,
+        )
+        smooth = fluid_estimate(
+            illustrating_problem_70, allocation,
+            arrival_rate=70.0, horizon=20.0, scenario=BASELINE,
+        )
+        assert dict(estimate.utilization)[1] > dict(smooth.utilization)[1]
+        # the open-window spike (one machine down) dominates the average loss
+        machines = allocation.machines_of(1)
+        demand = dict(smooth.utilization)[1] * machines
+        expected_spike = demand / (machines - 1)
+        assert estimate.peak_utilization >= expected_spike - 1e-9
+
+    def test_total_outage_flags_as_unbounded(self, illustrating_problem_70):
+        allocation = _allocation(illustrating_problem_70, [10, 30, 30])
+        machines = allocation.machines_of(1)
+        blackout = ScenarioSpec(
+            name="blackout", failures=(FailureWindow(1, 0.0, 1.0, count=machines),)
+        )
+        estimate = fluid_estimate(
+            illustrating_problem_70, allocation,
+            arrival_rate=70.0, horizon=20.0, scenario=blackout,
+        )
+        assert math.isinf(estimate.peak_utilization)
+        assert estimate.flagged(threshold=1e6)
+
+    def test_windows_past_the_horizon_are_ignored(self, illustrating_problem_70):
+        allocation = _allocation(illustrating_problem_70, [10, 30, 30])
+        late = ScenarioSpec(
+            name="late", failures=(FailureWindow(1, 50.0, 5.0, count=2),)
+        )
+        estimate = fluid_estimate(
+            illustrating_problem_70, allocation,
+            arrival_rate=70.0, horizon=20.0, scenario=late,
+        )
+        smooth = fluid_estimate(
+            illustrating_problem_70, allocation,
+            arrival_rate=70.0, horizon=20.0, scenario=BASELINE,
+        )
+        assert estimate.peak_utilization == pytest.approx(smooth.peak_utilization)
+
+    def test_flag_threshold_boundary_is_inclusive(self):
+        estimate = FluidCellEstimate(
+            arrival_rate=1.0, utilization=((1, 0.85),),
+            bottleneck_utilization=0.85, peak_utilization=0.85,
+            throughput_ratio=1.0, latency=0.1,
+        )
+        assert estimate.flagged(0.85)
+        assert not estimate.flagged(0.86)
+
+    def test_latency_is_a_lower_bound_on_the_simulated_mean(
+        self, illustrating_problem_70
+    ):
+        allocation = _allocation(illustrating_problem_70, [10, 30, 30])
+        estimate = fluid_estimate(
+            illustrating_problem_70, allocation,
+            arrival_rate=35.0, horizon=20.0, scenario=BASELINE,
+        )
+        report = StreamSimulator(
+            illustrating_problem_70, allocation, arrival_rate=35.0
+        ).run(horizon=20.0)
+        assert estimate.latency <= report.mean_latency + 1e-9
+
+    def test_agrees_with_des_on_clearly_underloaded_cell(
+        self, illustrating_problem_70
+    ):
+        allocation = _allocation(illustrating_problem_70, [10, 30, 30])
+        scenario = ScenarioSpec(name="poisson", arrival=PoissonArrivals())
+        estimate = fluid_estimate(
+            illustrating_problem_70, allocation,
+            arrival_rate=35.0, horizon=20.0, scenario=scenario,
+        )
+        assert not estimate.flagged(0.85)
+        report = StreamSimulator(
+            illustrating_problem_70, allocation,
+            arrival_rate=35.0, scenario=scenario, seed=1,
+        ).run(horizon=20.0)
+        # the capacity verdict: the DES kept up with what actually arrived
+        assert report.completed >= 0.95 * report.arrivals
+
+    def test_invalid_inputs_rejected(self, illustrating_problem_70):
+        allocation = _allocation(illustrating_problem_70, [10, 30, 30])
+        with pytest.raises(SimulationError):
+            fluid_estimate(
+                illustrating_problem_70, allocation,
+                arrival_rate=0.0, horizon=20.0, scenario=BASELINE,
+            )
+        with pytest.raises(SimulationError):
+            fluid_estimate(
+                illustrating_problem_70, allocation,
+                arrival_rate=70.0, horizon=0.0, scenario=BASELINE,
+            )
+        empty = Allocation(split=ThroughputSplit.zeros(3), machines={}, cost=0)
+        with pytest.raises(SimulationError):
+            fluid_estimate(
+                illustrating_problem_70, empty,
+                arrival_rate=70.0, horizon=20.0, scenario=BASELINE,
+            )
