@@ -6,12 +6,21 @@ and seeded instance-failure windows — and runs it three ways, recording
 wall-clock into ``BENCH_scenarios.json``:
 
 * **serial** — :class:`SerialBackend`;
-* **parallel** — :class:`ProcessPoolBackend` with ``--workers`` processes,
-  asserting the record lines are **byte-identical** to the serial run (every
-  stochastic draw comes from a seed derived per (source, scenario) with
-  ``stable_text_digest``, so worker count must not change a single byte);
+* **parallel** — :class:`ProcessPoolBackend` with ``--workers`` processes at
+  the legacy one-cell-per-unit sharding, asserting the record lines are
+  **byte-identical** to the serial run (every stochastic draw comes from a
+  seed derived per (source, scenario) with ``stable_text_digest``, so worker
+  count must not change a single byte);
+* **parallel chunked** — the same pool at realistic shard sizes
+  (``chunk_policy='adaptive'``: many grid cells per pickled unit, persistent
+  worker state, index-only submission), recording ``speedup_chunked``
+  alongside the legacy per-unit ``speedup``;
 * **resume** — the campaign is interrupted after a fixed number of
   checkpointed work units and resumed, asserting byte-identity again.
+
+The report also samples the fast engine's event-core counters (heappush /
+heappop / dispatch-scan totals of one representative simulation) so the
+ROADMAP's calendar-queue question can be answered from bench artifacts.
 
 It also asserts the backward-compatibility contract: a scenario-free plan
 serialises without a ``scenarios`` field and its units without a ``scenario``
@@ -92,6 +101,32 @@ def assert_pre_scenario_format(plan: ValidationPlan) -> None:
             raise AssertionError("scenario-free unit leaked a 'scenario' field")
 
 
+def sample_event_counters(plan: ValidationPlan) -> dict:
+    """Event-core counters of one representative simulation of the campaign.
+
+    Replays the first grid cell through the fast engine directly and returns
+    ``metadata["event_counters"]`` — the heap-traffic numbers behind the
+    ROADMAP's "calendar queue?" question, captured per bench run instead of
+    requiring a cProfile session.
+    """
+    from repro.experiments.validation import _ExecutionContext, scenario_seed
+    from repro.simulation import StreamSimulator
+
+    context = _ExecutionContext(plan)
+    source = plan.sources[0]
+    scenario = plan.scenarios[0]
+    simulator = StreamSimulator(
+        context.problem(source),
+        context.allocation(0),
+        arrival_rate=source.rho * plan.rate_multipliers[0],
+        warmup_fraction=plan.warmup_fraction,
+        scenario=scenario,
+        seed=scenario_seed(plan.sweep_plan.base_seed, source, scenario),
+    )
+    report = simulator.run(horizon=plan.horizons[0], max_datasets=plan.max_datasets)
+    return dict(report.metadata["event_counters"])
+
+
 def run(smoke: bool, workers: int) -> dict:
     t0 = time.perf_counter()
     plan = build_campaign(smoke)
@@ -107,6 +142,15 @@ def run(smoke: bool, workers: int) -> dict:
     parallel = run_validation(plan, backend=ProcessPoolBackend(workers))
     parallel_seconds = time.perf_counter() - t0
     parallel_identical = record_lines(parallel) == serial_lines
+
+    # the same pool at realistic shard sizes: adaptive chunking + persistent
+    # worker state — the configuration the speedup story actually rides on
+    t0 = time.perf_counter()
+    chunked = run_validation(
+        plan, backend=ProcessPoolBackend(workers), chunk_policy="adaptive"
+    )
+    parallel_chunked_seconds = time.perf_counter() - t0
+    chunked_identical = record_lines(chunked) == serial_lines
 
     with tempfile.TemporaryDirectory() as tmp:
         resumed = run_interrupted_then_resume(plan, Path(tmp) / "campaign.jsonl", stop_after=2)
@@ -142,8 +186,14 @@ def run(smoke: bool, workers: int) -> dict:
         "per_simulation_seconds": serial_seconds / plan.num_simulations,
         "parallel_seconds": parallel_seconds,
         "speedup": serial_seconds / parallel_seconds if parallel_seconds > 0 else float("inf"),
+        "parallel_chunked_seconds": parallel_chunked_seconds,
+        "speedup_chunked": serial_seconds / parallel_chunked_seconds
+        if parallel_chunked_seconds > 0
+        else float("inf"),
         "parallel_identical": parallel_identical,
+        "parallel_chunked_identical": chunked_identical,
         "resume_identical": resume_identical,
+        "event_counters_sample": sample_event_counters(plan),
     }
 
 
@@ -159,26 +209,44 @@ def main(argv: list[str] | None = None) -> int:
         help="perf regression guard: instead of overwriting --out, read it as the "
              "committed baseline and fail if this run's per-simulation wall-clock "
              "exceeds twice the recorded per_simulation_seconds (smoke horizons are "
-             "shorter than the baseline's, so headroom is real, not accounting slack)",
+             "shorter than the baseline's, so headroom is real, not accounting slack); "
+             "also fails if chunked-parallel is slower than serial on a multi-CPU host",
+    )
+    parser.add_argument(
+        "--report", type=Path, default=None,
+        help="also write the measured report here — lets --check-budget runs "
+             "(where --out is the read-only baseline) still emit an artifact",
     )
     args = parser.parse_args(argv)
     report = run(smoke=args.smoke, workers=args.workers)
     if not args.check_budget:
         args.out.write_text(json.dumps(report, indent=2) + "\n")
+    if args.report is not None:
+        args.report.write_text(json.dumps(report, indent=2) + "\n")
 
     print(f"scenarios ({report['records']} records over "
           f"{report['campaign']['simulations']} simulations, "
           f"{len(report['campaign']['scenarios'])} scenarios)  "
           f"serial={report['serial_seconds']:.2f}s  "
           f"parallel[{report['workers']}]={report['parallel_seconds']:.2f}s  "
-          f"speedup={report['speedup']:.2f}x")
+          f"speedup={report['speedup']:.2f}x  "
+          f"chunked={report['parallel_chunked_seconds']:.2f}s  "
+          f"speedup_chunked={report['speedup_chunked']:.2f}x")
+    counters = report["event_counters_sample"]
+    print(f"event core (one simulation): {counters['heappush']} heappush, "
+          f"{counters['heappop']} heappop, {counters['dispatch_scan']} dispatch scans")
     for name, ratio in report["worst_throughput_ratio_by_scenario"].items():
         print(f"worst achieved/target ratio under {name}: {ratio:.3f}")
     print(f"parallel byte-identical to serial: {report['parallel_identical']}")
+    print(f"chunked byte-identical to serial:  {report['parallel_chunked_identical']}")
     print(f"resume byte-identical to serial:   {report['resume_identical']}")
 
-    if not (report["parallel_identical"] and report["resume_identical"]):
-        print("FAIL: parallel/resumed scenario campaign diverges from the serial run",
+    if not (
+        report["parallel_identical"]
+        and report["parallel_chunked_identical"]
+        and report["resume_identical"]
+    ):
+        print("FAIL: parallel/chunked/resumed scenario campaign diverges from the serial run",
               file=sys.stderr)
         return 1
     if args.check_budget:
@@ -196,6 +264,20 @@ def main(argv: list[str] | None = None) -> int:
                   f"{measured / budget:.2f}x past the committed budget in {args.out}",
                   file=sys.stderr)
             return 1
+        # chunked fan-out must beat serial — but only where there is real
+        # parallel hardware; on a single-CPU runner the pool cannot win and
+        # the check would only measure scheduler noise
+        if (report["cpu_count"] or 1) >= 2:
+            print(f"chunked speedup check: {report['speedup_chunked']:.2f}x "
+                  f"(fail below 1.00x on {report['cpu_count']} CPUs)")
+            if report["speedup_chunked"] < 1.0:
+                print(f"FAIL: chunked parallel is slower than serial "
+                      f"({report['speedup_chunked']:.2f}x) despite "
+                      f"{report['cpu_count']} CPUs", file=sys.stderr)
+                return 1
+        else:
+            print("chunked speedup check skipped: single-CPU runner "
+                  "(no parallel hardware to beat serial with)")
     else:
         print(f"report written to {args.out}")
     return 0

@@ -171,6 +171,7 @@ class Study:
             )
         self._reconcile_manifest()
 
+        memo = execution.build_memo()
         if sweep is None:
             sweep = run_plan(
                 spec.experiment_plan(),
@@ -181,6 +182,7 @@ class Study:
                 check=check,
                 chunk_size=execution.chunk_size,
                 capture_allocations=spec.capture_allocations,
+                memo=memo,
             )
         campaign = None
         if spec.validation is not None:
@@ -191,6 +193,8 @@ class Study:
                 resume=bool(resume) and _existing(validation_store),
                 progress=progress,
                 chunk_size=execution.chunk_size,
+                chunk_policy=execution.chunk_policy,
+                memo=memo,
             )
         return StudyResult(spec=spec, sweep=sweep, campaign=campaign)
 
@@ -329,20 +333,26 @@ class StudyBuilder:
         *,
         workers: int | None = None,
         chunk_size: int | None = None,
+        chunk_policy: str | None = None,
         store_dir=None,
         sweep_store=None,
         validation_store=None,
         resume: bool = False,
         capture_allocations: bool = False,
+        memo: bool = False,
+        memo_path=None,
     ) -> "StudyBuilder":
         self._execution = ExecutionSpec(
             workers=workers,
             chunk_size=chunk_size,
+            chunk_policy=chunk_policy,
             store_dir=store_dir,
             sweep_store=sweep_store,
             validation_store=validation_store,
             resume=resume,
             capture_allocations=capture_allocations,
+            memo=memo,
+            memo_path=memo_path,
         )
         return self
 

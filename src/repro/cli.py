@@ -77,6 +77,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--resume", action="store_true",
                        help="resume both pipeline stages from their checkpoints "
                             "(requires checkpoint stores in the spec or --store-dir)")
+    p_run.add_argument("--chunk-policy", type=str, default=None, metavar="POLICY",
+                       help="shard the validation campaign adaptively: 'adaptive' "
+                            "(~1.5 s of measured work per shard), 'target:SECONDS' "
+                            "or 'cells:N'")
+    p_run.add_argument("--memo", action="store_true",
+                       help="serve previously-computed cells from the result memo "
+                            "cache and write fresh cells back to it")
+    p_run.add_argument("--memo-path", type=Path, default=None, metavar="FILE",
+                       help="memo cache file (default: $REPRO_MEMO_PATH or "
+                            "~/.cache/repro-cloud/result-memo.jsonl; implies --memo)")
     p_run.add_argument("--profile", type=Path, default=None, metavar="STATS",
                        help="profile the pipeline with cProfile and dump the stats "
                             "to this file (inspect with 'python -m pstats')")
@@ -247,6 +257,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
             overrides["validation_store"] = None
         if args.resume:
             overrides["resume"] = True
+        if args.chunk_policy is not None:
+            overrides["chunk_policy"] = args.chunk_policy
+        if args.memo or args.memo_path is not None:
+            overrides["memo"] = True
+        if args.memo_path is not None:
+            overrides["memo_path"] = str(args.memo_path)
         # ExecutionSpec itself rejects resume without a checkpoint location,
         # so a bare `--resume` on a store-less spec fails cleanly here
         if overrides:

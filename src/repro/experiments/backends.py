@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Iterator, Protocol, Sequence, runtime_checkable
 
 from ..core.exceptions import ConfigurationError
@@ -45,11 +46,58 @@ __all__ = [
     "plan_work_units",
     "execute_work_unit",
     "execute_unit",
+    "parse_chunk_policy",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
     "make_backend",
 ]
+
+#: Per-shard wall-clock the adaptive chunk policy aims for.  Large enough
+#: that fork + pickle + result-transfer overhead (a few ms per unit) is
+#: noise, small enough that checkpoint granularity and work stealing stay
+#: useful (ISSUE 7 names 1-2 s as the target band).
+DEFAULT_CHUNK_TARGET_SECONDS = 1.5
+
+
+def parse_chunk_policy(policy: "str | None") -> "tuple[str, float] | None":
+    """Parse an :class:`~repro.experiments.spec.ExecutionSpec` chunk policy.
+
+    Three forms are accepted (``None`` means "no policy": keep the legacy
+    per-cell sharding byte-for-byte):
+
+    * ``"adaptive"`` — measure one cell, size shards to
+      :data:`DEFAULT_CHUNK_TARGET_SECONDS` of work each;
+    * ``"target:SECONDS"`` — like ``adaptive`` with an explicit per-shard
+      wall-clock target;
+    * ``"cells:N"`` — fixed shards of ``N`` grid cells each.
+
+    Returns ``("target", seconds)`` or ``("cells", n)``; raises
+    :class:`~repro.core.exceptions.ConfigurationError` on anything else.
+    """
+    if policy is None:
+        return None
+    text = str(policy).strip()
+    if text == "adaptive":
+        return ("target", DEFAULT_CHUNK_TARGET_SECONDS)
+    kind, sep, value = text.partition(":")
+    if sep and kind in ("target", "cells") and value:
+        try:
+            if kind == "cells":
+                cells = int(value)
+                if cells < 1:
+                    raise ValueError
+                return ("cells", float(cells))
+            seconds = float(value)
+            if not seconds > 0:
+                raise ValueError
+            return ("target", seconds)
+        except ValueError:
+            pass
+    raise ConfigurationError(
+        f"unknown chunk policy {policy!r} (choose 'adaptive', 'target:SECONDS' "
+        f"or 'cells:N')"
+    )
 
 
 def make_backend(
@@ -176,21 +224,41 @@ def execute_unit(plan, unit, *, check: bool = False, capture_allocations: bool =
     return unit.execute(plan, check=check, capture_allocations=capture_allocations)
 
 
-#: The plan of the pool this worker process belongs to, set once by the pool
-#: initializer.  Shipping the plan per *worker* instead of per *submit*
-#: matters for validation campaigns, whose plan embeds every captured
-#: allocation payload and can reach megabytes at paper scale.
+#: The plan and unit list of the pool this worker process belongs to, set once
+#: by the pool initializer.  Shipping both per *worker* instead of per
+#: *submit* matters for validation campaigns, whose plan embeds every
+#: captured allocation payload and can reach megabytes at paper scale — per
+#: task only a bare integer position travels over the pipe, and the
+#: plan-derived worker state (configurations, problems, resolved allocations;
+#: see ``_plan_context`` in :mod:`repro.experiments.validation`) is built
+#: once per worker process and reused across every shard it executes.
 _WORKER_PLAN = None
+_WORKER_UNITS: "tuple | None" = None
 
 
-def _initialize_worker(plan) -> None:
-    global _WORKER_PLAN
+def _initialize_worker(plan, units: "tuple | None" = None) -> None:
+    global _WORKER_PLAN, _WORKER_UNITS
     _WORKER_PLAN = plan
+    _WORKER_UNITS = units
 
 
 def _execute_with_worker_plan(unit, *, check: bool = False, capture_allocations: bool = False):
     return execute_unit(
         _WORKER_PLAN, unit, check=check, capture_allocations=capture_allocations
+    )
+
+
+def _execute_indexed(position: int, *, check: bool = False, capture_allocations: bool = False):
+    """Worker entry point of the index-only submission path.
+
+    ``position`` indexes the unit tuple the initializer shipped — the task
+    payload over the pipe is one integer, never a pickled unit.
+    """
+    return execute_unit(
+        _WORKER_PLAN,
+        _WORKER_UNITS[position],
+        check=check,
+        capture_allocations=capture_allocations,
     )
 
 
@@ -231,8 +299,17 @@ class ProcessPoolBackend:
 
     Results are yielded in completion order (so checkpointing and progress
     track real progress); the driver reassembles them in canonical unit
-    order.  ``max_pending`` bounds the number of in-flight futures so a
-    100-configuration sweep does not pickle every unit up front.
+    order.  ``max_pending`` bounds the number of in-flight task submissions
+    so a 100-configuration sweep does not queue every unit up front.
+
+    Worker state is persistent: the plan and the full unit list ship once per
+    worker process (pool initializer), each submitted task is a bare unit
+    *position*, and plan-derived objects (configurations, problems, resolved
+    allocations) are cached process-wide on the worker side and reused across
+    every shard it executes.  The default start method is ``forkserver``
+    (where available) with this module preloaded, so worker processes fork
+    from a small warmed-up server instead of the full driver process;
+    ``mp_context`` overrides the method explicitly.
     """
 
     def __init__(
@@ -250,6 +327,29 @@ class ProcessPoolBackend:
         if self.max_pending < 1:
             raise ConfigurationError(f"max_pending must be >= 1, got {self.max_pending}")
 
+    def _context(self):
+        import multiprocessing
+        import sys
+
+        if self.mp_context:
+            return multiprocessing.get_context(self.mp_context)
+        methods = multiprocessing.get_all_start_methods()
+        # forkserver (like spawn) re-imports __main__ in the server; a driver
+        # run from stdin / `python -c` / a REPL has no importable main module,
+        # so fall back to plain fork there rather than crash the pool
+        main = sys.modules.get("__main__")
+        main_file = getattr(main, "__file__", None)
+        main_importable = main_file is not None and Path(main_file).exists()
+        if "forkserver" in methods and main_importable:
+            context = multiprocessing.get_context("forkserver")
+            # preload so the server imports this package once and every worker
+            # forks from the warmed-up image instead of re-importing repro
+            context.set_forkserver_preload(["repro.experiments.backends"])
+            return context
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+        return None  # platform default (spawn on Windows/macOS)
+
     def run(
         self,
         plan,
@@ -258,26 +358,24 @@ class ProcessPoolBackend:
         check: bool = False,
         capture_allocations: bool = False,
     ) -> Iterator[tuple]:
-        import multiprocessing
-
-        queue = list(units)
+        queue = tuple(units)
         if not queue:  # e.g. resuming an already-complete checkpoint
             return
-        context = multiprocessing.get_context(self.mp_context) if self.mp_context else None
-        # the plan is pickled once per worker (initializer), not once per
-        # submitted unit — only the small unit value objects travel per task
+        # the plan and the unit tuple are pickled once per worker
+        # (initializer), not once per submitted task — per task only the
+        # integer position travels over the pipe
         pool = ProcessPoolExecutor(
             max_workers=self.workers,
-            mp_context=context,
+            mp_context=self._context(),
             initializer=_initialize_worker,
-            initargs=(plan,),
+            initargs=(plan, queue),
         )
         finished = False
 
-        def submit(unit):
+        def submit(position):
             return pool.submit(
-                _execute_with_worker_plan,
-                unit,
+                _execute_indexed,
+                position,
                 check=check,
                 capture_allocations=capture_allocations,
             )
@@ -286,8 +384,7 @@ class ProcessPoolBackend:
             pending = {}
             position = 0
             while position < len(queue) and len(pending) < self.max_pending:
-                unit = queue[position]
-                pending[submit(unit)] = unit
+                pending[submit(position)] = queue[position]
                 position += 1
             while pending:
                 done, _ = wait(pending, return_when=FIRST_COMPLETED)
@@ -295,8 +392,7 @@ class ProcessPoolBackend:
                     unit = pending.pop(future)
                     yield unit, future.result()
                     if position < len(queue):
-                        refill = queue[position]
-                        pending[submit(refill)] = refill
+                        pending[submit(position)] = queue[position]
                         position += 1
             finished = True
         finally:

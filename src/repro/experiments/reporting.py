@@ -68,7 +68,7 @@ def campaign_summary(campaign) -> str:
     """One-line description of a validation campaign (printed before the series)."""
     plan = campaign.plan
     captured = sum(1 for source in plan.sources if source.payload is not None)
-    return (
+    summary = (
         f"validation campaign '{plan.name}': {len(campaign.records)} simulations "
         f"({len(plan.sources)} allocations, {captured} captured / "
         f"{len(plan.sources) - captured} re-solved, horizons "
@@ -76,6 +76,10 @@ def campaign_summary(campaign) -> str:
         f"{', '.join(f'{m:g}' for m in plan.rate_multipliers)}, scenarios "
         f"{', '.join(scenario.name for scenario in plan.scenarios)})"
     )
+    stats = getattr(campaign, "memo_stats", None)
+    if stats is not None:
+        summary += f" [memo: {stats.hits} hit / {stats.misses} miss]"
+    return summary
 
 
 def render_campaign(campaign) -> str:

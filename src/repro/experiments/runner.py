@@ -176,6 +176,7 @@ class SweepResult:
 
     plan: ExperimentPlan
     records: list[RunRecord] = field(default_factory=list)
+    memo_stats: Any = field(default=None, repr=False, compare=False)
 
     # keyed indices, maintained lazily by _refresh_index()
     _indexed: int = field(default=0, init=False, repr=False, compare=False)
@@ -329,6 +330,32 @@ def run_configuration(
             )
 
 
+def _sweep_memo_study_key(
+    plan: ExperimentPlan, *, check: bool, capture_allocations: bool
+) -> str:
+    """The memo-cache study fingerprint of a sweep.
+
+    Hashes the workload setting, seeds and algorithm line-up (plus the
+    execution switches that change record content) while dropping the plan's
+    name and grid extents — so a renamed or widened sweep reuses the cells of
+    an earlier one.
+    """
+    from .config import plan_to_dict
+    from .memo import memo_key
+
+    data = plan_to_dict(plan)
+    for label in ("name", "num_configurations", "target_throughputs"):
+        data.pop(label, None)
+    return memo_key(
+        {
+            "kind": "sweep",
+            "plan": data,
+            "check": bool(check),
+            "capture_allocations": bool(capture_allocations),
+        }
+    )
+
+
 def run_plan(
     plan: ExperimentPlan,
     *,
@@ -339,6 +366,7 @@ def run_plan(
     check: bool = False,
     chunk_size: int | None = None,
     capture_allocations: bool = False,
+    memo=None,
 ) -> SweepResult:
     """Execute a full experiment plan and collect every record.
 
@@ -375,14 +403,23 @@ def run_plan(
         to keep checkpoint files small.  Only passed to the backend when set,
         so third-party backends unaware of the option keep working for plain
         sweeps.
+    memo:
+        Optional :class:`~repro.experiments.memo.ResultMemoStore` (or a path
+        to one).  Each (configuration, throughput) cell is fingerprinted;
+        cells already cached are served without solving, freshly solved cells
+        are written back, and the result's ``memo_stats`` reports hits and
+        misses (counted per cell).
     """
     from .backends import SerialBackend, plan_work_units
+    from .memo import MemoStats, ResultMemoStore, memo_key
     from .store import SweepStore
 
     if resume and store is None:
         raise ConfigurationError("resume=True requires a store (the checkpoint to resume from)")
     if isinstance(store, (str, Path)):
         store = SweepStore(store)
+    if isinstance(memo, (str, Path)):
+        memo = ResultMemoStore(memo)
     if backend is None:
         backend = SerialBackend()
     elif not isinstance(backend, SerialBackend) and any(
@@ -405,6 +442,46 @@ def run_plan(
         if completed and progress is not None:
             progress(f"[{plan.name}] resumed {len(completed)}/{total} work units from {store.path}")
     pending = [unit for unit in units if unit.index not in completed]
+
+    # memo pre-pass: a unit whose every (configuration, rho) cell is cached
+    # is served without solving; anything else runs and is written back
+    memo_stats = None
+    unit_cell_keys: dict[int, list[str]] = {}
+    records_per_cell = len(plan.algorithms)
+    study_key = (
+        _sweep_memo_study_key(plan, check=check, capture_allocations=capture_allocations)
+        if memo is not None
+        else ""
+    )
+    if memo is not None and pending:
+        memo_stats = MemoStats()
+        still_pending = []
+        for unit in pending:
+            keys = [
+                memo_key({"configuration": unit.configuration, "rho": float(rho)})
+                for rho in unit.throughputs
+            ]
+            cached = [memo.lookup(study_key, key) for key in keys]
+            if keys and all(entry is not None for entry in cached):
+                records = [
+                    RunRecord.from_dict(data) for entry in cached for data in entry
+                ]
+                memo_stats.hits += len(keys)
+                completed[unit.index] = records
+                if store is not None:
+                    store.append(unit, records)
+                if progress is not None:
+                    progress(
+                        f"[{plan.name}] work unit {len(completed)}/{total} served "
+                        f"from memo (configuration {unit.configuration + 1}/"
+                        f"{plan.num_configurations}, {len(records)} runs)"
+                    )
+            else:
+                memo_stats.misses += len(keys)
+                unit_cell_keys[unit.index] = keys
+                still_pending.append(unit)
+        pending = still_pending
+
     run_kwargs: dict = {"check": check}
     if capture_allocations:
         run_kwargs["capture_allocations"] = True
@@ -412,6 +489,15 @@ def run_plan(
         completed[unit.index] = records
         if store is not None:
             store.append(unit, records)
+        if memo is not None:
+            keys = unit_cell_keys.get(unit.index)
+            # records stream rho-major (algorithms innermost), one slice per cell
+            if keys is not None and len(records) == len(keys) * records_per_cell:
+                for position, key in enumerate(keys):
+                    slice_ = records[
+                        position * records_per_cell : (position + 1) * records_per_cell
+                    ]
+                    memo.put(study_key, key, [record.as_dict() for record in slice_])
         if progress is not None:
             progress(
                 f"[{plan.name}] work unit {len(completed)}/{total} done "
@@ -429,4 +515,5 @@ def run_plan(
     result = SweepResult(plan=plan)
     for unit in units:
         result.extend(completed[unit.index])
+    result.memo_stats = memo_stats
     return result

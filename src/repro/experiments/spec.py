@@ -186,20 +186,26 @@ class ExecutionSpec:
 
     workers: int | None = None
     chunk_size: int | None = None
+    chunk_policy: str | None = None
     store_dir: str | None = None
     sweep_store: str | None = None
     validation_store: str | None = None
     resume: bool = False
     capture_allocations: bool = False
+    memo: bool = False
+    memo_path: str | None = None
 
     _FIELDS = (
         "workers",
         "chunk_size",
+        "chunk_policy",
         "store_dir",
         "sweep_store",
         "validation_store",
         "resume",
         "capture_allocations",
+        "memo",
+        "memo_path",
     )
 
     def __post_init__(self) -> None:
@@ -213,10 +219,23 @@ class ExecutionSpec:
                 raise ConfigurationError(
                     f"chunk_size must be positive, got {self.chunk_size}"
                 )
-        for field_name in ("store_dir", "sweep_store", "validation_store"):
+        if self.chunk_policy is not None:
+            from .backends import parse_chunk_policy
+
+            object.__setattr__(self, "chunk_policy", str(self.chunk_policy))
+            parse_chunk_policy(self.chunk_policy)  # reject bad policies eagerly
+            if self.chunk_size is not None:
+                raise ConfigurationError(
+                    "chunk_size and chunk_policy are mutually exclusive; "
+                    "pick one way to shape the shards"
+                )
+        for field_name in ("store_dir", "sweep_store", "validation_store", "memo_path"):
             object.__setattr__(self, field_name, _as_path_text(getattr(self, field_name)))
         object.__setattr__(self, "resume", bool(self.resume))
         object.__setattr__(self, "capture_allocations", bool(self.capture_allocations))
+        object.__setattr__(self, "memo", bool(self.memo))
+        if self.memo_path is not None and not self.memo:
+            raise ConfigurationError("memo_path requires memo=True")
         if self.resume and not (self.store_dir or self.sweep_store or self.validation_store):
             raise ConfigurationError(
                 "resume=True requires a checkpoint location (store_dir, "
@@ -228,6 +247,15 @@ class ExecutionSpec:
         from .backends import make_backend
 
         return make_backend(self.workers)
+
+    def build_memo(self):
+        """The result-memo store this spec asks for (``None`` when disabled)."""
+        if not self.memo:
+            return None
+        from .memo import ResultMemoStore, default_memo_path
+
+        path = self.memo_path if self.memo_path is not None else default_memo_path()
+        return ResultMemoStore(path)
 
     def sweep_store_path(self, study_name: str) -> Path | None:
         if self.sweep_store is not None:

@@ -126,6 +126,21 @@ class JsonlCheckpointStore:
         self._begin_fresh_file(self._header(plan))
         return {}
 
+    def peek_units(self) -> dict[int, dict]:
+        """The stored unit dicts, keyed by index (``{}`` when no file exists).
+
+        A read-only look at how an existing checkpoint was sharded, used by
+        the adaptive-chunking driver to reproduce the original sharding on
+        resume instead of re-probing (a fresh probe could pick a different
+        span, which :meth:`initialize` would then rightly refuse).  No
+        fingerprint check happens here — :meth:`initialize` still performs
+        the full validation before anything is appended.
+        """
+        if not self.path.exists():
+            return {}
+        _, _, stored_units = self._load_checkpoint(None)
+        return stored_units
+
     def append(self, unit, records: list) -> None:
         """Checkpoint one completed work unit (durable append)."""
         append_jsonl(

@@ -44,6 +44,7 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -57,8 +58,9 @@ from ..simulation.engine import StreamSimulator
 from ..simulation.scenarios import DEFAULT_SCENARIO, ScenarioSpec
 from ..solvers.registry import ensure_default_solvers
 from ..utils.rng import derive_seed, stable_text_digest
-from .backends import SerialBackend
+from .backends import SerialBackend, parse_chunk_policy
 from .config import ExperimentPlan, plan_from_dict, plan_to_dict
+from .memo import MemoStats, ResultMemoStore, memo_key
 from .metrics import SeriesByAlgorithm
 from .runner import RHO_ABS_TOL, RHO_REL_TOL, AllocationPayload, SweepResult
 from .store import JsonlCheckpointStore
@@ -68,10 +70,12 @@ __all__ = [
     "scenario_seed",
     "ValidationPlan",
     "ValidationUnit",
+    "ValidationChunk",
     "ValidationRecord",
     "CampaignResult",
     "ValidationStore",
     "plan_from_sweep",
+    "plan_cells",
     "plan_validation_units",
     "validation_plan_to_dict",
     "validation_plan_from_dict",
@@ -508,68 +512,195 @@ class ValidationUnit:
         compatibility with the generic backend dispatch; neither applies to a
         simulation replay.
         """
+        context = _plan_context(plan)
+        return [
+            _simulate_cell(
+                plan, context, self.horizon, self.rate_multiplier,
+                self.scenario, source_index,
+            )
+            for source_index in self.sources
+        ]
+
+
+@dataclass(frozen=True)
+class ValidationChunk:
+    """One adaptively-sized campaign shard: a contiguous span of grid cells.
+
+    Where :class:`ValidationUnit` is bound to a single (horizon, multiplier,
+    scenario) cell of the grid, a chunk spans ``[start, stop)`` of the plan's
+    canonical cell list (:func:`plan_cells`) — many sources, horizons,
+    multipliers and scenarios in one picklable value, sized so each shard
+    carries enough simulation work to amortise the process-pool's per-task
+    overhead.  ``index`` is the chunk's position in the canonical unit order
+    (chunks tile the cell list in order), so checkpoint lines and reassembly
+    work exactly as for per-cell units; the dict form carries a ``"cells"``
+    span, which is how :class:`ValidationStore` tells the two shapes apart.
+    """
+
+    index: int
+    start: int
+    stop: int
+
+    def as_dict(self) -> dict:
+        return {"index": self.index, "cells": [self.start, self.stop]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ValidationChunk":
+        start, stop = data["cells"]
+        return cls(index=int(data["index"]), start=int(start), stop=int(stop))
+
+    def execute(
+        self,
+        plan: ValidationPlan,
+        *,
+        check: bool = False,
+        capture_allocations: bool = False,
+    ) -> list[ValidationRecord]:
+        """Simulate this chunk's cell span (worker-process entry point)."""
+        context = _plan_context(plan)
+        return [
+            _simulate_cell(plan, context, *cell)
+            for cell in context.cells[self.start : self.stop]
+        ]
+
+
+def _validation_unit_from_dict(data: Mapping):
+    """Checkpoint dispatch: a ``"cells"`` span is a chunk, anything else a unit."""
+    if "cells" in data:
+        return ValidationChunk.from_dict(data)
+    return ValidationUnit.from_dict(data)
+
+
+class _ExecutionContext:
+    """Per-process cache of the deterministic objects a plan's cells share.
+
+    Built once per (process, plan) by :func:`_plan_context` and reused across
+    every work unit the process executes — this is the persistent worker
+    state behind the :class:`~repro.experiments.backends.ProcessPoolBackend`
+    (whose initializer ships the plan once per worker), and an equal win for
+    serial runs.  Everything cached here is a pure function of the plan:
+    configurations regenerate from the sweep seeds, problems from the
+    configuration, allocations from the captured payload or the
+    deterministic re-solve — so reuse cannot change a single record byte.
+    """
+
+    def __init__(self, plan: ValidationPlan) -> None:
         ensure_default_solvers()  # the re-solve fallback needs the registry
-        scenario = plan.scenarios[self.scenario]
-        configurations: dict[int, Any] = {}
-        records: list[ValidationRecord] = []
-        for source_index in self.sources:
-            source = plan.sources[source_index]
-            configuration = configurations.get(source.configuration)
-            if configuration is None:
-                configuration = generate_configuration_at(
-                    plan.sweep_plan.setting,
-                    base_seed=plan.sweep_plan.base_seed,
-                    index=source.configuration,
-                )
-                configurations[source.configuration] = configuration
-            problem = configuration.problem(source.rho)
-            allocation = _resolve_allocation(plan.sweep_plan, source, problem)
-            arrival_rate = source.rho * self.rate_multiplier
-            if plan.screen == "fluid":
-                estimate = fluid_estimate(
-                    problem,
-                    allocation,
-                    arrival_rate=arrival_rate,
-                    horizon=self.horizon,
-                    scenario=scenario,
-                )
-                if not estimate.flagged(plan.screen_threshold):
-                    records.append(
-                        _fluid_record(source, self.horizon, self.rate_multiplier,
-                                      scenario, estimate)
-                    )
-                    continue
-            simulator = StreamSimulator(
-                problem,
-                allocation,
-                arrival_rate=arrival_rate,
-                warmup_fraction=plan.warmup_fraction,
-                scenario=scenario,
-                seed=scenario_seed(plan.sweep_plan.base_seed, source, scenario),
+        self.plan = plan
+        self._configurations: dict[int, Any] = {}
+        self._problems: dict[tuple[int, float], Any] = {}
+        self._allocations: dict[int, Any] = {}
+        self._cells: "list[tuple[float, float, int, int]] | None" = None
+
+    @property
+    def cells(self) -> "list[tuple[float, float, int, int]]":
+        if self._cells is None:
+            self._cells = plan_cells(self.plan)
+        return self._cells
+
+    def configuration(self, index: int):
+        configuration = self._configurations.get(index)
+        if configuration is None:
+            configuration = generate_configuration_at(
+                self.plan.sweep_plan.setting,
+                base_seed=self.plan.sweep_plan.base_seed,
+                index=index,
             )
-            report = simulator.run(horizon=self.horizon, max_datasets=plan.max_datasets)
-            records.append(
-                ValidationRecord(
-                    configuration=source.configuration,
-                    rho=source.rho,
-                    algorithm=source.algorithm,
-                    horizon=self.horizon,
-                    rate_multiplier=self.rate_multiplier,
-                    arrival_rate=report.target_throughput,
-                    arrivals=report.arrivals,
-                    completed=report.completed,
-                    achieved_throughput=report.achieved_throughput,
-                    throughput_ratio=report.throughput_ratio,
-                    mean_latency=report.mean_latency,
-                    max_latency=report.max_latency,
-                    utilization=_sorted_utilization(report.utilization),
-                    reorder_buffer_peak=report.reorder_buffer_peak,
-                    backlog=report.backlog,
-                    peak_in_flight=int(report.metadata.get("peak_in_flight", 0)),
-                    scenario=scenario.name,
-                )
+            self._configurations[index] = configuration
+        return configuration
+
+    def problem(self, source: AllocationSource):
+        key = (source.configuration, source.rho)
+        problem = self._problems.get(key)
+        if problem is None:
+            problem = self.configuration(source.configuration).problem(source.rho)
+            self._problems[key] = problem
+        return problem
+
+    def allocation(self, source_index: int):
+        allocation = self._allocations.get(source_index)
+        if allocation is None:
+            source = self.plan.sources[source_index]
+            allocation = _resolve_allocation(
+                self.plan.sweep_plan, source, self.problem(source)
             )
-        return records
+            self._allocations[source_index] = allocation
+        return allocation
+
+
+_CONTEXT: "_ExecutionContext | None" = None
+
+
+def _plan_context(plan: ValidationPlan) -> _ExecutionContext:
+    """The process-wide execution context of ``plan`` (one live slot).
+
+    Keyed by object identity: in a pool worker the plan is the one object the
+    initializer shipped, so all shards the worker executes share a context;
+    a serial driver running several plans in turn rebuilds the slot per plan.
+    """
+    global _CONTEXT
+    if _CONTEXT is None or _CONTEXT.plan is not plan:
+        _CONTEXT = _ExecutionContext(plan)
+    return _CONTEXT
+
+
+def _simulate_cell(
+    plan: ValidationPlan,
+    context: _ExecutionContext,
+    horizon: float,
+    rate_multiplier: float,
+    scenario_index: int,
+    source_index: int,
+) -> ValidationRecord:
+    """Run one grid cell — the shared body of every unit shape.
+
+    Byte-for-byte the record the original per-unit loop produced: the
+    simulation seed depends only on (source, scenario), so how cells are
+    grouped into units can never change a record.
+    """
+    source = plan.sources[source_index]
+    scenario = plan.scenarios[scenario_index]
+    problem = context.problem(source)
+    allocation = context.allocation(source_index)
+    arrival_rate = source.rho * rate_multiplier
+    if plan.screen == "fluid":
+        estimate = fluid_estimate(
+            problem,
+            allocation,
+            arrival_rate=arrival_rate,
+            horizon=horizon,
+            scenario=scenario,
+        )
+        if not estimate.flagged(plan.screen_threshold):
+            return _fluid_record(source, horizon, rate_multiplier, scenario, estimate)
+    simulator = StreamSimulator(
+        problem,
+        allocation,
+        arrival_rate=arrival_rate,
+        warmup_fraction=plan.warmup_fraction,
+        scenario=scenario,
+        seed=scenario_seed(plan.sweep_plan.base_seed, source, scenario),
+    )
+    report = simulator.run(horizon=horizon, max_datasets=plan.max_datasets)
+    return ValidationRecord(
+        configuration=source.configuration,
+        rho=source.rho,
+        algorithm=source.algorithm,
+        horizon=horizon,
+        rate_multiplier=rate_multiplier,
+        arrival_rate=report.target_throughput,
+        arrivals=report.arrivals,
+        completed=report.completed,
+        achieved_throughput=report.achieved_throughput,
+        throughput_ratio=report.throughput_ratio,
+        mean_latency=report.mean_latency,
+        max_latency=report.max_latency,
+        utilization=_sorted_utilization(report.utilization),
+        reorder_buffer_peak=report.reorder_buffer_peak,
+        backlog=report.backlog,
+        peak_in_flight=int(report.metadata.get("peak_in_flight", 0)),
+        scenario=scenario.name,
+    )
 
 
 def _fluid_record(
@@ -642,20 +773,76 @@ def _resolve_allocation(sweep_plan: ExperimentPlan, source: AllocationSource, pr
     return spec.build(seed=seed).solve(problem, check=False).allocation
 
 
+def plan_cells(plan: ValidationPlan) -> list[tuple[float, float, int, int]]:
+    """The campaign grid as a flat ``(horizon, multiplier, scenario, source)`` list.
+
+    This is the *canonical cell order*: exactly the order in which the default
+    (unchunked) unit list emits records — horizons × multipliers × scenarios
+    outermost, sources grouped per sweep configuration innermost.  Chunked
+    units tile this list in contiguous spans, which is what keeps a chunked
+    campaign's record stream byte-identical to an unchunked one regardless of
+    chunk size.
+    """
+    source_order = [index for chunk in _source_chunks(plan, None) for index in chunk]
+    cells: list[tuple[float, float, int, int]] = []
+    for horizon in plan.horizons:
+        for multiplier in plan.rate_multipliers:
+            for scenario_index in range(len(plan.scenarios)):
+                for source_index in source_order:
+                    cells.append(
+                        (float(horizon), float(multiplier), scenario_index, source_index)
+                    )
+    return cells
+
+
+def _unit_cells(plan: ValidationPlan, unit, cells) -> list[tuple[float, float, int, int]]:
+    """The grid cells a unit covers, in its record-emission order."""
+    if isinstance(unit, ValidationChunk):
+        return list(cells[unit.start : unit.stop])
+    return [
+        (unit.horizon, unit.rate_multiplier, unit.scenario, source_index)
+        for source_index in unit.sources
+    ]
+
+
 def plan_validation_units(
-    plan: ValidationPlan, *, chunk_size: int | None = None
-) -> list[ValidationUnit]:
+    plan: ValidationPlan,
+    *,
+    chunk_size: int | None = None,
+    cells_per_unit: int | None = None,
+) -> list:
     """Shard a campaign into its canonical list of work units.
 
-    ``chunk_size`` bounds the number of sources per unit; the default groups
-    all sources of one (horizon, multiplier, scenario) cell that share a
-    sweep configuration, so each unit regenerates its configuration once.
+    Two sharding shapes share the same record order:
+
+    * the default (``cells_per_unit=None``) emits one :class:`ValidationUnit`
+      per (horizon, multiplier, scenario, configuration) group —
+      ``chunk_size`` optionally bounds the number of sources per unit;
+    * ``cells_per_unit=N`` emits :class:`ValidationChunk` spans tiling the
+      canonical cell list (:func:`plan_cells`) ``N`` cells at a time — the
+      adaptive-sharding shape, whose per-shard cost the driver sizes from a
+      measured per-cell estimate.
+
     The scenario loop sits innermost of the grid axes, so a single-scenario
     plan produces exactly the unit list (and indices) of the pre-scenario
     format.
     """
     if chunk_size is not None and chunk_size <= 0:
         raise ConfigurationError(f"chunk_size must be positive, got {chunk_size}")
+    if cells_per_unit is not None:
+        if chunk_size is not None:
+            raise ConfigurationError(
+                "chunk_size and cells_per_unit are mutually exclusive"
+            )
+        if cells_per_unit <= 0:
+            raise ConfigurationError(
+                f"cells_per_unit must be positive, got {cells_per_unit}"
+            )
+        total = len(plan_cells(plan))
+        return [
+            ValidationChunk(index=index, start=start, stop=min(start + cells_per_unit, total))
+            for index, start in enumerate(range(0, total, cells_per_unit))
+        ]
     units: list[ValidationUnit] = []
     for horizon in plan.horizons:
         for multiplier in plan.rate_multipliers:
@@ -698,6 +885,7 @@ class CampaignResult:
 
     plan: ValidationPlan
     records: list[ValidationRecord] = field(default_factory=list)
+    memo_stats: "MemoStats | None" = field(default=None, repr=False, compare=False)
 
     def algorithms(self) -> list[str]:
         seen: dict[str, None] = {}
@@ -945,7 +1133,7 @@ class ValidationStore(JsonlCheckpointStore):
     _fingerprint = staticmethod(validation_fingerprint)
     _plan_to_dict = staticmethod(validation_plan_to_dict)
     _plan_from_dict = staticmethod(validation_plan_from_dict)
-    _unit_from_dict = staticmethod(ValidationUnit.from_dict)
+    _unit_from_dict = staticmethod(_validation_unit_from_dict)
     _record_from_dict = staticmethod(ValidationRecord.from_dict)
 
 
@@ -979,6 +1167,151 @@ def load_campaign(path: str | Path, *, allow_partial: bool = False) -> CampaignR
 # --------------------------------------------------------------------------- #
 
 
+def _memo_study_key(plan: ValidationPlan) -> str:
+    """The memo-cache study fingerprint of a validation campaign.
+
+    Hashes everything that determines how one cell's records are computed:
+    the sweep plan the campaign replays (minus its name and grid extents —
+    labels and outer-loop bounds never change a cell) plus the campaign's
+    warm-up fraction, data-set cap and screen tier.  Horizons / multipliers /
+    scenarios are cell coordinates, not study parameters, so they live in the
+    cell key — a wider grid reuses the cells of a narrower one.
+    """
+    sweep = plan_to_dict(plan.sweep_plan)
+    for label in ("name", "num_configurations", "target_throughputs"):
+        sweep.pop(label, None)
+    return memo_key(
+        {
+            "kind": "validation",
+            "sweep_plan": sweep,
+            "warmup_fraction": plan.warmup_fraction,
+            "max_datasets": plan.max_datasets,
+            "screen": plan.screen,
+            "screen_threshold": plan.screen_threshold,
+        }
+    )
+
+
+def _memo_cell_key(plan: ValidationPlan, cell: tuple[float, float, int, int]) -> str:
+    """The memo-cache fingerprint of one grid cell.
+
+    The source dict carries the captured allocation payload, so a cell solved
+    to a different allocation (or re-solved without capture) can never be
+    served another allocation's records; the scenario dict carries the full
+    injection spec, so a renamed-but-identical scenario still hits while any
+    parameter change misses.
+    """
+    horizon, rate_multiplier, scenario_index, source_index = cell
+    return memo_key(
+        {
+            "source": plan.sources[source_index].as_dict(),
+            "horizon": horizon,
+            "rate_multiplier": rate_multiplier,
+            "scenario": plan.scenarios[scenario_index].as_dict(),
+        }
+    )
+
+
+def _probe_cell_seconds(plan: ValidationPlan, cells) -> float:
+    """Measure one cell's wall-clock cost, scaled to the grid's mean horizon.
+
+    Runs the first canonical cell once (its record is discarded — the real
+    run recomputes it, so determinism is untouched) and scales the elapsed
+    time by mean-horizon/probe-horizon, since simulation cost is roughly
+    linear in the horizon.
+    """
+    context = _plan_context(plan)
+    probe = cells[0]
+    started = time.perf_counter()
+    _simulate_cell(plan, context, *probe)
+    elapsed = max(time.perf_counter() - started, 1e-6)
+    probe_horizon = probe[0]
+    mean_horizon = sum(cell[0] for cell in cells) / len(cells)
+    return elapsed * (mean_horizon / probe_horizon)
+
+
+def _chunked_cells_per_unit(
+    plan: ValidationPlan,
+    cells,
+    *,
+    policy: tuple[str, float],
+    backend,
+    store: "ValidationStore | None",
+    resume: bool,
+) -> int:
+    """Pick the cell span per chunk for a policy-driven run.
+
+    On resume against an existing chunked checkpoint the span is recovered
+    from the stored unit dicts (re-probing could pick a different span and
+    the store refuses mismatched sharding); otherwise ``cells:N`` is taken
+    literally and ``target:SECONDS`` divides the target by a measured
+    per-cell cost.  With a multi-worker backend the span is capped so every
+    worker gets several chunks — load balance beats amortisation once chunks
+    are big enough.
+    """
+    if resume and store is not None:
+        stored = store.peek_units()
+        if stored:
+            first = min(stored.values(), key=lambda data: data["index"])
+            if "cells" in first:
+                start, stop = first["cells"]
+                if first["index"] > 0:
+                    return max(1, int(start) // int(first["index"]))
+                return max(1, int(stop) - int(start))
+            # the checkpoint was written unchunked; keep its sharding
+            return 0
+    kind, value = policy
+    if kind == "cells":
+        cells_per_unit = int(value)
+    else:
+        per_cell = _probe_cell_seconds(plan, cells)
+        cells_per_unit = max(1, int(value / per_cell))
+    workers = int(getattr(backend, "workers", 1) or 1)
+    if workers > 1:
+        cells_per_unit = min(
+            cells_per_unit, max(1, math.ceil(len(cells) / (4 * workers)))
+        )
+    return max(1, cells_per_unit)
+
+
+def _plan_units_for_run(
+    plan: ValidationPlan,
+    *,
+    backend,
+    store: "ValidationStore | None",
+    resume: bool,
+    chunk_size: int | None,
+    chunk_policy: "str | None",
+) -> list:
+    """Shard the campaign for one driver run, honouring the chunk policy."""
+    policy = parse_chunk_policy(chunk_policy)
+    if policy is None:
+        return plan_validation_units(plan, chunk_size=chunk_size)
+    if chunk_size is not None:
+        raise ConfigurationError(
+            "chunk_size and chunk_policy are mutually exclusive; "
+            "pick one way to shape the shards"
+        )
+    cells = plan_cells(plan)
+    if not cells:
+        return plan_validation_units(plan)
+    cells_per_unit = _chunked_cells_per_unit(
+        plan, cells, policy=policy, backend=backend, store=store, resume=resume
+    )
+    if cells_per_unit == 0:  # resuming an unchunked checkpoint
+        return plan_validation_units(plan)
+    return plan_validation_units(plan, cells_per_unit=cells_per_unit)
+
+
+def _unit_label(plan: ValidationPlan, unit) -> str:
+    if isinstance(unit, ValidationChunk):
+        return f"cells {unit.start}..{unit.stop}"
+    return (
+        f"horizon {unit.horizon:g}, rate x{unit.rate_multiplier:g}, "
+        f"scenario {plan.scenarios[unit.scenario].name}"
+    )
+
+
 def run_validation(
     plan: ValidationPlan,
     *,
@@ -987,25 +1320,46 @@ def run_validation(
     resume: bool = False,
     progress: Callable[[str], None] | None = None,
     chunk_size: int | None = None,
+    chunk_policy: "str | None" = None,
+    memo: "ResultMemoStore | str | Path | None" = None,
 ) -> CampaignResult:
     """Execute a validation campaign and collect every record.
 
     The exact counterpart of :func:`~repro.experiments.runner.run_plan`: the
-    campaign is sharded into :class:`ValidationUnit` s, streamed through an
+    campaign is sharded into work units, streamed through an
     :class:`~repro.experiments.backends.ExecutionBackend` (serial by default,
     pass a :class:`~repro.experiments.backends.ProcessPoolBackend` to
     parallelise), optionally checkpointed per unit into a
     :class:`ValidationStore` and resumable with ``resume=True``.  Records are
     reassembled in canonical unit order, so backend choice and completion
     order never change the result — the simulation itself is deterministic.
+
+    ``chunk_policy`` (``'adaptive'``, ``'target:SECONDS'`` or ``'cells:N'``)
+    switches sharding from one unit per grid cell to contiguous
+    :class:`ValidationChunk` spans of the canonical cell list, sized so each
+    shard amortises the pool's fork/pickle overhead; record bytes are
+    identical either way.  ``memo`` attaches a
+    :class:`~repro.experiments.memo.ResultMemoStore`: cells whose
+    ``(study, cell)`` fingerprints are cached are served without simulating,
+    freshly computed cells are written back, and the result's ``memo_stats``
+    reports hits/misses.
     """
     if resume and store is None:
         raise ConfigurationError("resume=True requires a store (the checkpoint to resume from)")
     if isinstance(store, (str, Path)):
         store = ValidationStore(store)
+    if isinstance(memo, (str, Path)):
+        memo = ResultMemoStore(memo)
     if backend is None:
         backend = SerialBackend()
-    units = plan_validation_units(plan, chunk_size=chunk_size)
+    units = _plan_units_for_run(
+        plan,
+        backend=backend,
+        store=store,
+        resume=resume,
+        chunk_size=chunk_size,
+        chunk_policy=chunk_policy,
+    )
     total = len(units)
     completed: dict[int, list[ValidationRecord]] = {}
     if store is not None:
@@ -1015,15 +1369,50 @@ def run_validation(
                 f"[{plan.name}] resumed {len(completed)}/{total} work units from {store.path}"
             )
     pending = [unit for unit in units if unit.index not in completed]
+
+    memo_stats: "MemoStats | None" = None
+    unit_cell_keys: dict[int, list[str]] = {}
+    study_key = _memo_study_key(plan) if memo is not None else ""
+    if memo is not None and pending:
+        memo_stats = MemoStats()
+        cells = plan_cells(plan)
+        still_pending: list = []
+        for unit in pending:
+            keys = [_memo_cell_key(plan, cell) for cell in _unit_cells(plan, unit, cells)]
+            cached = [memo.lookup(study_key, key) for key in keys]
+            if keys and all(entry is not None for entry in cached):
+                records = [
+                    ValidationRecord.from_dict(entry[0]) for entry in cached
+                ]
+                memo_stats.hits += len(keys)
+                completed[unit.index] = records
+                if store is not None:
+                    store.append(unit, records)
+                if progress is not None:
+                    progress(
+                        f"[{plan.name}] work unit {len(completed)}/{total} served "
+                        f"from memo ({_unit_label(plan, unit)}, "
+                        f"{len(records)} simulations)"
+                    )
+            else:
+                memo_stats.misses += len(keys)
+                unit_cell_keys[unit.index] = keys
+                still_pending.append(unit)
+        pending = still_pending
+
     for unit, records in backend.run(plan, pending, check=False):
         completed[unit.index] = records
         if store is not None:
             store.append(unit, records)
+        if memo is not None:
+            keys = unit_cell_keys.get(unit.index)
+            if keys is not None and len(keys) == len(records):
+                for key, record in zip(keys, records):
+                    memo.put(study_key, key, [record.as_dict()])
         if progress is not None:
             progress(
                 f"[{plan.name}] work unit {len(completed)}/{total} done "
-                f"(horizon {unit.horizon:g}, rate x{unit.rate_multiplier:g}, "
-                f"scenario {plan.scenarios[unit.scenario].name}, "
+                f"({_unit_label(plan, unit)}, "
                 f"{len(records)} simulations)"
             )
     missing = [unit.index for unit in units if unit.index not in completed]
@@ -1036,4 +1425,5 @@ def run_validation(
     result = CampaignResult(plan=plan)
     for unit in units:
         result.extend(completed[unit.index])
+    result.memo_stats = memo_stats
     return result

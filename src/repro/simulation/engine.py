@@ -257,7 +257,8 @@ class StreamSimulator:
         # increments per push exactly like EventQueue's counter, so the
         # (time, sequence) stream matches the reference engine's event order
         events: list = []
-        seq = 0
+        seq = 0  # total event-heap pushes, doubling as the heappush counter
+        dispatch_scan = 0  # instances examined while picking dispatch targets
         push = heappush
         pop = heappop
         replace = heapreplace
@@ -308,6 +309,7 @@ class StreamSimulator:
                         work = info[0]
                         if now < info[4]:  # type failure window open (rare)
                             target = pool.select_instance(info[3], now)
+                            dispatch_scan += 1
                             target.queue.append((ds_id, succ, work))
                             tw = target._pending_work + work
                             target._pending_work = tw
@@ -321,6 +323,7 @@ class StreamSimulator:
                                 if w < best:
                                     best = w
                                     target = cand
+                            dispatch_scan += len(sel)
                             target.queue.append((ds_id, succ, work))
                             target._pending_work = best + work
                         elif sel is None:
@@ -332,6 +335,7 @@ class StreamSimulator:
                             while True:
                                 entry = sel[0]
                                 target = entry[2]
+                                dispatch_scan += 1
                                 if entry[0] == target._pending_work:
                                     break
                                 pop(sel)
@@ -417,6 +421,7 @@ class StreamSimulator:
                     work = info[0]
                     if now < info[4]:  # type failure window open (rare)
                         target = pool.select_instance(info[3], now)
+                        dispatch_scan += 1
                         target.queue.append((ds_id, task_id, work))
                         tw = target._pending_work + work
                         target._pending_work = tw
@@ -430,6 +435,7 @@ class StreamSimulator:
                             if w < best:
                                 best = w
                                 target = cand
+                        dispatch_scan += len(sel)
                         target.queue.append((ds_id, task_id, work))
                         target._pending_work = best + work
                     elif sel is None:
@@ -441,6 +447,7 @@ class StreamSimulator:
                         while True:
                             entry = sel[0]
                             target = entry[2]
+                            dispatch_scan += 1
                             if entry[0] == target._pending_work:
                                 break
                             pop(sel)
@@ -502,6 +509,11 @@ class StreamSimulator:
         return self._report(
             horizon, arrivals, latencies, completions, pool, reorder_peak,
             recipe_mix, len(datasets), peak_in_flight,
+            event_counters={
+                "heappush": seq,
+                "heappop": seq - len(events),
+                "dispatch_scan": dispatch_scan,
+            },
         )
 
     # ------------------------------------------------------------------ #
@@ -630,6 +642,7 @@ class StreamSimulator:
         recipe_mix: tuple[float, ...],
         backlog: int,
         peak_in_flight: int,
+        event_counters: "dict | None" = None,
     ) -> SimulationReport:
         warmup = horizon * self.warmup_fraction
         window = horizon - warmup
@@ -642,6 +655,12 @@ class StreamSimulator:
         achieved = steady / window if window > 0 else 0.0
         window_throughput = in_window / window if window > 0 else 0.0
         mean_latency, max_latency = SimulationReport.latency_stats(latencies)
+        metadata: dict = {
+            "num_instances": pool.num_instances,
+            "peak_in_flight": peak_in_flight,
+        }
+        if event_counters is not None:
+            metadata["event_counters"] = event_counters
         return SimulationReport(
             horizon=horizon,
             arrivals=arrivals,
@@ -657,5 +676,5 @@ class StreamSimulator:
             warmup=warmup,
             window_throughput=window_throughput,
             scenario=self.scenario.name,
-            metadata={"num_instances": pool.num_instances, "peak_in_flight": peak_in_flight},
+            metadata=metadata,
         )

@@ -121,6 +121,42 @@ class TestStrictness:
         with pytest.raises(ConfigurationError, match="resume"):
             ExecutionSpec(resume=True)
 
+    def test_chunk_policy_and_memo_round_trip(self):
+        spec = ExecutionSpec(chunk_policy="target:2.0", memo=True,
+                             memo_path="cache/memo.jsonl")
+        assert ExecutionSpec.from_dict(spec.as_dict()) == spec
+        # a pre-policy spec dict (missing the new fields) still loads
+        legacy = {"workers": 2, "chunk_size": 1}
+        assert ExecutionSpec.from_dict(legacy).chunk_policy is None
+        assert ExecutionSpec.from_dict(legacy).memo is False
+
+    def test_invalid_chunk_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown chunk policy"):
+            ExecutionSpec(chunk_policy="every-other-tuesday")
+        with pytest.raises(ConfigurationError, match="unknown chunk policy"):
+            ExecutionSpec(chunk_policy="cells:0")
+        with pytest.raises(ConfigurationError, match="unknown chunk policy"):
+            ExecutionSpec(chunk_policy="target:-1")
+
+    def test_chunk_size_and_chunk_policy_conflict(self):
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            ExecutionSpec(chunk_size=2, chunk_policy="adaptive")
+
+    def test_memo_path_requires_memo(self):
+        with pytest.raises(ConfigurationError, match="memo_path requires"):
+            ExecutionSpec(memo_path="cache/memo.jsonl")
+
+    def test_build_memo(self, tmp_path):
+        assert ExecutionSpec().build_memo() is None
+        store = ExecutionSpec(memo=True, memo_path=str(tmp_path / "m.jsonl")).build_memo()
+        assert store is not None
+        assert store.path == tmp_path / "m.jsonl"
+
+    def test_chunk_policy_does_not_change_fingerprint(self):
+        spec = tiny_spec()
+        tuned = spec.with_execution(chunk_policy="adaptive", memo=True)
+        assert tuned.fingerprint() == spec.fingerprint()
+
     def test_seed_sensitive_defaults_from_registry(self):
         assert algorithm_spec_from_dict({"name": "H2"}).seed_sensitive is True
         assert algorithm_spec_from_dict({"name": "ILP"}).seed_sensitive is False

@@ -235,6 +235,99 @@ class TestCampaignExecution:
         with pytest.raises(ConfigurationError, match="requires a store"):
             run_validation(campaign_plan, resume=True)
 
+    def test_adaptive_chunking_byte_identical_to_serial(
+        self, campaign_plan, serial_campaign
+    ):
+        # fixed-span chunks and probe-sized adaptive chunks both tile the
+        # canonical cell list, so record bytes cannot depend on the policy
+        fixed = run_validation(campaign_plan, chunk_policy="cells:5")
+        assert record_lines(fixed) == record_lines(serial_campaign)
+        adaptive = run_validation(campaign_plan, chunk_policy="adaptive")
+        assert record_lines(adaptive) == record_lines(serial_campaign)
+
+    def test_adaptive_chunking_parallel_byte_identical(
+        self, campaign_plan, serial_campaign
+    ):
+        pooled = run_validation(
+            campaign_plan, chunk_policy="cells:3", backend=ProcessPoolBackend(2)
+        )
+        assert record_lines(pooled) == record_lines(serial_campaign)
+
+    def test_chunk_size_and_chunk_policy_conflict(self, campaign_plan):
+        with pytest.raises(ConfigurationError, match="mutually exclusive"):
+            run_validation(campaign_plan, chunk_size=1, chunk_policy="cells:2")
+
+    def test_unknown_chunk_policy_rejected(self, campaign_plan):
+        with pytest.raises(ConfigurationError, match="unknown chunk policy"):
+            run_validation(campaign_plan, chunk_policy="bogus:3")
+
+    def test_resume_mid_chunk_with_truncated_tail(
+        self, tmp_path, campaign_plan, serial_campaign
+    ):
+        """A kill mid-append inside a *chunked* campaign — the final JSONL
+        line torn partway through a multi-cell unit — must resume to records
+        byte-identical to the serial campaign."""
+
+        class _Interrupt(Exception):
+            pass
+
+        path = tmp_path / "campaign.jsonl"
+        done = 0
+
+        def tripwire(_msg):
+            nonlocal done
+            done += 1
+            if done >= 2:
+                raise _Interrupt
+
+        with pytest.raises(_Interrupt):
+            run_validation(
+                campaign_plan,
+                store=ValidationStore(path),
+                progress=tripwire,
+                chunk_policy="cells:5",
+            )
+        # tear the last checkpoint line mid-record, as a power cut would
+        torn = path.read_bytes()[:-40]
+        path.write_bytes(torn)
+        resumed = run_validation(
+            campaign_plan,
+            store=ValidationStore(path),
+            resume=True,
+            chunk_policy="cells:5",
+        )
+        assert record_lines(resumed) == record_lines(serial_campaign)
+        assert record_lines(load_campaign(path)) == record_lines(serial_campaign)
+
+    def test_resume_recovers_chunk_span_from_checkpoint(
+        self, tmp_path, campaign_plan, serial_campaign
+    ):
+        """Resuming with a *different* policy value must reuse the span the
+        checkpoint was written with (the store refuses mixed sharding)."""
+
+        class _Interrupt(Exception):
+            pass
+
+        path = tmp_path / "campaign.jsonl"
+
+        def tripwire(_msg):
+            raise _Interrupt
+
+        with pytest.raises(_Interrupt):
+            run_validation(
+                campaign_plan,
+                store=ValidationStore(path),
+                progress=tripwire,
+                chunk_policy="cells:4",
+            )
+        resumed = run_validation(
+            campaign_plan,
+            store=ValidationStore(path),
+            resume=True,
+            chunk_policy="adaptive",
+        )
+        assert record_lines(resumed) == record_lines(serial_campaign)
+
     def test_campaign_sustains_design_point(self, serial_campaign):
         # the paper's claim, checked end to end: at the design rate every
         # exact allocation keeps up within the simulator's tolerance

@@ -55,13 +55,27 @@ SCENARIOS = [
 ]
 
 
+def _comparable(report):
+    """The report with the fast engine's diagnostic counters stripped.
+
+    ``metadata["event_counters"]`` is instrumentation of the fast event core
+    (the reference loop doesn't carry it), so equivalence compares everything
+    *except* that key — which also documents that the counters are diagnostic
+    metadata, never record content.
+    """
+    from dataclasses import replace
+
+    metadata = {k: v for k, v in report.metadata.items() if k != "event_counters"}
+    return replace(report, metadata=metadata)
+
+
 def _both(problem, allocation, *, scenario, seed, horizon, max_datasets=None, **kw):
     reports = []
     for engine in ("fast", "reference"):
         sim = StreamSimulator(
             problem, allocation, scenario=scenario, seed=seed, engine=engine, **kw
         )
-        reports.append(sim.run(horizon=horizon, max_datasets=max_datasets))
+        reports.append(_comparable(sim.run(horizon=horizon, max_datasets=max_datasets)))
     return reports
 
 
@@ -114,6 +128,28 @@ class TestEngineEquivalence:
                 problem, allocation, scenario=scenario, seed=seed, horizon=12.0
             )
             assert fast == reference
+
+
+class TestEventCounters:
+    def test_fast_engine_reports_event_core_counters(self, illustrating_problem_70):
+        """The fast engine publishes heappush/heappop/dispatch-scan totals in
+        report metadata — the numbers the ROADMAP's calendar-queue question
+        needs — while the reference engine stays counter-free."""
+        allocation = illustrating_problem_70.allocation_for([10, 30, 30])
+        sim = StreamSimulator(
+            illustrating_problem_70, allocation, scenario=SCENARIOS[3], seed=1
+        )
+        report = sim.run(horizon=8.0)
+        counters = report.metadata["event_counters"]
+        assert set(counters) == {"heappush", "heappop", "dispatch_scan"}
+        assert counters["heappush"] >= counters["heappop"] > 0
+        assert counters["dispatch_scan"] > 0
+
+        reference = StreamSimulator(
+            illustrating_problem_70, allocation,
+            scenario=SCENARIOS[3], seed=1, engine="reference",
+        ).run(horizon=8.0)
+        assert "event_counters" not in reference.metadata
 
 
 class TestWakeDedupe:

@@ -354,6 +354,50 @@ class TestRunCommand:
 
 
 
+    def test_run_memo_repeated_all_hits_byte_identical(self, capsys, tmp_path):
+        """The memo acceptance criterion: a repeated `run --memo` against a
+        fresh store dir completes with 100% memo hits and writes checkpoint
+        files byte-identical to the first run's."""
+        import json
+
+        memo = tmp_path / "memo.jsonl"
+        first_study = tmp_path / "first.json"
+        first_study.write_text(json.dumps(_tiny_study_dict(
+            tmp_path / "a-sweep.jsonl", tmp_path / "a-campaign.jsonl")))
+        assert main(["run", str(first_study), "--memo",
+                     "--memo-path", str(memo), "--quiet"]) == 0
+        first_out = capsys.readouterr().out
+        assert "/ 0 miss" not in first_out  # first run computes everything
+
+        second_study = tmp_path / "second.json"
+        second_study.write_text(json.dumps(_tiny_study_dict(
+            tmp_path / "b-sweep.jsonl", tmp_path / "b-campaign.jsonl")))
+        assert main(["run", str(second_study), "--memo",
+                     "--memo-path", str(memo), "--quiet"]) == 0
+        second_out = capsys.readouterr().out
+        assert "/ 0 miss]" in second_out  # 100% memo hits
+        assert (tmp_path / "a-sweep.jsonl").read_bytes() == \
+            (tmp_path / "b-sweep.jsonl").read_bytes()
+        assert (tmp_path / "a-campaign.jsonl").read_bytes() == \
+            (tmp_path / "b-campaign.jsonl").read_bytes()
+
+    def test_run_chunk_policy_byte_identical_campaign(self, capsys, tmp_path):
+        import json
+
+        plain = tmp_path / "plain.json"
+        plain.write_text(json.dumps(_tiny_study_dict(
+            tmp_path / "p-sweep.jsonl", tmp_path / "p-campaign.jsonl")))
+        assert main(["run", str(plain), "--quiet"]) == 0
+        chunked = tmp_path / "chunked.json"
+        chunked.write_text(json.dumps(_tiny_study_dict(
+            tmp_path / "c-sweep.jsonl", tmp_path / "c-campaign.jsonl")))
+        assert main(["run", str(chunked), "--chunk-policy", "cells:4", "--quiet"]) == 0
+        capsys.readouterr()
+        from repro.experiments.validation import load_campaign
+
+        assert [r.as_dict() for r in load_campaign(tmp_path / "p-campaign.jsonl").records] \
+            == [r.as_dict() for r in load_campaign(tmp_path / "c-campaign.jsonl").records]
+
     def test_run_profile_dumps_stats(self, capsys, tmp_path):
         import json
         import pstats
