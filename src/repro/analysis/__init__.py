@@ -7,6 +7,7 @@ remark) and the dual budget-constrained throughput maximisation.
 
 from .budget import BudgetResult, max_throughput_for_budget
 from .fluid import FluidCellEstimate, fluid_estimate
+from .lint import Finding, LintReport, lint_paths, lint_source
 from .tradeoff import CostCurve, cost_curve, cost_per_unit, efficient_throughputs, marginal_costs
 
 __all__ = [
@@ -14,6 +15,10 @@ __all__ = [
     "max_throughput_for_budget",
     "FluidCellEstimate",
     "fluid_estimate",
+    "Finding",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
     "CostCurve",
     "cost_curve",
     "cost_per_unit",

@@ -1,0 +1,58 @@
+"""repro-lint: AST-based enforcement of the repo's architecture invariants.
+
+The ROADMAP distils four hard invariants out of PRs 1-7 (score through the
+evaluator, execute through work units + checkpoint stores, byte-level
+determinism, new axes as spec fields).  Tests catch violations of behaviour;
+nothing catches violations of *structure* — a stray ``hash()`` or wall-clock
+read compiles, passes the suite on one machine, and silently breaks
+byte-identity on the next.  This package makes the invariants machine-checked:
+
+======  ====================================================================
+RL001   determinism: no ``hash()`` / wall-clock / unseeded RNG in library
+        code; wall-clock must never reach an ``as_dict`` payload
+RL002   scoring goes through ``problem.evaluator``; no ``evaluate_split``
+        calls inside loop bodies outside ``core/``
+RL003   work units (``*Unit``/``*Chunk`` classes) are slotted, define
+        ``as_dict``/``from_dict`` and carry no unpicklable members
+RL004   checkpoint hygiene: append-mode JSONL writes in ``experiments/``
+        only inside ``JsonlCheckpointStore`` subclasses
+RL005   spec strictness: ``*Spec`` dataclasses reject unknown fields and
+        declare every field fingerprinted-or-execution-only
+RL006   no bare/broad ``except`` that can swallow ``KeyboardInterrupt``
+RL007   seeds derive only via ``utils.rng.stable_text_digest`` /
+        ``derive_seed``, never ad-hoc hashes
+RL008   engine hot-path purity: no I/O or wall-clock under
+        ``simulation/engine.py`` dispatch
+======  ====================================================================
+
+A finding on one line can be suppressed with a justified pragma::
+
+    risky_line()  # repro-lint: disable=RL001 -- <why this one is safe>
+
+The justification is mandatory; a pragma without one is itself reported
+(``RL000``) and suppresses nothing.  Run the checker with
+``repro-cloud lint [paths] [--rule ID] [--format json]``; the test suite
+lints ``src/`` and fails on any finding, so the repo itself stays clean.
+"""
+
+from .base import Finding, ModuleContext, Rule
+from .pragmas import PRAGMA_RULE_ID
+from .registry import available_rules, make_rules, rule_ids
+from .reporters import render_json, render_text
+from .runner import LintReport, lint_file, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "PRAGMA_RULE_ID",
+    "available_rules",
+    "make_rules",
+    "rule_ids",
+    "render_json",
+    "render_text",
+    "LintReport",
+    "lint_file",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,97 @@
+"""Per-line allowlist pragmas: ``# repro-lint: disable=RLnnn -- why``.
+
+A pragma suppresses the named rules on its own physical line only — the
+narrowest possible scope, so an allowlisted line cannot hide a later
+violation pasted next to it.  The justification after ``--`` is mandatory:
+an allowlist entry without a recorded reason is how invariants rot, so a
+bare pragma is itself a finding (:data:`PRAGMA_RULE_ID`) and suppresses
+nothing.  Unknown rule ids in a pragma are reported too (a typo like
+``RL0001`` must not silently re-enable nothing).
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Iterable, Iterator
+
+from .base import Finding
+
+__all__ = ["PRAGMA_RULE_ID", "parse_pragmas"]
+
+#: Pseudo-rule id for lint-protocol problems (malformed pragmas, unparsable
+#: files).  Not suppressible — a pragma cannot excuse itself.
+PRAGMA_RULE_ID = "RL000"
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint\s*:\s*disable\s*=\s*(?P<ids>[A-Za-z0-9_,\s]*?)"
+    r"(?:\s+--\s*(?P<why>\S.*?))?\s*$"
+)
+
+
+def _iter_comments(source: str) -> Iterator[tuple[int, int, str]]:
+    """Yield ``(line, col, text)`` for every real comment token.
+
+    Tokenising (rather than scanning raw lines) means pragma examples inside
+    docstrings and string literals are never mistaken for live pragmas.
+    """
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                yield token.start[0], token.start[1], token.string
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - caller parsed it
+        return
+
+
+def parse_pragmas(
+    source: str, path: str, known_ids: Iterable[str]
+) -> tuple[dict[int, set[str]], list[Finding]]:
+    """Parse every pragma in ``source``.
+
+    Returns ``(suppressions, findings)`` where ``suppressions`` maps a
+    1-based line number to the rule ids validly suppressed there, and
+    ``findings`` reports malformed pragmas.
+    """
+    known = set(known_ids)
+    suppressions: dict[int, set[str]] = {}
+    findings: list[Finding] = []
+
+    def report(line: int, col: int, message: str) -> None:
+        findings.append(
+            Finding(rule_id=PRAGMA_RULE_ID, path=path, line=line, col=col, message=message)
+        )
+
+    for number, start_col, text in _iter_comments(source):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        col = start_col + match.start() + 1
+        ids = [token.strip() for token in match.group("ids").split(",") if token.strip()]
+        why = match.group("why")
+        if not ids:
+            report(number, col, "pragma names no rule ids (expected disable=RLnnn)")
+            continue
+        unknown = sorted(set(ids) - known)
+        if unknown:
+            report(
+                number,
+                col,
+                f"pragma names unknown rule(s) {', '.join(unknown)} "
+                f"(known: {', '.join(sorted(known))})",
+            )
+        if PRAGMA_RULE_ID in ids:
+            report(number, col, f"{PRAGMA_RULE_ID} is not suppressible")
+        if why is None or not why.strip():
+            report(
+                number,
+                col,
+                "pragma suppresses nothing without a justification "
+                "(write: # repro-lint: disable=RLnnn -- <why this line is safe>)",
+            )
+            continue
+        valid = (set(ids) & known) - {PRAGMA_RULE_ID}
+        if valid:
+            suppressions.setdefault(number, set()).update(valid)
+    return suppressions, findings

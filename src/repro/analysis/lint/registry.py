@@ -1,0 +1,65 @@
+"""The rule registry: stable ids → rule classes.
+
+Rules self-register via the :func:`register` decorator at import time; the
+runner imports the rule modules, so any module that reaches
+:func:`make_rules` sees the full set.  Ids are permanent — checkpointed
+pragmas and CI configs reference them — so re-registering an existing id is
+a programming error, not a merge.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from ...core.exceptions import ConfigurationError
+from .base import Rule
+
+__all__ = ["register", "rule_ids", "available_rules", "make_rules"]
+
+_REGISTRY: dict[str, type[Rule]] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    if not rule_cls.id:
+        raise ValueError(f"rule {rule_cls.__name__} has no id")
+    existing = _REGISTRY.get(rule_cls.id)
+    if existing is not None and existing is not rule_cls:
+        raise ValueError(
+            f"rule id {rule_cls.id} is already registered to {existing.__name__}"
+        )
+    _REGISTRY[rule_cls.id] = rule_cls
+    return rule_cls
+
+
+def _ensure_loaded() -> None:
+    # rule modules register on import; importing here (not at module top)
+    # breaks the registry <-> rules import cycle
+    from . import rules_architecture, rules_determinism  # noqa: F401
+
+
+def rule_ids() -> tuple[str, ...]:
+    """Every registered rule id, sorted."""
+    _ensure_loaded()
+    return tuple(sorted(_REGISTRY))
+
+
+def available_rules() -> tuple[type[Rule], ...]:
+    """Every registered rule class, in id order."""
+    _ensure_loaded()
+    return tuple(_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY))
+
+
+def make_rules(ids: "Sequence[str] | Iterable[str] | None" = None) -> list[Rule]:
+    """Instantiate the requested rules (all of them when ``ids`` is None)."""
+    _ensure_loaded()
+    if ids is None:
+        selected = sorted(_REGISTRY)
+    else:
+        selected = list(dict.fromkeys(ids))  # dedupe, keep order
+        unknown = sorted(set(selected) - set(_REGISTRY))
+        if unknown:
+            raise ConfigurationError(
+                f"unknown lint rule(s) {', '.join(unknown)}; "
+                f"available: {', '.join(sorted(_REGISTRY))}"
+            )
+    return [_REGISTRY[rule_id]() for rule_id in selected]

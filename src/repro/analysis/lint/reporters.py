@@ -1,0 +1,37 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON form is the CI artifact (stable keys, sorted, newline-terminated);
+the text form is what a developer reads in a terminal, one
+``path:line:col: RLnnn message`` per finding so editors can jump to it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runner import LintReport
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(report: "LintReport") -> str:
+    lines = [finding.render() for finding in report.findings]
+    count = len(report.findings)
+    checked = len(report.files)
+    if count:
+        lines.append(f"{count} finding(s) in {checked} file(s) checked")
+    else:
+        lines.append(f"clean: 0 findings in {checked} file(s) checked")
+    return "\n".join(lines)
+
+
+def render_json(report: "LintReport") -> str:
+    payload = {
+        "clean": not report.findings,
+        "files_checked": len(report.files),
+        "findings": [finding.as_dict() for finding in report.findings],
+        "rules": list(report.rule_ids),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,408 @@
+"""Architecture rules: RL002 evaluator, RL003 work units, RL004 checkpoint
+hygiene, RL005 spec strictness, RL008 engine purity.
+
+These encode the ROADMAP's structural invariants: hot paths score through
+``problem.evaluator``, fan-out executes through picklable work units and
+checkpoint stores, new experiment axes surface as strict spec fields, and
+the simulation engine's dispatch loop stays pure.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from .base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    is_wall_clock_call,
+    module_segment,
+    walk_nodes,
+)
+from .registry import register
+
+__all__ = [
+    "EvaluatorLoopRule",
+    "WorkUnitContractRule",
+    "CheckpointHygieneRule",
+    "SpecStrictnessRule",
+    "EnginePurityRule",
+]
+
+
+def _in_tests(ctx: ModuleContext) -> bool:
+    return "tests" in ctx.module_parts
+
+
+@register
+class EvaluatorLoopRule(Rule):
+    """RL002 — score through ``problem.evaluator``, never a slow-path loop.
+
+    ``MinCostProblem.evaluate_split`` is the validated reference: correct,
+    readable, and ~12-30x slower than the evaluator's incremental/batched
+    tiers.  A per-candidate ``evaluate_split`` loop outside ``core/`` is a
+    hot-path regression by construction (the exact mistake PR 1 removed from
+    every heuristic).  The check is lexical: the call must sit inside a
+    loop or comprehension body within the same function.
+    """
+
+    id = "RL002"
+    name = "evaluator"
+    summary = "no evaluate_split calls inside loop bodies outside core/ and tests"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        parts = ctx.module_parts
+        return not (parts[:1] == ("core",) or _in_tests(ctx))
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in walk_nodes(ctx, ast.Call):
+            assert isinstance(node, ast.Call)
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "evaluate_split"):
+                continue
+            if ctx.in_loop(node):
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    "evaluate_split called in a loop: score candidates through "
+                    "problem.evaluator (evaluate_batch / score_exchange tiers); "
+                    "evaluate_split is the slow-path reference",
+                )
+
+
+@register
+class WorkUnitContractRule(Rule):
+    """RL003 — classes executed by a backend honour the work-unit contract.
+
+    Anything named ``*Unit``/``*Chunk`` crosses a process boundary: it must
+    be slotted (``__slots__`` or ``@dataclass(slots=True)`` — cheap to
+    pickle by the thousand, and a typo'd attribute fails loudly), define
+    ``as_dict``/``from_dict`` (its checkpoint-line form), and carry no
+    unpicklable members (lambdas / nested functions assigned to attributes).
+    """
+
+    id = "RL003"
+    name = "work-unit"
+    summary = "*Unit/*Chunk classes are slotted, dict-serializable and picklable"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not _in_tests(ctx)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in walk_nodes(ctx, ast.ClassDef):
+            assert isinstance(node, ast.ClassDef)
+            if not node.name.endswith(("Unit", "Chunk")):
+                continue
+            yield from self._check_class(ctx, node)
+
+    def _check_class(self, ctx: ModuleContext, node: ast.ClassDef) -> Iterator[Finding]:
+        if not self._is_slotted(node):
+            yield ctx.finding(
+                self.id,
+                node,
+                f"work unit {node.name} is not slotted; add __slots__ or "
+                "@dataclass(slots=True) so instances pickle lean and attribute "
+                "typos fail loudly",
+            )
+        methods = {
+            stmt.name
+            for stmt in node.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for required in ("as_dict", "from_dict"):
+            if required not in methods:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"work unit {node.name} lacks {required}(); backend-executed "
+                    "units checkpoint as one JSONL line and must round-trip "
+                    "through as_dict/from_dict",
+                )
+        for sub in ast.walk(node):
+            if isinstance(sub, ast.Assign) and isinstance(sub.value, ast.Lambda):
+                yield ctx.finding(
+                    self.id,
+                    sub,
+                    f"work unit {node.name} assigns a lambda member; lambdas do "
+                    "not pickle and break process-pool execution",
+                )
+
+    @staticmethod
+    def _is_slotted(node: ast.ClassDef) -> bool:
+        for stmt in node.body:
+            if isinstance(stmt, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__slots__" for t in stmt.targets
+            ):
+                return True
+        for decorator in node.decorator_list:
+            if isinstance(decorator, ast.Call):
+                for keyword in decorator.keywords:
+                    if (
+                        keyword.arg == "slots"
+                        and isinstance(keyword.value, ast.Constant)
+                        and keyword.value.value is True
+                    ):
+                        return True
+        return False
+
+
+@register
+class CheckpointHygieneRule(Rule):
+    """RL004 — append-mode JSON writes in ``experiments/`` go through stores.
+
+    The checkpoint guarantees (fsynced lines, fingerprint headers,
+    torn-tail repair, resume-by-skipping) live in
+    :class:`~repro.experiments.store.JsonlCheckpointStore`.  An ad-hoc
+    ``open(path, "a")`` or direct ``append_jsonl`` elsewhere in
+    ``experiments/`` produces files that *look* like checkpoints but carry
+    none of those guarantees.
+    """
+
+    id = "RL004"
+    name = "checkpoint-hygiene"
+    summary = "append-mode JSONL writes in experiments/ only inside CheckpointStore classes"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return "experiments" in ctx.module_parts and not _in_tests(ctx)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in walk_nodes(ctx, ast.Call):
+            assert isinstance(node, ast.Call)
+            reason = self._append_write(ctx, node)
+            if reason is None:
+                continue
+            if self._inside_checkpoint_store(ctx, node):
+                continue
+            yield ctx.finding(
+                self.id,
+                node,
+                f"{reason} outside a JsonlCheckpointStore subclass; checkpoint "
+                "durability (fsync, fingerprint header, torn-tail repair, "
+                "resume) lives in the store classes",
+            )
+
+    @staticmethod
+    def _append_write(ctx: ModuleContext, node: ast.Call) -> "str | None":
+        func = node.func
+        if isinstance(func, ast.Attribute) and func.attr == "append_jsonl":
+            return "append_jsonl call"
+        qual = ctx.resolve(func)
+        if qual is not None and qual.split(".")[-1] == "append_jsonl":
+            return "append_jsonl call"
+        mode: "ast.expr | None" = None
+        if isinstance(func, ast.Name) and func.id == "open":
+            mode = node.args[1] if len(node.args) > 1 else None
+        elif isinstance(func, ast.Attribute) and func.attr == "open":
+            mode = node.args[0] if node.args else None
+        else:
+            return None
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if (
+            isinstance(mode, ast.Constant)
+            and isinstance(mode.value, str)
+            and "a" in mode.value
+        ):
+            return f"append-mode open({mode.value!r})"
+        return None
+
+    @staticmethod
+    def _inside_checkpoint_store(ctx: ModuleContext, node: ast.AST) -> bool:
+        cls = ctx.enclosing_class(node)
+        if cls is None:
+            return False
+        if "CheckpointStore" in cls.name:
+            return True
+        for base in cls.bases:
+            qual = ctx.resolve(base)
+            if qual is not None and "CheckpointStore" in qual.split(".")[-1]:
+                return True
+        return False
+
+
+@register
+class SpecStrictnessRule(Rule):
+    """RL005 — spec dataclasses are strict and declare field provenance.
+
+    A ``*Spec`` dataclass with ``as_dict``/``from_dict`` is part of the
+    serialized study surface.  Its ``from_dict`` must reject unknown fields
+    (a misspelled option that silently deserialises is a silently different
+    experiment), and every field must be declared either fingerprinted
+    (changes the study's identity) or execution-only (changes only how it
+    runs) via ``_FINGERPRINTED`` / ``_EXECUTION_ONLY`` class attributes —
+    so a new axis cannot be added without deciding which it is.
+    """
+
+    id = "RL005"
+    name = "spec-strictness"
+    summary = "*Spec dataclasses reject unknown fields and partition fields by provenance"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return not _in_tests(ctx)
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in walk_nodes(ctx, ast.ClassDef):
+            assert isinstance(node, ast.ClassDef)
+            if not node.name.endswith("Spec"):
+                continue
+            if not self._is_dataclass(ctx, node):
+                continue
+            methods = {
+                stmt.name: stmt
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            if "as_dict" not in methods or "from_dict" not in methods:
+                continue  # not part of the serialized spec surface
+            yield from self._check_from_dict(ctx, node, methods["from_dict"])
+            yield from self._check_partition(ctx, node)
+
+    @staticmethod
+    def _is_dataclass(ctx: ModuleContext, node: ast.ClassDef) -> bool:
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            qual = ctx.resolve(target)
+            if qual is not None and qual.split(".")[-1] == "dataclass":
+                return True
+        return False
+
+    def _check_from_dict(
+        self, ctx: ModuleContext, cls: ast.ClassDef, fn: ast.AST
+    ) -> Iterator[Finding]:
+        for sub in ast.walk(fn):
+            if isinstance(sub, ast.Call):
+                qual = ctx.resolve(sub.func)
+                if qual is not None and "reject_unknown" in qual.split(".")[-1]:
+                    return
+        yield ctx.finding(
+            self.id,
+            fn,
+            f"{cls.name}.from_dict does not reject unknown fields; a misspelled "
+            "field that silently deserialises is a silently different experiment",
+        )
+
+    def _check_partition(self, ctx: ModuleContext, cls: ast.ClassDef) -> Iterator[Finding]:
+        fields = self._dataclass_fields(cls)
+        declared: dict[str, set[str]] = {}
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.Assign):
+                continue
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id in (
+                    "_FINGERPRINTED",
+                    "_EXECUTION_ONLY",
+                ):
+                    declared[target.id] = self._string_tuple(stmt.value)
+        missing_decls = sorted(
+            {"_FINGERPRINTED", "_EXECUTION_ONLY"} - set(declared)
+        )
+        if missing_decls:
+            yield ctx.finding(
+                self.id,
+                cls,
+                f"spec {cls.name} must declare {' and '.join(missing_decls)} "
+                "(every field is fingerprinted or execution-only — decide which)",
+            )
+            return
+        fingerprinted = declared["_FINGERPRINTED"]
+        execution_only = declared["_EXECUTION_ONLY"]
+        overlap = sorted(fingerprinted & execution_only)
+        if overlap:
+            yield ctx.finding(
+                self.id,
+                cls,
+                f"spec {cls.name} declares {overlap} both fingerprinted and "
+                "execution-only; the partition must be disjoint",
+            )
+        undeclared = sorted(fields - fingerprinted - execution_only)
+        if undeclared:
+            yield ctx.finding(
+                self.id,
+                cls,
+                f"spec {cls.name} leaves field(s) {undeclared} undeclared; add "
+                "them to _FINGERPRINTED or _EXECUTION_ONLY",
+            )
+        phantom = sorted((fingerprinted | execution_only) - fields)
+        if phantom:
+            yield ctx.finding(
+                self.id,
+                cls,
+                f"spec {cls.name} declares non-field name(s) {phantom} in its "
+                "fingerprinted/execution-only partition",
+            )
+
+    @staticmethod
+    def _dataclass_fields(cls: ast.ClassDef) -> set[str]:
+        fields: set[str] = set()
+        for stmt in cls.body:
+            if not isinstance(stmt, ast.AnnAssign) or not isinstance(stmt.target, ast.Name):
+                continue
+            name = stmt.target.id
+            if name.startswith("_"):
+                continue
+            annotation = ast.dump(stmt.annotation)
+            if "ClassVar" in annotation:
+                continue
+            fields.add(name)
+        return fields
+
+    @staticmethod
+    def _string_tuple(value: ast.AST) -> set[str]:
+        names: set[str] = set()
+        if isinstance(value, (ast.Tuple, ast.List, ast.Set)):
+            for elt in value.elts:
+                if isinstance(elt, ast.Constant) and isinstance(elt.value, str):
+                    names.add(elt.value)
+        return names
+
+
+@register
+class EnginePurityRule(Rule):
+    """RL008 — the simulation engine's dispatch stays pure.
+
+    ``simulation/engine.py`` is the measured hot path (PR 6 bought an 11x
+    speedup there); any I/O, logging or wall-clock read inside its functions
+    is both a per-event performance tax and a determinism hazard.  The
+    engine computes; callers report.
+    """
+
+    id = "RL008"
+    name = "engine-purity"
+    summary = "no I/O, logging or wall-clock inside simulation/engine.py functions"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.parts_endswith("simulation", "engine.py")
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        for node in walk_nodes(ctx, ast.Call):
+            assert isinstance(node, ast.Call)
+            if ctx.enclosing_function(node) is None:
+                continue  # module-level setup is not the dispatch path
+            impurity = self._impurity(ctx, node)
+            if impurity is not None:
+                yield ctx.finding(
+                    self.id,
+                    node,
+                    f"{impurity} inside the engine; the hot path computes, "
+                    "callers do the I/O and the timing",
+                )
+
+    @staticmethod
+    def _impurity(ctx: ModuleContext, node: ast.Call) -> "str | None":
+        if is_wall_clock_call(ctx, node):
+            return f"wall-clock read {ctx.resolve(node.func)}()"
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("print", "input"):
+            return f"{func.id}() call"
+        if isinstance(func, ast.Name) and func.id == "open":
+            return "file open"
+        if isinstance(func, ast.Attribute) and func.attr == "open":
+            return "file open"
+        qual = ctx.resolve(func)
+        if qual is not None and (qual.startswith("logging.") or module_segment(qual, "logging")):
+            return f"logging call {qual}()"
+        if qual is not None and qual.split(".")[0] in ("sys",) and "std" in qual:
+            return f"stream write {qual}()"
+        return None

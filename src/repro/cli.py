@@ -25,6 +25,11 @@ Sub-commands
     given throughput with a chosen algorithm and print the allocation.
 ``settings``
     List the paper's workload settings and the registered algorithms.
+``lint``
+    Run repro-lint, the AST-based architecture-invariant checker (rules
+    RL001-RL008: determinism, evaluator routing, work-unit contract,
+    checkpoint hygiene, spec strictness, exception hygiene, seed
+    derivations, engine purity).  Exits 1 on findings, so CI can gate on it.
 """
 
 from __future__ import annotations
@@ -182,6 +187,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="validate the allocation with the stream simulator")
 
     sub.add_parser("settings", help="list workload settings and registered algorithms")
+
+    p_lint = sub.add_parser(
+        "lint",
+        help="run repro-lint, the AST-based architecture-invariant checker",
+    )
+    p_lint.add_argument("paths", nargs="*", type=Path,
+                        help="files or directories to lint (default: ./src if it "
+                             "exists, else the current directory)")
+    p_lint.add_argument("--rule", action="append", default=None, metavar="ID",
+                        help="restrict to these rule ids (repeatable; comma lists "
+                             "accepted, e.g. --rule RL001,RL002)")
+    p_lint.add_argument("--format", choices=("text", "json"), default="text",
+                        dest="output_format",
+                        help="report format: 'text' (path:line:col per finding) or "
+                             "'json' (the CI artifact shape)")
+    p_lint.add_argument("--list-rules", action="store_true",
+                        help="print the rule table and exit")
     return parser
 
 
@@ -535,6 +557,35 @@ def _cmd_solve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis.lint import available_rules, lint_paths, render_json, render_text
+
+    if args.list_rules:
+        for rule_cls in available_rules():
+            print(rule_cls.describe())
+        return 0
+    paths = list(args.paths)
+    if not paths:
+        default = Path("src")
+        paths = [default if default.is_dir() else Path(".")]
+    rule_filter = None
+    if args.rule is not None:
+        rule_filter = [
+            token.strip()
+            for item in args.rule
+            for token in item.split(",")
+            if token.strip()
+        ]
+    try:
+        report = lint_paths(paths, rule_ids_filter=rule_filter)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    output = render_json(report) if args.output_format == "json" else render_text(report)
+    print(output, end="" if output.endswith("\n") else "\n")
+    return 0 if report.ok else 1
+
+
 def _cmd_settings(_args: argparse.Namespace) -> int:
     print("Workload settings (Section VIII):")
     for name, setting in PAPER_SETTINGS.items():
@@ -560,6 +611,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "validate": _cmd_validate,
         "solve": _cmd_solve,
         "settings": _cmd_settings,
+        "lint": _cmd_lint,
     }
     return handlers[args.command](args)
 

@@ -119,7 +119,7 @@ def make_backend(
     return ProcessPoolBackend(workers, mp_context=mp_context)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkUnit:
     """One shard of a sweep: a configuration index and a throughput chunk.
 
@@ -131,6 +131,12 @@ class WorkUnit:
     index: int
     configuration: int
     throughputs: tuple[float, ...]
+
+    def __reduce__(self):
+        # frozen+slots dataclasses need an explicit constructor-based reduce
+        # on Python 3.10 (default slot-state restore setattr's into a frozen
+        # instance); units cross process boundaries constantly, so be exact
+        return (self.__class__, (self.index, self.configuration, self.throughputs))
 
     def as_dict(self) -> dict:
         return {

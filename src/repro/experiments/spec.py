@@ -91,6 +91,9 @@ class WorkloadSpec:
     base_seed: int = 2016
 
     _FIELDS = ("setting", "num_configurations", "target_throughputs", "base_seed")
+    # every workload field determines which instances get solved
+    _FINGERPRINTED = ("setting", "num_configurations", "target_throughputs", "base_seed")
+    _EXECUTION_ONLY = ()
 
     def __post_init__(self) -> None:
         if isinstance(self.setting, str):
@@ -196,6 +199,20 @@ class ExecutionSpec:
     memo_path: str | None = None
 
     _FIELDS = (
+        "workers",
+        "chunk_size",
+        "chunk_policy",
+        "store_dir",
+        "sweep_store",
+        "validation_store",
+        "resume",
+        "capture_allocations",
+        "memo",
+        "memo_path",
+    )
+    # scheduling only: none of these may ever change a computed record
+    _FINGERPRINTED = ()
+    _EXECUTION_ONLY = (
         "workers",
         "chunk_size",
         "chunk_policy",
@@ -323,6 +340,19 @@ class ValidationSpec:
         "screen",
         "screen_threshold",
     )
+    # the whole grid (and the screen tier, which decides fluid-vs-DES records)
+    # is scientific content
+    _FINGERPRINTED = (
+        "horizons",
+        "rate_multipliers",
+        "warmup_fraction",
+        "max_datasets",
+        "algorithms",
+        "scenarios",
+        "screen",
+        "screen_threshold",
+    )
+    _EXECUTION_ONLY = ()
 
     def __post_init__(self) -> None:
         horizons = tuple(float(h) for h in self.horizons)
@@ -497,6 +527,9 @@ class StudySpec:
         "series",
         "description",
     )
+    # mirrors study_fingerprint: labels and scheduling stay out of the hash
+    _FINGERPRINTED = ("workload", "algorithms", "validation", "series")
+    _EXECUTION_ONLY = ("name", "description", "execution")
 
     def __post_init__(self) -> None:
         if not str(self.name).strip():

@@ -44,7 +44,6 @@ from __future__ import annotations
 import hashlib
 import json
 import math
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Iterable, Mapping, Sequence
@@ -58,6 +57,7 @@ from ..simulation.engine import StreamSimulator
 from ..simulation.scenarios import DEFAULT_SCENARIO, ScenarioSpec
 from ..solvers.registry import ensure_default_solvers
 from ..utils.rng import derive_seed, stable_text_digest
+from ..utils.timing import timed
 from .backends import SerialBackend, parse_chunk_policy
 from .config import ExperimentPlan, plan_from_dict, plan_to_dict
 from .memo import MemoStats, ResultMemoStore, memo_key
@@ -460,7 +460,7 @@ class ValidationRecord:
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ValidationUnit:
     """One campaign shard: sources at one (horizon, multiplier, scenario).
 
@@ -477,6 +477,15 @@ class ValidationUnit:
     rate_multiplier: float
     sources: tuple[int, ...]
     scenario: int = 0
+
+    def __reduce__(self):
+        # frozen+slots dataclasses need an explicit constructor-based reduce
+        # on Python 3.10 (default slot-state restore setattr's into a frozen
+        # instance); units cross process boundaries constantly, so be exact
+        return (
+            self.__class__,
+            (self.index, self.horizon, self.rate_multiplier, self.sources, self.scenario),
+        )
 
     def as_dict(self) -> dict:
         data = {
@@ -522,7 +531,7 @@ class ValidationUnit:
         ]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ValidationChunk:
     """One adaptively-sized campaign shard: a contiguous span of grid cells.
 
@@ -540,6 +549,10 @@ class ValidationChunk:
     index: int
     start: int
     stop: int
+
+    def __reduce__(self):
+        # see ValidationUnit.__reduce__ (Python 3.10 frozen+slots pickling)
+        return (self.__class__, (self.index, self.start, self.stop))
 
     def as_dict(self) -> dict:
         return {"index": self.index, "cells": [self.start, self.stop]}
@@ -1222,9 +1235,9 @@ def _probe_cell_seconds(plan: ValidationPlan, cells) -> float:
     """
     context = _plan_context(plan)
     probe = cells[0]
-    started = time.perf_counter()
-    _simulate_cell(plan, context, *probe)
-    elapsed = max(time.perf_counter() - started, 1e-6)
+    with timed() as clock:
+        _simulate_cell(plan, context, *probe)
+    elapsed = max(clock[0], 1e-6)
     probe_horizon = probe[0]
     mean_horizon = sum(cell[0] for cell in cells) / len(cells)
     return elapsed * (mean_horizon / probe_horizon)

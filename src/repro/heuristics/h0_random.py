@@ -55,15 +55,17 @@ class H0RandomSolver(BaseHeuristic):
 
     def solve_split(self, problem: MinCostProblem) -> tuple[ThroughputSplit, dict[str, Any]]:
         rng = as_generator(self.seed)
-        best_split: np.ndarray | None = None
-        best_cost = np.inf
-        for _ in range(self.samples):
-            split = random_split(problem.target_throughput, problem.num_recipes, self.step, rng)
-            cost = problem.evaluate_split(split)
-            if cost < best_cost:
-                best_cost = cost
-                best_split = split
-        assert best_split is not None
+        # draw order is unchanged (one random_split per sample from the same
+        # generator), then all candidates are scored in one evaluator GEMM;
+        # argmin keeps the first minimum, exactly like the old `<` loop
+        splits = np.stack(
+            [
+                random_split(problem.target_throughput, problem.num_recipes, self.step, rng)
+                for _ in range(self.samples)
+            ]
+        )
+        costs = problem.evaluator.evaluate_batch(splits)
+        best_split = splits[int(np.argmin(costs))]
         return ThroughputSplit.from_sequence(best_split), {
             "optimal": False,
             "iterations": self.samples,

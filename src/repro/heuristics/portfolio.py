@@ -46,10 +46,16 @@ class PortfolioSolver(Solver):
         for solver in self.solvers:
             try:
                 result = solver.solve(problem)
+            except (KeyboardInterrupt, SystemExit):
+                # an interrupt is a user decision, never "member failure data"
+                raise
             except Exception as exc:  # noqa: BLE001 - member failures are data here
-                message = f"{solver.name}: {exc}"
+                failure_type = type(exc).__name__
+                message = f"{solver.name}: [{failure_type}] {exc}"
                 errors.append(message)
-                members.append({"solver": solver.name, "error": str(exc)})
+                members.append(
+                    {"solver": solver.name, "error": str(exc), "error_type": failure_type}
+                )
                 continue
             members.append(
                 {"solver": solver.name, "cost": result.cost, "time": result.solve_time}

@@ -304,6 +304,17 @@ class FailureWindow:
         )
 
 
+def _reject_unknown_fields(data: Mapping[str, Any], allowed: tuple, context: str) -> None:
+    """Strict-deserialisation guard (the simulation-layer twin of the study
+    layer's ``_reject_unknown``): a misspelled scenario field that silently
+    deserialises is a silently different experiment."""
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise SimulationError(
+            f"{context} holds unknown field(s) {unknown}; allowed: {', '.join(allowed)}"
+        )
+
+
 @dataclass(frozen=True)
 class ScenarioSpec:
     """One named injection scenario: arrival process + slowdowns + failures.
@@ -323,6 +334,12 @@ class ScenarioSpec:
     arrival: ArrivalProcess = DeterministicArrivals()
     slowdowns: tuple[tuple[TaskType, float], ...] = ()
     failures: tuple[FailureWindow, ...] = ()
+
+    _FIELDS = ("name", "arrival", "slowdowns", "failures")
+    # a scenario is pure scientific content: its name seeds the simulation
+    # stream (scenario_seed) and every other field shapes the injected load
+    _FINGERPRINTED = ("name", "arrival", "slowdowns", "failures")
+    _EXECUTION_ONLY = ()
 
     def __post_init__(self) -> None:
         if not self.name or not str(self.name).strip():
@@ -361,6 +378,7 @@ class ScenarioSpec:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        _reject_unknown_fields(data, cls._FIELDS, "scenario spec")
         return cls(
             name=str(data["name"]),
             arrival=arrival_process_from_dict(data.get("arrival", {"kind": "deterministic"})),

@@ -1,0 +1,6 @@
+# lint-path: heuristics/pragma_fixture.py
+"""Pragma fixture: an unknown rule id in a pragma is a protocol violation."""
+
+
+def compute():
+    return 1  # repro-lint: disable=RL999 -- no such rule

@@ -1,0 +1,12 @@
+# lint-path: heuristics/h_fixture.py
+"""RL001 clean twin: seeded draws and stable digests only."""
+from repro.utils.rng import as_generator, stable_text_digest
+
+
+def unit_key(name):
+    return stable_text_digest(name) % 1024
+
+
+def draw(seed):
+    rng = as_generator(seed)
+    return rng.random()

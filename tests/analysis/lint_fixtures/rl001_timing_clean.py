@@ -1,0 +1,17 @@
+# lint-path: utils/timing.py
+"""RL001 allowlist clean twin: measure freely, serialize no wall-clock."""
+import time
+
+
+def measure(action):
+    start = time.perf_counter()
+    action()
+    return time.perf_counter() - start
+
+
+class Probe:
+    def __init__(self, label):
+        self.label = label
+
+    def as_dict(self):
+        return {"label": self.label}

@@ -1,0 +1,15 @@
+# lint-path: utils/timing.py
+"""RL001 allowlist fixture: wall clock is fine here — except in as_dict."""
+import time
+
+
+def measure(action):
+    start = time.perf_counter()
+    action()
+    return time.perf_counter() - start
+
+
+class Probe:
+    def as_dict(self):
+        started = time.time()  # expect: RL001
+        return {"started": started}  # expect: RL001

@@ -1,0 +1,27 @@
+# lint-path: heuristics/h_fixture.py
+"""RL001 violation fixture: every classic determinism leak in one file."""
+import random
+import time
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def unit_key(name):
+    return hash(name) % 1024  # expect: RL001
+
+
+def stamp():
+    return time.time()  # expect: RL001
+
+
+def legacy_draw():
+    return np.random.rand(3)  # expect: RL001
+
+
+def stdlib_draw():
+    return random.random()  # expect: RL001
+
+
+def unseeded():
+    return default_rng()  # expect: RL001

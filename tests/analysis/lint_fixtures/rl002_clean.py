@@ -1,0 +1,14 @@
+# lint-path: experiments/sweep_fixture.py
+"""RL002 clean twin: one batched evaluator call scores every candidate."""
+import numpy as np
+
+
+def scan(problem, splits):
+    costs = problem.evaluator.evaluate_batch(np.stack(splits))
+    index = int(np.argmin(costs))
+    return splits[index], float(costs[index])
+
+
+def reference_score(problem, split):
+    # a single slow-path call outside any loop is the legitimate reference
+    return problem.evaluate_split(split)

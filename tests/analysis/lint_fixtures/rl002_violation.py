@@ -1,0 +1,16 @@
+# lint-path: experiments/sweep_fixture.py
+"""RL002 violation fixture: per-candidate slow-path scoring loop."""
+
+
+def scan(problem, splits):
+    best = None
+    best_cost = None
+    for split in splits:
+        cost = problem.evaluate_split(split)  # expect: RL002
+        if best_cost is None or cost < best_cost:
+            best, best_cost = split, cost
+    return best, best_cost
+
+
+def scan_comprehension(problem, splits):
+    return min(problem.evaluate_split(split) for split in splits)  # expect: RL002

@@ -1,0 +1,29 @@
+# lint-path: experiments/units_fixture.py
+"""RL003 clean twin: a slotted, dict-serializable, picklable work unit."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class GoodUnit:
+    index: int
+
+    def as_dict(self):
+        return {"index": self.index}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(index=int(data["index"]))
+
+
+class GoodChunk:
+    __slots__ = ("cells",)
+
+    def __init__(self, cells):
+        self.cells = tuple(cells)
+
+    def as_dict(self):
+        return {"cells": list(self.cells)}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(data["cells"])

@@ -1,0 +1,24 @@
+# lint-path: experiments/units_fixture.py
+"""RL003 violation fixture: a work unit that breaks every contract clause."""
+
+
+class BadUnit:  # expect: RL003, RL003, RL003
+    transform = staticmethod(lambda x: x)
+
+    def run(self):
+        return self.transform(1)
+
+
+class BadChunk:
+    __slots__ = ("cells",)
+
+    def __init__(self, cells):
+        self.cells = cells
+        self.key = lambda cell: cell[0]  # expect: RL003
+
+    def as_dict(self):
+        return {"cells": self.cells}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(list(data["cells"]))

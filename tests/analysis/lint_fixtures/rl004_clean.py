@@ -1,0 +1,17 @@
+# lint-path: experiments/log_fixture.py
+"""RL004 clean twin: appends live inside a checkpoint-store subclass."""
+import json
+
+from repro.experiments.store import JsonlCheckpointStore
+from repro.io import append_jsonl
+
+
+class ResultCheckpointStore(JsonlCheckpointStore):
+    def record(self, payload):
+        append_jsonl(self.path, payload)
+
+
+def snapshot(path, payload):
+    # whole-file rewrite (not append) is outside RL004's scope
+    with open(path, "w") as handle:
+        handle.write(json.dumps(payload) + "\n")

@@ -1,0 +1,16 @@
+# lint-path: experiments/log_fixture.py
+"""RL004 violation fixture: ad-hoc append-mode writes to a results file."""
+import json
+
+from repro.io import append_jsonl
+
+
+def record(path, payload):
+    append_jsonl(path, payload)  # expect: RL004
+    with open(path, "a") as handle:  # expect: RL004
+        handle.write(json.dumps(payload) + "\n")
+
+
+def record_via_pathlib(path, payload):
+    with path.open("a") as handle:  # expect: RL004
+        handle.write(json.dumps(payload) + "\n")

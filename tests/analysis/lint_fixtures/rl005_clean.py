@@ -1,0 +1,23 @@
+# lint-path: experiments/spec_fixture.py
+"""RL005 clean twin: strict deserialization plus a field partition."""
+from dataclasses import dataclass
+
+from repro.experiments.spec import _reject_unknown
+
+
+@dataclass(frozen=True)
+class StrictSpec:
+    workers: int
+    horizon: float
+
+    _FIELDS = ("workers", "horizon")
+    _FINGERPRINTED = ("horizon",)
+    _EXECUTION_ONLY = ("workers",)
+
+    def as_dict(self):
+        return {"workers": self.workers, "horizon": self.horizon}
+
+    @classmethod
+    def from_dict(cls, data):
+        _reject_unknown(data, cls._FIELDS, "strict spec")
+        return cls(workers=int(data["workers"]), horizon=float(data["horizon"]))

@@ -1,0 +1,16 @@
+# lint-path: experiments/spec_fixture.py
+"""RL005 violation fixture: a lax spec dataclass."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class LooseSpec:  # expect: RL005
+    workers: int
+    horizon: float
+
+    def as_dict(self):
+        return {"workers": self.workers, "horizon": self.horizon}
+
+    @classmethod
+    def from_dict(cls, data):  # expect: RL005
+        return cls(workers=int(data["workers"]), horizon=float(data["horizon"]))

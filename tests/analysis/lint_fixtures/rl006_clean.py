@@ -1,0 +1,22 @@
+# lint-path: heuristics/except_fixture.py
+"""RL006 clean twin: interrupts re-raise before (or inside) broad handlers."""
+
+
+def run_members(solvers, problem):
+    results = []
+    for solver in solvers:
+        try:
+            results.append(solver.solve(problem))
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            results.append(None)
+    return results
+
+
+def annotate(action, errors):
+    try:
+        return action()
+    except Exception as exc:
+        errors.append(str(exc))
+        raise

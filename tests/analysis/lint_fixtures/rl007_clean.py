@@ -1,0 +1,12 @@
+# lint-path: generators/seed_fixture.py
+"""RL007 clean twin: seed folding through the blessed helper."""
+from repro.utils.rng import stable_text_digest
+
+
+def seeds_for(name, index):
+    seed = stable_text_digest(f"{name}:{index}") % 2**32
+    return seed
+
+
+def configure(runner, name):
+    runner.start(seed=stable_text_digest(name) % 2**32)

@@ -1,0 +1,14 @@
+# lint-path: generators/seed_fixture.py
+"""RL007 violation fixture: ad-hoc hash folding into seeds."""
+import hashlib
+import zlib
+
+
+def seeds_for(name, index):
+    seed = int(hashlib.sha256(name.encode()).hexdigest(), 16) % 2**32  # expect: RL007
+    crc_seed = zlib.crc32(name.encode()) + index  # expect: RL007
+    return seed, crc_seed
+
+
+def configure(runner, name):
+    runner.start(seed=hash(name) % 2**32)  # expect: RL007

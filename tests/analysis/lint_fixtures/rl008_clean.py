@@ -1,0 +1,10 @@
+# lint-path: simulation/engine.py
+"""RL008 clean twin: the engine computes, callers report and time."""
+
+
+def dispatch(events, handler):
+    processed = 0
+    for event in events:
+        handler(event)
+        processed += 1
+    return processed

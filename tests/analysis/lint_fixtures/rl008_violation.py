@@ -1,0 +1,14 @@
+# lint-path: simulation/engine.py
+"""RL008 violation fixture: an impure engine dispatch loop."""
+import logging
+import time
+
+
+def dispatch(events):
+    started = time.perf_counter()  # expect: RL008
+    for event in events:
+        print("dispatching", event)  # expect: RL008
+        logging.info("event %s", event)  # expect: RL008
+    with open("trace.log", "w") as handle:  # expect: RL008
+        handle.write("done")
+    return time.perf_counter() - started  # expect: RL008

@@ -1,0 +1,196 @@
+"""Fixture tests for the repro-lint rules (RL001-RL008) and the pragma layer.
+
+Every rule has one *violation* fixture — each expected finding marked with a
+trailing ``# expect: RLnnn`` comment on the offending line — and one *clean
+twin* that does the same job the approved way.  Violation fixtures are linted
+with only the rule under test, so the markers name exactly the findings; clean
+twins are linted with the full rule set and must come back empty.
+
+A ``# lint-path:`` header comment gives the fixture a virtual path so the
+path-scoped rules (allowlists, ``experiments/`` scoping, the engine rule)
+behave exactly as they do on the real tree.
+"""
+
+import json
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import (
+    PRAGMA_RULE_ID,
+    available_rules,
+    lint_source,
+    make_rules,
+    rule_ids,
+)
+from repro.cli import main as cli_main
+from repro.core import ConfigurationError
+
+FIXTURES = Path(__file__).parent / "lint_fixtures"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(?P<ids>RL\d{3}(?:\s*,\s*RL\d{3})*)")
+_PATH_RE = re.compile(r"^#\s*lint-path:\s*(?P<path>\S+)", re.MULTILINE)
+
+#: rule id -> violation fixtures exercising it (clean twin = s/violation/clean/)
+VIOLATION_FIXTURES = {
+    "RL001": ("rl001_violation.py", "rl001_timing_violation.py"),
+    "RL002": ("rl002_violation.py",),
+    "RL003": ("rl003_violation.py",),
+    "RL004": ("rl004_violation.py",),
+    "RL005": ("rl005_violation.py",),
+    "RL006": ("rl006_violation.py",),
+    "RL007": ("rl007_violation.py",),
+    "RL008": ("rl008_violation.py",),
+}
+
+
+def load_fixture(name):
+    """Return (source, virtual path, sorted expected (line, rule) pairs)."""
+    source = (FIXTURES / name).read_text(encoding="utf-8")
+    match = _PATH_RE.search(source)
+    virtual_path = match.group("path") if match else name
+    expected = []
+    for number, line in enumerate(source.splitlines(), start=1):
+        marker = _EXPECT_RE.search(line)
+        if marker:
+            for rule_id in marker.group("ids").split(","):
+                expected.append((number, rule_id.strip()))
+    return source, virtual_path, sorted(expected)
+
+
+def lint_pairs(source, path, rules=None):
+    return sorted((f.line, f.rule_id) for f in lint_source(source, path, rules=rules))
+
+
+class TestRuleFixtures:
+    def test_every_rule_has_a_fixture_pair(self):
+        assert sorted(VIOLATION_FIXTURES) == sorted(rule_ids())
+        for fixtures in VIOLATION_FIXTURES.values():
+            for name in fixtures:
+                assert (FIXTURES / name).is_file()
+                assert (FIXTURES / name.replace("violation", "clean")).is_file()
+
+    @pytest.mark.parametrize(
+        "rule_id,fixture",
+        [(rid, name) for rid, names in VIOLATION_FIXTURES.items() for name in names],
+    )
+    def test_violation_fixture_fires_at_marked_lines(self, rule_id, fixture):
+        source, path, expected = load_fixture(fixture)
+        assert expected, f"{fixture} carries no # expect: markers"
+        assert all(rid == rule_id for _, rid in expected)
+        got = lint_pairs(source, path, rules=make_rules([rule_id]))
+        assert got == expected
+
+    @pytest.mark.parametrize(
+        "fixture",
+        sorted(
+            name.replace("violation", "clean")
+            for names in VIOLATION_FIXTURES.values()
+            for name in names
+        ),
+    )
+    def test_clean_twin_passes_every_rule(self, fixture):
+        source, path, expected = load_fixture(fixture)
+        assert not expected, f"clean twin {fixture} must carry no markers"
+        findings = lint_source(source, path)
+        rendered = "\n".join(f.render() for f in findings)
+        assert not findings, f"clean twin {fixture} is not clean:\n{rendered}"
+
+    def test_rules_are_path_scoped(self):
+        source, _, _ = load_fixture("rl002_violation.py")
+        # the slow-path loop is the validated reference inside core/ and tests
+        assert lint_pairs(source, "core/problem.py", rules=make_rules(["RL002"])) == []
+        assert lint_pairs(source, "tests/test_x.py", rules=make_rules(["RL002"])) == []
+        engine, _, _ = load_fixture("rl008_violation.py")
+        # the engine-purity rule only applies to simulation/engine.py
+        assert lint_pairs(engine, "simulation/stream.py", rules=make_rules(["RL008"])) == []
+
+    def test_unknown_rule_filter_raises(self):
+        with pytest.raises(ConfigurationError, match="RL999"):
+            make_rules(["RL999"])
+
+    def test_syntax_error_becomes_protocol_finding(self):
+        findings = lint_source("def broken(:\n", "heuristics/broken.py")
+        assert len(findings) == 1
+        assert findings[0].rule_id == PRAGMA_RULE_ID
+        assert "does not parse" in findings[0].message
+
+
+class TestPragmas:
+    @staticmethod
+    def _pragma_line(source):
+        return next(
+            number
+            for number, line in enumerate(source.splitlines(), start=1)
+            if "repro-lint" in line
+        )
+
+    def test_justified_pragma_suppresses_the_finding(self):
+        source, path, _ = load_fixture("pragma_suppressed.py")
+        assert lint_source(source, path) == []
+
+    def test_unjustified_pragma_keeps_finding_and_reports_protocol(self):
+        source, path, _ = load_fixture("pragma_unjustified.py")
+        line = self._pragma_line(source)
+        assert lint_pairs(source, path) == sorted([(line, PRAGMA_RULE_ID), (line, "RL006")])
+
+    def test_unknown_rule_in_pragma_is_a_protocol_finding(self):
+        source, path, _ = load_fixture("pragma_unknown.py")
+        line = self._pragma_line(source)
+        assert lint_pairs(source, path) == [(line, PRAGMA_RULE_ID)]
+
+    def test_pragma_only_silences_named_rule_on_its_line(self):
+        source, path, _ = load_fixture("pragma_suppressed.py")
+        # restricting the run to RL006 must not resurrect the finding
+        assert lint_pairs(source, path, rules=make_rules(["RL006"])) == []
+
+
+class TestLintCli:
+    @staticmethod
+    def _write(tmp_path, fixture):
+        source, _, _ = load_fixture(fixture)
+        target = tmp_path / fixture
+        target.write_text(source, encoding="utf-8")
+        return target
+
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = self._write(tmp_path, "rl006_clean.py")
+        assert cli_main(["lint", str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one_and_name_the_rule(self, tmp_path, capsys):
+        target = self._write(tmp_path, "rl006_violation.py")
+        assert cli_main(["lint", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "RL006" in out and f"{target}" in out
+
+    def test_json_format_is_machine_readable(self, tmp_path, capsys):
+        target = self._write(tmp_path, "rl006_violation.py")
+        assert cli_main(["lint", str(target), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is False
+        assert payload["files_checked"] == 1
+        assert {f["rule"] for f in payload["findings"]} == {"RL006"}
+
+    def test_rule_filter_restricts_the_run(self, tmp_path, capsys):
+        target = self._write(tmp_path, "rl006_violation.py")
+        assert cli_main(["lint", str(target), "--rule", "RL001"]) == 0
+        capsys.readouterr()
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        target = self._write(tmp_path, "rl006_clean.py")
+        assert cli_main(["lint", str(target), "--rule", "RL999"]) == 2
+        assert "RL999" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert cli_main(["lint", str(tmp_path / "nope.py")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_list_rules_describes_every_rule(self, capsys):
+        assert cli_main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_cls in available_rules():
+            assert rule_cls.id in out
+        for rule_id in rule_ids():
+            assert rule_id in out

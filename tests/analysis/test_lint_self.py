@@ -1,0 +1,20 @@
+"""The integration gate: the repo's own source tree lints clean.
+
+This is the test CI relies on — any new finding in ``src/repro`` (or a
+pragma without a justification) fails the suite with the rendered report.
+"""
+
+from pathlib import Path
+
+import repro
+from repro.analysis.lint import lint_paths, rule_ids
+
+
+def test_src_tree_is_lint_clean():
+    package_root = Path(repro.__file__).resolve().parent
+    report = lint_paths([package_root])
+    rendered = "\n".join(finding.render() for finding in report.findings)
+    assert report.ok, f"repro-lint findings in {package_root}:\n{rendered}"
+    # sanity: the run actually covered the tree with the full rule set
+    assert len(report.files) > 40
+    assert tuple(report.rule_ids) == tuple(rule_ids())

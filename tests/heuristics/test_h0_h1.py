@@ -3,9 +3,11 @@
 import numpy as np
 import pytest
 
-from repro.core import MinCostProblem
+from repro.core import MinCostProblem, ThroughputSplit
 from repro.experiments.tables import PAPER_TABLE3_H1_COSTS, illustrating_problem
 from repro.heuristics import H0RandomSolver, H1BestGraphSolver, best_single_recipe_split
+from repro.heuristics.neighborhood import random_split
+from repro.utils.rng import as_generator
 
 
 class TestH0Random:
@@ -38,6 +40,24 @@ class TestH0Random:
     def test_invalid_parameters(self):
         with pytest.raises(ValueError):
             H0RandomSolver(step=0)
+
+    def test_batched_scoring_matches_reference_loop(self, illustrating_problem_70):
+        # the solver scores all draws in one evaluator GEMM; this replays the
+        # old per-candidate evaluate_split loop and demands bitwise identity
+        problem = illustrating_problem_70
+        seed, step, samples = 11, 1.0, 32
+        result = H0RandomSolver(seed=seed, step=step, samples=samples).solve(problem)
+
+        rng = as_generator(seed)
+        best_split, best_cost = None, float("inf")
+        for _ in range(samples):
+            split = random_split(problem.target_throughput, problem.num_recipes, step, rng)
+            cost = problem.evaluate_split(split)
+            if cost < best_cost:
+                best_cost, best_split = cost, split
+
+        assert result.allocation.split == ThroughputSplit.from_sequence(best_split)
+        assert result.cost == best_cost
         with pytest.raises(ValueError):
             H0RandomSolver(samples=0)
 

@@ -5,6 +5,7 @@ import pytest
 from repro.core import ProblemError
 from repro.heuristics import H1BestGraphSolver, H2RandomWalkSolver, PortfolioSolver
 from repro.solvers import BlackBoxKnapsackSolver, MilpSolver
+from repro.solvers.base import Solver
 
 
 class TestPortfolio:
@@ -52,3 +53,25 @@ class TestPortfolio:
         assert result.optimal
         result = PortfolioSolver([H1BestGraphSolver()]).solve(illustrating_problem_70)
         assert not result.optimal
+
+    def test_failed_member_entry_records_error_type(self, illustrating_problem_70):
+        portfolio = PortfolioSolver([BlackBoxKnapsackSolver(), H1BestGraphSolver()])
+        result = portfolio.solve(illustrating_problem_70)
+        failed = [m for m in result.meta["members"] if "error" in m]
+        assert len(failed) == 1
+        assert failed[0]["error_type"] == "ProblemError"
+        assert "[ProblemError]" in result.meta["errors"][0]
+
+    @pytest.mark.parametrize("interrupt", [KeyboardInterrupt, SystemExit])
+    def test_member_interrupt_propagates(self, illustrating_problem_70, interrupt):
+        # an interrupt inside a member must never be recorded as "member
+        # failure data" — it aborts the whole portfolio immediately
+        class InterruptingSolver(Solver):
+            name = "Interrupter"
+
+            def _solve(self, problem):
+                raise interrupt()
+
+        portfolio = PortfolioSolver([InterruptingSolver(), H1BestGraphSolver()])
+        with pytest.raises(interrupt):
+            portfolio.solve(illustrating_problem_70)

@@ -153,6 +153,12 @@ class TestScenarioSpec:
         spec = ScenarioSpec.from_dict({"name": "bare"})
         assert spec.arrival == DeterministicArrivals()
 
+    def test_from_dict_rejects_unknown_fields(self):
+        # a misspelled axis must fail loudly, not silently deserialize into
+        # a different scenario (RL005's spec-strictness invariant)
+        with pytest.raises(SimulationError, match="unknown field"):
+            ScenarioSpec.from_dict({"name": "bare", "slowdown": [[1, 0.5]]})
+
     def test_invalid_specs_rejected(self):
         with pytest.raises(SimulationError, match="non-empty name"):
             ScenarioSpec(name="")
