@@ -25,34 +25,81 @@ RL008   engine hot-path purity: no I/O or wall-clock under
         ``simulation/engine.py`` dispatch
 ======  ====================================================================
 
+The per-file rules are one AST hop deep by design.  The **project-rule
+family** (whole-tree mode: ``repro-cloud lint --project``, the default when
+linting a directory) closes the transitive gaps over a deterministic
+call graph (``project.py``), with findings that print the offending call
+chain (``engine.run → _drain → logger.info``):
+
+======  ====================================================================
+RL101   transitive engine purity: no call path from ``simulation/engine.py``
+        functions to I/O / logging / wall-clock anywhere in the tree
+RL102   transitive evaluator discipline: no loop-borne call chain outside
+        ``core/`` reaching ``evaluate_split``
+RL103   determinism taint: wall-clock / unseeded-RNG-derived return values
+        must not flow into ``as_dict`` payloads, checkpoint writes or
+        ``stable_text_digest`` fingerprint inputs
+RL104   transitive pickle safety: ``*Unit``/``*Chunk`` field types bottom
+        out in picklable primitives/dataclasses (no locks, open files,
+        generators or lambda-valued attributes through any alias)
+RL105   dead spec axes: every ``*Spec`` dataclass field is read by some
+        code path outside the spec itself
+======  ====================================================================
+
+Whole-tree runs are incremental: per-module analyses are cached on disk
+keyed on file sha256 (``cache.py``), so a warm rerun re-analyzes only the
+modules whose bytes changed and rebuilds the call graph from cached
+summaries.
+
 A finding on one line can be suppressed with a justified pragma::
 
     risky_line()  # repro-lint: disable=RL001 -- <why this one is safe>
 
+A pragma anywhere on a multi-line statement covers the whole logical line.
 The justification is mandatory; a pragma without one is itself reported
 (``RL000``) and suppresses nothing.  Run the checker with
-``repro-cloud lint [paths] [--rule ID] [--format json]``; the test suite
-lints ``src/`` and fails on any finding, so the repo itself stays clean.
+``repro-cloud lint [paths] [--rule ID] [--format json] [--project]
+[--graph dot] [--output FILE]``; the test suite lints ``src/`` in both
+modes and fails on any finding, so the repo itself stays clean.
 """
 
-from .base import Finding, ModuleContext, Rule
+from .base import Finding, ModuleContext, ProjectRule, Rule
+from .cache import AnalysisCache, default_cache_path
 from .pragmas import PRAGMA_RULE_ID
-from .registry import available_rules, make_rules, rule_ids
+from .project import ModuleSummary, ProjectContext, render_dot, summarize_module
+from .registry import available_rules, make_rule_sets, make_rules, rule_ids
 from .reporters import render_json, render_text
-from .runner import LintReport, lint_file, lint_paths, lint_source
+from .runner import (
+    LintReport,
+    iter_python_files,
+    lint_file,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
 
 __all__ = [
     "Finding",
     "ModuleContext",
     "Rule",
+    "ProjectRule",
     "PRAGMA_RULE_ID",
+    "AnalysisCache",
+    "default_cache_path",
+    "ModuleSummary",
+    "ProjectContext",
+    "render_dot",
+    "summarize_module",
     "available_rules",
     "make_rules",
+    "make_rule_sets",
     "rule_ids",
     "render_json",
     "render_text",
     "LintReport",
+    "iter_python_files",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "lint_sources",
 ]

@@ -20,11 +20,14 @@ __all__ = [
     "Finding",
     "ModuleContext",
     "Rule",
+    "ProjectRule",
     "qual_matches",
     "module_segment",
     "WALL_CLOCK_CALLS",
     "is_wall_clock_call",
     "contains_wall_clock",
+    "impurity_reason",
+    "nondeterminism_reason",
 ]
 
 #: Function-boundary node types: loop lookups stop here.
@@ -257,6 +260,9 @@ class Rule:
     id: str = ""
     name: str = ""
     summary: str = ""
+    #: "file" rules see one module at a time; "project" rules see the whole
+    #: tree (ProjectRule subclasses) and only run in ``--project`` mode.
+    scope: str = "file"
 
     def applies_to(self, ctx: ModuleContext) -> bool:
         return True
@@ -266,7 +272,79 @@ class Rule:
 
     @classmethod
     def describe(cls) -> str:
-        return f"{cls.id} ({cls.name}): {cls.summary}"
+        tag = " [project]" if cls.scope == "project" else ""
+        return f"{cls.id} ({cls.name}){tag}: {cls.summary}"
+
+
+class ProjectRule(Rule):
+    """Base class of whole-program rules (RL1nn).
+
+    Project rules run over a :class:`~repro.analysis.lint.project.ProjectContext`
+    — every module parsed, symbols indexed, call graph built — so they can
+    enforce invariants that are properties of *call chains* rather than single
+    files.  They only run in whole-tree (``--project``) mode.
+    """
+
+    scope = "project"
+
+    def check(self, ctx: ModuleContext) -> Iterable[Finding]:
+        return ()
+
+    def check_project(self, project) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+def impurity_reason(ctx: ModuleContext, node: ast.Call) -> "str | None":
+    """Why ``node`` is an impure call (I/O, logging, wall-clock), or None.
+
+    Shared by the per-file engine-purity rule (RL008) and the whole-program
+    summaries behind transitive purity (RL101), so both agree on what counts.
+    """
+    if is_wall_clock_call(ctx, node):
+        return f"wall-clock read {ctx.resolve(node.func)}()"
+    func = node.func
+    if isinstance(func, ast.Name) and func.id in ("print", "input"):
+        return f"{func.id}() call"
+    if isinstance(func, ast.Name) and func.id == "open":
+        return "file open"
+    if isinstance(func, ast.Attribute) and func.attr == "open":
+        return "file open"
+    qual = ctx.resolve(func)
+    if qual is not None and (qual.startswith("logging.") or module_segment(qual, "logging")):
+        return f"logging call {qual}()"
+    if qual is not None and qual.split(".")[0] in ("sys",) and "std" in qual:
+        return f"stream write {qual}()"
+    return None
+
+
+def nondeterminism_reason(ctx: ModuleContext, node: ast.Call) -> "str | None":
+    """Why ``node``'s result depends on when/where it runs, or None.
+
+    The determinism-taint sources tracked across function returns by RL103:
+    wall-clock reads, the stdlib ``random`` module, legacy ``numpy.random``
+    global-state draws, and unseeded ``default_rng()``.
+    """
+    qual = ctx.resolve(node.func)
+    if is_wall_clock_call(ctx, node):
+        return f"wall-clock read {qual}()"
+    if (
+        qual is not None
+        and "random" in ctx.imported_modules
+        and (qual == "random" or qual.startswith("random."))
+    ):
+        return f"stdlib random call {qual}()"
+    if qual is not None and module_segment(qual, "numpy.random"):
+        tail = qual.split("numpy.random.", 1)[-1].split(".")[0]
+        if tail and tail not in ("default_rng", "Generator", "SeedSequence"):
+            return f"legacy numpy.random.{tail}() draw"
+    if qual_matches(qual, ("default_rng",)):
+        unseeded = not node.keywords and (
+            not node.args
+            or (isinstance(node.args[0], ast.Constant) and node.args[0].value is None)
+        )
+        if unseeded:
+            return "unseeded default_rng()"
+    return None
 
 
 def walk_nodes(ctx: ModuleContext, *types: type) -> Iterator[ast.AST]:

@@ -1,0 +1,162 @@
+"""Per-module analysis cache: sha256-keyed JSON lines on disk.
+
+Whole-tree (``--project``) runs parse every module and run every per-file
+rule before the call graph is even built; on a warm tree almost none of that
+work changes between runs.  The cache stores, per module, the file's sha256,
+the per-file findings, the pragma suppressions and the whole-program
+:class:`~repro.analysis.lint.project.ModuleSummary` — so a rerun re-analyzes
+only modules whose bytes changed and rebuilds the (cheap) call graph from
+cached summaries.
+
+Durability follows the checkpoint stores' discipline without their fsync
+cost (a lint cache is a pure accelerator, never a source of truth):
+
+* append-only JSONL, one record per (re-)analyzed module, last-wins on load;
+* a torn final line — the classic crash artifact — is silently dropped;
+* any record that fails to parse, or whose versions do not match the current
+  analyzer, is ignored: a stale or foreign cache degrades to a cold run,
+  never to wrong findings.
+
+A hit requires the sha256 *and* the recorded path and active per-file rule
+set to match: path-scoped rules mean identical bytes can lint differently at
+different paths, and a ``--rule``-restricted run must not serve findings
+computed under another selection.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+from .project import SUMMARY_VERSION
+
+__all__ = ["CACHE_VERSION", "AnalysisCache", "default_cache_path", "content_sha256"]
+
+#: Bumped when the record shape changes; combined with SUMMARY_VERSION so a
+#: summary-format change also invalidates old entries.
+CACHE_VERSION = 1
+
+_KIND = "repro-lint-cache"
+
+
+def default_cache_path() -> Path:
+    """``$REPRO_LINT_CACHE_PATH``, else ``~/.cache/repro-cloud/lint-cache.jsonl``."""
+    env = os.environ.get("REPRO_LINT_CACHE_PATH")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro-cloud" / "lint-cache.jsonl"
+
+
+def content_sha256(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class AnalysisCache:
+    """Append-only, torn-tail-tolerant per-module analysis store."""
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+        self._records: dict[str, dict[str, Any]] = {}
+        self._pending: list[dict[str, Any]] = []
+        self._needs_header = True
+        self._load()
+
+    # -- load ------------------------------------------------------------- #
+
+    def _load(self) -> None:
+        try:
+            raw = self.path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError):
+            return
+        lines = raw.split("\n")
+        for number, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except ValueError:
+                continue  # torn tail or corruption: ignore, never fail
+            if not isinstance(row, dict):
+                continue
+            if number == 0:
+                if (
+                    row.get("kind") != _KIND
+                    or row.get("version") != CACHE_VERSION
+                    or row.get("summary_version") != SUMMARY_VERSION
+                ):
+                    return  # foreign or stale-format file: treat as empty
+                self._needs_header = False
+                continue
+            sha = row.get("sha256")
+            if isinstance(sha, str):
+                self._records[sha] = row
+
+    # -- lookup / store --------------------------------------------------- #
+
+    @staticmethod
+    def _rule_key(rule_ids: Sequence[str]) -> str:
+        return ",".join(rule_ids)
+
+    def get(
+        self, sha: str, path: str, rule_ids: Sequence[str]
+    ) -> "Mapping[str, Any] | None":
+        record = self._records.get(sha)
+        if record is None:
+            return None
+        if record.get("path") != path or record.get("rules") != self._rule_key(rule_ids):
+            return None
+        return record
+
+    def put(
+        self,
+        sha: str,
+        path: str,
+        rule_ids: Sequence[str],
+        findings: "list[dict[str, Any]]",
+        summary: "dict[str, Any] | None",
+        suppressions: "dict[str, list[str]]",
+    ) -> None:
+        record = {
+            "sha256": sha,
+            "path": path,
+            "rules": self._rule_key(rule_ids),
+            "findings": findings,
+            "summary": summary,
+            "suppressions": suppressions,
+        }
+        self._records[sha] = record
+        self._pending.append(record)
+
+    def flush(self) -> None:
+        """Append pending records (writing the header on first use)."""
+        if not self._pending and not self._needs_header:
+            return
+        if not self._pending:
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        header = ""
+        mode = "a"
+        if self._needs_header or not self.path.exists():
+            header = (
+                json.dumps(
+                    {
+                        "kind": _KIND,
+                        "version": CACHE_VERSION,
+                        "summary_version": SUMMARY_VERSION,
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+            mode = "w"  # a foreign/stale file is replaced wholesale
+        with self.path.open(mode, encoding="utf-8") as handle:
+            if header:
+                handle.write(header)
+            for record in self._pending:
+                handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._needs_header = False
+        self._pending = []

@@ -1,12 +1,20 @@
-"""Per-line allowlist pragmas: ``# repro-lint: disable=RLnnn -- why``.
+"""Per-statement allowlist pragmas: ``# repro-lint: disable=RLnnn -- why``.
 
-A pragma suppresses the named rules on its own physical line only — the
-narrowest possible scope, so an allowlisted line cannot hide a later
-violation pasted next to it.  The justification after ``--`` is mandatory:
-an allowlist entry without a recorded reason is how invariants rot, so a
-bare pragma is itself a finding (:data:`PRAGMA_RULE_ID`) and suppresses
-nothing.  Unknown rule ids in a pragma are reported too (a typo like
-``RL0001`` must not silently re-enable nothing).
+A pragma suppresses the named rules on the *logical* line it annotates: a
+comment anywhere on a multi-line statement (inside the parentheses of a
+wrapped call, or after its closing paren) covers every physical line of that
+statement — the finding anchors to the line of the offending AST node, which
+for a wrapped call is rarely the line carrying the comment.  Continuation
+tracking is token-based (NEWLINE ends a logical line, NL does not), so the
+expansion is exact, not indentation-guessing.  A pragma on a comment-only
+line covers just that line — the narrowest possible scope, so an allowlisted
+statement cannot hide a later violation pasted next to it.
+
+The justification after ``--`` is mandatory: an allowlist entry without a
+recorded reason is how invariants rot, so a bare pragma is itself a finding
+(:data:`PRAGMA_RULE_ID`) and suppresses nothing.  Unknown rule ids in a
+pragma are reported too (a typo like ``RL0001`` must not silently re-enable
+nothing).
 """
 
 from __future__ import annotations
@@ -45,18 +53,57 @@ def _iter_comments(source: str) -> Iterator[tuple[int, int, str]]:
         return
 
 
+#: Token types that never open a logical line.
+_NON_CODE_TOKENS = frozenset(
+    {
+        tokenize.NEWLINE,
+        tokenize.NL,
+        tokenize.COMMENT,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENDMARKER,
+        tokenize.ENCODING,
+    }
+)
+
+
+def _logical_spans(source: str) -> list[tuple[int, int]]:
+    """``(first, last)`` physical line numbers of every logical line.
+
+    A logical line opens at the first code token after the previous NEWLINE
+    and closes at its NEWLINE token, so a statement wrapped across physical
+    lines (implicit continuation inside brackets, or explicit backslashes)
+    yields one span covering all of them.
+    """
+    spans: list[tuple[int, int]] = []
+    start: "int | None" = None
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.NEWLINE:
+                if start is not None:
+                    spans.append((start, token.start[0]))
+                start = None
+            elif token.type not in _NON_CODE_TOKENS and start is None:
+                start = token.start[0]
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - caller parsed it
+        pass
+    return spans
+
+
 def parse_pragmas(
     source: str, path: str, known_ids: Iterable[str]
 ) -> tuple[dict[int, set[str]], list[Finding]]:
     """Parse every pragma in ``source``.
 
     Returns ``(suppressions, findings)`` where ``suppressions`` maps a
-    1-based line number to the rule ids validly suppressed there, and
-    ``findings`` reports malformed pragmas.
+    1-based line number to the rule ids validly suppressed there — every
+    physical line of the pragma's logical line is covered — and ``findings``
+    reports malformed pragmas.
     """
     known = set(known_ids)
     suppressions: dict[int, set[str]] = {}
     findings: list[Finding] = []
+    spans = _logical_spans(source)
 
     def report(line: int, col: int, message: str) -> None:
         findings.append(
@@ -93,5 +140,11 @@ def parse_pragmas(
             continue
         valid = (set(ids) & known) - {PRAGMA_RULE_ID}
         if valid:
-            suppressions.setdefault(number, set()).update(valid)
+            first, last = number, number
+            for span_first, span_last in spans:
+                if span_first <= number <= span_last:
+                    first, last = span_first, span_last
+                    break
+            for covered in range(first, last + 1):
+                suppressions.setdefault(covered, set()).update(valid)
     return suppressions, findings

@@ -14,7 +14,7 @@ from typing import Iterable, Sequence
 from ...core.exceptions import ConfigurationError
 from .base import Rule
 
-__all__ = ["register", "rule_ids", "available_rules", "make_rules"]
+__all__ = ["register", "rule_ids", "available_rules", "make_rules", "make_rule_sets"]
 
 _REGISTRY: dict[str, type[Rule]] = {}
 
@@ -34,7 +34,7 @@ def register(rule_cls: type[Rule]) -> type[Rule]:
 def _ensure_loaded() -> None:
     # rule modules register on import; importing here (not at module top)
     # breaks the registry <-> rules import cycle
-    from . import rules_architecture, rules_determinism  # noqa: F401
+    from . import rules_architecture, rules_determinism, rules_project  # noqa: F401
 
 
 def rule_ids() -> tuple[str, ...]:
@@ -50,10 +50,20 @@ def available_rules() -> tuple[type[Rule], ...]:
 
 
 def make_rules(ids: "Sequence[str] | Iterable[str] | None" = None) -> list[Rule]:
-    """Instantiate the requested rules (all of them when ``ids`` is None)."""
+    """Instantiate the requested rules.
+
+    With ``ids=None`` this returns every *per-file* rule — the default set a
+    single-module lint can run.  Project rules (``scope == "project"``) need
+    the whole tree and are only included when explicitly named; use
+    :func:`make_rule_sets` to get both families for a ``--project`` run.
+    """
     _ensure_loaded()
     if ids is None:
-        selected = sorted(_REGISTRY)
+        selected = [
+            rule_id
+            for rule_id in sorted(_REGISTRY)
+            if _REGISTRY[rule_id].scope == "file"
+        ]
     else:
         selected = list(dict.fromkeys(ids))  # dedupe, keep order
         unknown = sorted(set(selected) - set(_REGISTRY))
@@ -63,3 +73,32 @@ def make_rules(ids: "Sequence[str] | Iterable[str] | None" = None) -> list[Rule]
                 f"available: {', '.join(sorted(_REGISTRY))}"
             )
     return [_REGISTRY[rule_id]() for rule_id in selected]
+
+
+def make_rule_sets(
+    ids: "Sequence[str] | Iterable[str] | None" = None, *, project: bool = False
+) -> "tuple[list[Rule], list[Rule]]":
+    """Split the selection into (per-file rules, project rules).
+
+    In per-file mode (``project=False``) naming a project rule is a
+    configuration error — it cannot run without the whole tree.  With
+    ``ids=None``, per-file mode selects every file rule and project mode
+    selects everything.
+    """
+    _ensure_loaded()
+    if ids is None:
+        selected = sorted(_REGISTRY)
+    else:
+        selected = list(dict.fromkeys(ids))
+    rules = make_rules(selected)
+    file_rules = [rule for rule in rules if rule.scope == "file"]
+    project_rules = [rule for rule in rules if rule.scope == "project"]
+    if not project:
+        if ids is not None and project_rules:
+            names = ", ".join(rule.id for rule in project_rules)
+            raise ConfigurationError(
+                f"rule(s) {names} need whole-program analysis; "
+                "run with --project (or lint a directory tree)"
+            )
+        return file_rules, []
+    return file_rules, project_rules

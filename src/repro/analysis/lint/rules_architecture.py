@@ -16,8 +16,7 @@ from .base import (
     Finding,
     ModuleContext,
     Rule,
-    is_wall_clock_call,
-    module_segment,
+    impurity_reason,
     walk_nodes,
 )
 from .registry import register
@@ -380,7 +379,7 @@ class EnginePurityRule(Rule):
             assert isinstance(node, ast.Call)
             if ctx.enclosing_function(node) is None:
                 continue  # module-level setup is not the dispatch path
-            impurity = self._impurity(ctx, node)
+            impurity = impurity_reason(ctx, node)
             if impurity is not None:
                 yield ctx.finding(
                     self.id,
@@ -388,21 +387,3 @@ class EnginePurityRule(Rule):
                     f"{impurity} inside the engine; the hot path computes, "
                     "callers do the I/O and the timing",
                 )
-
-    @staticmethod
-    def _impurity(ctx: ModuleContext, node: ast.Call) -> "str | None":
-        if is_wall_clock_call(ctx, node):
-            return f"wall-clock read {ctx.resolve(node.func)}()"
-        func = node.func
-        if isinstance(func, ast.Name) and func.id in ("print", "input"):
-            return f"{func.id}() call"
-        if isinstance(func, ast.Name) and func.id == "open":
-            return "file open"
-        if isinstance(func, ast.Attribute) and func.attr == "open":
-            return "file open"
-        qual = ctx.resolve(func)
-        if qual is not None and (qual.startswith("logging.") or module_segment(qual, "logging")):
-            return f"logging call {qual}()"
-        if qual is not None and qual.split(".")[0] in ("sys",) and "std" in qual:
-            return f"stream write {qual}()"
-        return None

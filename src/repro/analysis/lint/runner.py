@@ -2,24 +2,50 @@
 
 Findings come back sorted by (path, line, col, rule) so two runs over the
 same tree produce byte-identical reports — the linter obeys the same
-determinism invariant it enforces.
+determinism invariant it enforces.  That holds across cache states too: a
+warm ``--project`` run serves per-file findings and module summaries from
+the sha256-keyed :class:`~repro.analysis.lint.cache.AnalysisCache` and must
+render exactly the report a cold run renders.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Mapping, Sequence
 
 from ...core.exceptions import ConfigurationError
 from .base import Finding, ModuleContext, Rule
+from .cache import AnalysisCache, content_sha256
 from .pragmas import PRAGMA_RULE_ID, parse_pragmas
-from .registry import make_rules, rule_ids
+from .project import ModuleSummary, ProjectContext, summarize_module
+from .registry import make_rule_sets, make_rules, rule_ids
 
-__all__ = ["LintReport", "iter_python_files", "lint_source", "lint_file", "lint_paths"]
+__all__ = [
+    "LintReport",
+    "iter_python_files",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "lint_sources",
+]
 
-#: Directories never worth descending into.
-_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", ".mypy_cache"}
+#: Directories never worth descending into: caches, VCS state, virtualenvs
+#: and build output — ``repro-cloud lint .`` in a working checkout must not
+#: lint third-party or generated code.
+_SKIP_DIRS = {
+    "__pycache__",
+    ".git",
+    ".hypothesis",
+    ".pytest_cache",
+    ".mypy_cache",
+    ".ruff_cache",
+    ".venv",
+    "venv",
+    "build",
+    "dist",
+    ".eggs",
+}
 
 
 @dataclass(frozen=True, slots=True)
@@ -29,6 +55,12 @@ class LintReport:
     findings: tuple[Finding, ...]
     files: tuple[str, ...]
     rule_ids: tuple[str, ...]
+    #: files whose analysis actually ran this time (whole-tree mode: cache
+    #: misses; always every file when no cache is in play)
+    reanalyzed: tuple[str, ...] = ()
+    #: the whole-program context of a --project run (None per-file); carries
+    #: the call graph for ``--graph dot``
+    project: "ProjectContext | None" = field(default=None, compare=False)
 
     @property
     def ok(self) -> bool:
@@ -59,35 +91,32 @@ def iter_python_files(paths: Iterable["str | Path"]) -> Iterator[Path]:
                 yield candidate
 
 
-def lint_source(
+def _analyze_module(
+    path_text: str,
     source: str,
-    path: "str | Path" = "<memory>",
+    file_rules: Sequence[Rule],
     *,
-    rules: "Sequence[Rule] | None" = None,
-) -> list[Finding]:
-    """Lint one module's source text.
+    want_summary: bool,
+) -> "tuple[list[Finding], ModuleSummary | None, dict[int, set[str]]]":
+    """One module's full analysis: findings, optional summary, suppressions.
 
-    ``path`` drives the path-scoped rules (allowlists, package scoping) and
-    may be virtual — fixture tests lint real snippet files under synthetic
-    paths like ``experiments/example.py``.
+    Suppressions are returned (not just applied) because project-rule
+    findings anchored in this module go through the same pragma filter
+    later, and the whole-tree cache stores them alongside the findings.
     """
-    if rules is None:
-        rules = make_rules()
-    path_text = str(path)
     try:
         ctx = ModuleContext(path_text, source)
     except SyntaxError as exc:
-        return [
-            Finding(
-                rule_id=PRAGMA_RULE_ID,
-                path=path_text,
-                line=exc.lineno or 1,
-                col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
-                message=f"file does not parse: {exc.msg}",
-            )
-        ]
+        finding = Finding(
+            rule_id=PRAGMA_RULE_ID,
+            path=path_text,
+            line=exc.lineno or 1,
+            col=(exc.offset or 0) + 1 if exc.offset is not None else 1,
+            message=f"file does not parse: {exc.msg}",
+        )
+        return [finding], None, {}
     findings: set[Finding] = set()
-    for rule in rules:
+    for rule in file_rules:
         if rule.applies_to(ctx):
             findings.update(rule.check(ctx))
     # pragmas validate against *all* known ids, not just the selected rules,
@@ -96,10 +125,30 @@ def lint_source(
     kept = [
         finding
         for finding in findings
-        if finding.rule_id not in suppressions.get(finding.line, ())
+        if finding.rule_id not in suppressions.get(finding.line, set())
     ]
     kept.extend(pragma_findings)
-    return sorted(kept, key=Finding.sort_key)
+    kept.sort(key=Finding.sort_key)
+    summary = summarize_module(ctx) if want_summary else None
+    return kept, summary, suppressions
+
+
+def lint_source(
+    source: str,
+    path: "str | Path" = "<memory>",
+    *,
+    rules: "Sequence[Rule] | None" = None,
+) -> list[Finding]:
+    """Lint one module's source text with per-file rules.
+
+    ``path`` drives the path-scoped rules (allowlists, package scoping) and
+    may be virtual — fixture tests lint real snippet files under synthetic
+    paths like ``experiments/example.py``.
+    """
+    if rules is None:
+        rules = make_rules()
+    findings, _, _ = _analyze_module(str(path), source, rules, want_summary=False)
+    return findings
 
 
 def lint_file(path: "str | Path", *, rules: "Sequence[Rule] | None" = None) -> list[Finding]:
@@ -112,21 +161,160 @@ def lint_file(path: "str | Path", *, rules: "Sequence[Rule] | None" = None) -> l
     return lint_source(source, file_path, rules=rules)
 
 
-def lint_paths(
-    paths: Iterable["str | Path"],
+def _run_project_rules(
+    project_rules: Sequence[Rule],
+    summaries: Sequence[ModuleSummary],
+    suppressions_by_path: Mapping[str, Mapping[int, "set[str] | Sequence[str]"]],
+) -> "tuple[list[Finding], ProjectContext]":
+    project = ProjectContext(summaries)
+    findings: list[Finding] = []
+    for rule in sorted(project_rules, key=lambda r: r.id):
+        for finding in rule.check_project(project):
+            per_line = suppressions_by_path.get(finding.path, {})
+            if finding.rule_id in set(per_line.get(finding.line, ())):
+                continue
+            findings.append(finding)
+    return findings, project
+
+
+def lint_sources(
+    sources: Sequence[tuple[str, str]],
     *,
     rule_ids_filter: "Sequence[str] | None" = None,
+    project: bool = True,
 ) -> LintReport:
-    """Lint every Python file under ``paths`` with the selected rules."""
-    rules = make_rules(rule_ids_filter)
+    """Lint an in-memory set of ``(virtual path, source)`` modules.
+
+    The whole-tree analogue of :func:`lint_source`: fixture tests hand in a
+    synthetic multi-module tree and get the full per-file + project-rule
+    treatment without touching disk (and without a cache).
+    """
+    file_rules, project_rules = make_rule_sets(rule_ids_filter, project=project)
     findings: list[Finding] = []
     files: list[str] = []
-    for file_path in iter_python_files(paths):
-        files.append(str(file_path))
-        findings.extend(lint_file(file_path, rules=rules))
+    summaries: list[ModuleSummary] = []
+    suppressions_by_path: dict[str, dict[int, set[str]]] = {}
+    for path_text, source in sources:
+        files.append(path_text)
+        kept, summary, suppressions = _analyze_module(
+            path_text, source, file_rules, want_summary=bool(project_rules)
+        )
+        findings.extend(kept)
+        if summary is not None:
+            summaries.append(summary)
+        suppressions_by_path[path_text] = suppressions
+    project_ctx: "ProjectContext | None" = None
+    if project_rules:
+        project_findings, project_ctx = _run_project_rules(
+            project_rules, summaries, suppressions_by_path
+        )
+        findings.extend(project_findings)
     findings.sort(key=Finding.sort_key)
     return LintReport(
         findings=tuple(findings),
         files=tuple(files),
-        rule_ids=tuple(rule.id for rule in rules),
+        rule_ids=tuple(rule.id for rule in list(file_rules) + list(project_rules)),
+        reanalyzed=tuple(files),
+        project=project_ctx,
+    )
+
+
+def _cached_analysis(
+    record: Mapping[str, Any],
+) -> "tuple[list[Finding], ModuleSummary | None, dict[int, set[str]]]":
+    findings = [
+        Finding(
+            rule_id=row["rule"],
+            path=row["path"],
+            line=row["line"],
+            col=row["col"],
+            message=row["message"],
+        )
+        for row in record["findings"]
+    ]
+    summary_data = record.get("summary")
+    summary = ModuleSummary.from_dict(summary_data) if summary_data else None
+    suppressions = {
+        int(line): set(ids) for line, ids in record.get("suppressions", {}).items()
+    }
+    return findings, summary, suppressions
+
+
+def lint_paths(
+    paths: Iterable["str | Path"],
+    *,
+    rule_ids_filter: "Sequence[str] | None" = None,
+    project: bool = False,
+    cache: "AnalysisCache | str | Path | None" = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` with the selected rules.
+
+    ``project=True`` adds whole-program analysis: per-file rules run as
+    usual, every module is summarized into the symbol table / call graph,
+    and the project-rule family (RL101+) runs over the assembled
+    :class:`ProjectContext`.  ``cache`` (a path or an
+    :class:`AnalysisCache`) makes warm reruns incremental: modules whose
+    sha256, path and rule selection match a cached record skip parsing and
+    per-file analysis entirely.
+    """
+    file_rules, project_rules = make_rule_sets(rule_ids_filter, project=project)
+    file_rule_ids = [rule.id for rule in file_rules]
+    store: "AnalysisCache | None" = None
+    if project and cache is not None:
+        store = cache if isinstance(cache, AnalysisCache) else AnalysisCache(cache)
+    findings: list[Finding] = []
+    files: list[str] = []
+    reanalyzed: list[str] = []
+    summaries: list[ModuleSummary] = []
+    suppressions_by_path: dict[str, dict[int, set[str]]] = {}
+    for file_path in iter_python_files(paths):
+        path_text = str(file_path)
+        files.append(path_text)
+        try:
+            raw = file_path.read_bytes()
+        except OSError as exc:
+            raise ConfigurationError(f"cannot read {file_path}: {exc}") from None
+        kept: "list[Finding] | None" = None
+        summary: "ModuleSummary | None" = None
+        suppressions: dict[int, set[str]] = {}
+        sha = ""
+        if store is not None:
+            sha = content_sha256(raw)
+            record = store.get(sha, path_text, file_rule_ids)
+            if record is not None:
+                kept, summary, suppressions = _cached_analysis(record)
+        if kept is None:
+            reanalyzed.append(path_text)
+            source = raw.decode("utf-8")
+            kept, summary, suppressions = _analyze_module(
+                path_text, source, file_rules, want_summary=project
+            )
+            if store is not None:
+                store.put(
+                    sha,
+                    path_text,
+                    file_rule_ids,
+                    [finding.as_dict() for finding in kept],
+                    summary.as_dict() if summary is not None else None,
+                    {str(line): sorted(ids) for line, ids in suppressions.items()},
+                )
+        findings.extend(kept)
+        if summary is not None:
+            summaries.append(summary)
+        suppressions_by_path[path_text] = suppressions
+    if store is not None:
+        store.flush()
+    project_ctx: "ProjectContext | None" = None
+    if project:
+        project_findings, project_ctx = _run_project_rules(
+            project_rules, summaries, suppressions_by_path
+        )
+        findings.extend(project_findings)
+    findings.sort(key=Finding.sort_key)
+    return LintReport(
+        findings=tuple(findings),
+        files=tuple(files),
+        rule_ids=tuple(rule.id for rule in list(file_rules) + list(project_rules)),
+        reanalyzed=tuple(reanalyzed),
+        project=project_ctx,
     )

@@ -1,0 +1,11 @@
+# lint-path: heuristics/pragma_multiline_fixture.py
+"""Pragma fixture: one pragma anywhere on a multi-line statement covers the
+whole logical line — here the finding fires two physical lines below it."""
+import random
+
+
+def build_payload():
+    return {  # repro-lint: disable=RL001 -- demo fixture; the harness seeds the module RNG before use
+        "jitter": random.random(),
+        "tag": "fixture",
+    }

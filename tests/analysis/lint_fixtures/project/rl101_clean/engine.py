@@ -1,0 +1,11 @@
+# lint-path: simulation/engine.py
+"""RL101 clean twin: the engine only touches the pure half of the reporting
+module; the caller decides when to log."""
+from repro.simulation.reporting import summary_line
+
+
+def dispatch(events):
+    processed = 0
+    for event in events:
+        processed += 1
+    return summary_line(processed)

@@ -1,0 +1,12 @@
+# lint-path: simulation/reporting.py
+"""Support module: an impure helper the engine never calls, plus the pure
+formatter it does."""
+import logging
+
+
+def summary_line(count):
+    return f"drained {count} events"
+
+
+def drain_trace(count):
+    logging.info(summary_line(count))

@@ -1,0 +1,12 @@
+# lint-path: simulation/engine.py
+"""RL101 violation fixture: the dispatch loop stays lexically pure — RL008
+has nothing to say — but reaches logging through a helper one module away."""
+from repro.simulation.reporting import drain_trace
+
+
+def dispatch(events):
+    processed = 0
+    for event in events:
+        processed += 1
+    drain_trace(processed)  # expect: RL101
+    return processed

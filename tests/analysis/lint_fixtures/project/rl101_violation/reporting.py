@@ -1,0 +1,7 @@
+# lint-path: simulation/reporting.py
+"""Support module: the impure reporting helper the engine must not reach."""
+import logging
+
+
+def drain_trace(count):
+    logging.info("drained %d events", count)

@@ -1,0 +1,6 @@
+# lint-path: heuristics/scoring.py
+"""Support module: the wrapper scoring through the batch evaluator tier."""
+
+
+def split_cost(problem, split):
+    return problem.evaluator.evaluate_batch([split])[0]

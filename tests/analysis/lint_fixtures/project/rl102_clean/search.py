@@ -1,0 +1,13 @@
+# lint-path: heuristics/search.py
+"""RL102 clean twin: the same refinement loop scoring through the evaluator
+tiers — no chain reaches the slow path."""
+from repro.heuristics.scoring import split_cost
+
+
+def refine(problem, splits):
+    best = None
+    for split in splits:
+        cost = split_cost(problem, split)
+        if best is None or cost < best[0]:
+            best = (cost, split)
+    return best

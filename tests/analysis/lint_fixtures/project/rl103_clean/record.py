@@ -1,0 +1,11 @@
+# lint-path: experiments/record.py
+"""RL103 clean twin: the caller measures once and hands the value over; the
+payload reads the stored field, never the clock."""
+
+
+class RunTrace:
+    def __init__(self, elapsed):
+        self.elapsed = float(elapsed)
+
+    def as_dict(self):
+        return {"elapsed": self.elapsed}

@@ -1,0 +1,8 @@
+# lint-path: utils/timing.py
+"""Support module: the same wall-clock helpers — fine to call, as long as
+no durable payload is built from them."""
+import time
+
+
+def wall_elapsed(start):
+    return time.time() - start

@@ -1,0 +1,12 @@
+# lint-path: experiments/record.py
+"""RL103 violation fixture: a wall-clock-derived return value laundered
+through two helper returns into a durable as_dict payload."""
+from repro.utils.timing import elapsed_field
+
+
+class RunTrace:
+    def __init__(self, start):
+        self.start = start
+
+    def as_dict(self):
+        return {"elapsed": elapsed_field(self.start)}  # expect: RL103

@@ -1,0 +1,12 @@
+# lint-path: utils/timing.py
+"""Support module: wall-clock helpers (allowlisted for RL001 — measuring is
+fine; *persisting* the measurement is the taint RL103 tracks)."""
+import time
+
+
+def wall_elapsed(start):
+    return time.time() - start
+
+
+def elapsed_field(start):
+    return wall_elapsed(start)

@@ -1,0 +1,10 @@
+# lint-path: experiments/progress.py
+"""Support module: the picklable board — counters, no synchronisation."""
+
+
+class ProgressBoard:
+    def __init__(self):
+        self.done = 0
+
+    def bump(self):
+        self.done += 1

@@ -1,0 +1,19 @@
+# lint-path: experiments/units.py
+"""RL104 clean twin: the same unit shape over a board of plain counters —
+every field bottoms out in picklable state."""
+from dataclasses import dataclass
+
+from repro.experiments.progress import ProgressBoard
+
+
+@dataclass(frozen=True, slots=True)
+class ShardUnit:
+    index: int
+    board: ProgressBoard
+
+    def as_dict(self):
+        return {"index": self.index}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(index=int(data["index"]), board=ProgressBoard())

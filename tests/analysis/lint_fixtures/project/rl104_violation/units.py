@@ -1,0 +1,19 @@
+# lint-path: experiments/units.py
+"""RL104 violation fixture: a work unit whose field type hides a threading
+lock one class away — RL003 sees a clean unit, the type walk does not."""
+from dataclasses import dataclass
+
+from repro.experiments.progress import ProgressBoard
+
+
+@dataclass(frozen=True, slots=True)
+class ShardUnit:
+    index: int
+    board: ProgressBoard  # expect: RL104
+
+    def as_dict(self):
+        return {"index": self.index}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(index=int(data["index"]), board=ProgressBoard())

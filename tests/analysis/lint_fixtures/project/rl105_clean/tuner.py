@@ -1,0 +1,6 @@
+# lint-path: experiments/tuner.py
+"""Support module: the consumer driving the spec through its accessor."""
+
+
+def schedule(spec):
+    return list(range(spec.effective_rounds()))

@@ -1,0 +1,17 @@
+# lint-path: experiments/tunables.py
+"""RL105 violation fixture: a spec axis that round-trips, fingerprints —
+and steers nothing."""
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TuneSpec:
+    rounds: int = 3
+    shadow_mode: bool = False  # expect: RL105
+
+    def as_dict(self):
+        return {"rounds": self.rounds, "shadow_mode": self.shadow_mode}
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(rounds=int(data["rounds"]), shadow_mode=bool(data["shadow_mode"]))

@@ -1,0 +1,6 @@
+# lint-path: experiments/tuner.py
+"""Support module: the consumer that reads only the live axis."""
+
+
+def schedule(spec):
+    return list(range(spec.rounds))

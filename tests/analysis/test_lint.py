@@ -65,7 +65,10 @@ def lint_pairs(source, path, rules=None):
 
 class TestRuleFixtures:
     def test_every_rule_has_a_fixture_pair(self):
-        assert sorted(VIOLATION_FIXTURES) == sorted(rule_ids())
+        # project rules (RL101+) have multi-module fixtures in
+        # test_project_lint.py; this map covers exactly the per-file family
+        file_ids = [rule.id for rule in available_rules() if rule.scope == "file"]
+        assert sorted(VIOLATION_FIXTURES) == sorted(file_ids)
         for fixtures in VIOLATION_FIXTURES.values():
             for name in fixtures:
                 assert (FIXTURES / name).is_file()
@@ -144,6 +147,19 @@ class TestPragmas:
         source, path, _ = load_fixture("pragma_suppressed.py")
         # restricting the run to RL006 must not resurrect the finding
         assert lint_pairs(source, path, rules=make_rules(["RL006"])) == []
+
+    def test_pragma_on_multiline_statement_covers_the_logical_line(self):
+        source, path, _ = load_fixture("pragma_multiline.py")
+        assert lint_source(source, path) == []
+        # the suppressed finding sits *below* the pragma's physical line:
+        # stripping the pragma must surface it there, proving the pragma
+        # was honoured across the statement, not just on its own line
+        pragma_line = self._pragma_line(source)
+        stripped = "\n".join(
+            line.split("  # repro-lint:")[0] for line in source.splitlines()
+        )
+        got = lint_pairs(stripped, path)
+        assert got == [(pragma_line + 1, "RL001")]
 
 
 class TestLintCli:

@@ -1,7 +1,8 @@
 """The integration gate: the repo's own source tree lints clean.
 
 This is the test CI relies on — any new finding in ``src/repro`` (or a
-pragma without a justification) fails the suite with the rendered report.
+pragma without a justification) fails the suite with the rendered report,
+in per-file mode and in whole-program (``--project``) mode alike.
 """
 
 from pathlib import Path
@@ -10,11 +11,25 @@ import repro
 from repro.analysis.lint import lint_paths, rule_ids
 
 
+def _package_root() -> Path:
+    return Path(repro.__file__).resolve().parent
+
+
 def test_src_tree_is_lint_clean():
-    package_root = Path(repro.__file__).resolve().parent
-    report = lint_paths([package_root])
+    report = lint_paths([_package_root()])
     rendered = "\n".join(finding.render() for finding in report.findings)
-    assert report.ok, f"repro-lint findings in {package_root}:\n{rendered}"
-    # sanity: the run actually covered the tree with the full rule set
+    assert report.ok, f"repro-lint findings in {_package_root()}:\n{rendered}"
+    # sanity: the run actually covered the tree with the per-file rule set
     assert len(report.files) > 40
+    file_ids = tuple(rid for rid in rule_ids() if rid < "RL100")
+    assert tuple(report.rule_ids) == file_ids
+
+
+def test_src_tree_is_project_lint_clean():
+    report = lint_paths([_package_root()], project=True)
+    rendered = "\n".join(finding.render() for finding in report.findings)
+    assert report.ok, f"repro-lint --project findings:\n{rendered}"
+    # the whole-program pass ran every rule and assembled the call graph
     assert tuple(report.rule_ids) == tuple(rule_ids())
+    assert report.project is not None
+    assert len(report.project.functions) > 100

@@ -1,0 +1,248 @@
+"""Whole-program lint tests: the project-rule fixtures, call-graph
+determinism, the sha256-keyed incremental cache, and the ``--project`` CLI
+surface.
+
+Project fixtures are *directories* under ``lint_fixtures/project/`` — each a
+small multi-module tree whose files carry the same ``# lint-path:`` headers
+and ``# expect: RLnnn`` markers the per-file fixtures use.  Violation trees
+are linted with only the rule under test; clean twins run the full rule set
+and must come back empty.
+"""
+
+import json
+import random
+import re
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.analysis.lint import (
+    AnalysisCache,
+    lint_paths,
+    lint_sources,
+    make_rule_sets,
+    render_dot,
+    render_json,
+    rule_ids,
+)
+from repro.cli import main as cli_main
+from repro.core import ConfigurationError
+
+FIXTURES = Path(__file__).parent / "lint_fixtures" / "project"
+
+_EXPECT_RE = re.compile(r"#\s*expect:\s*(?P<ids>RL\d{3}(?:\s*,\s*RL\d{3})*)")
+_PATH_RE = re.compile(r"^#\s*lint-path:\s*(?P<path>\S+)", re.MULTILINE)
+
+#: rule id -> violation tree (clean twin = s/violation/clean/)
+PROJECT_VIOLATION_TREES = {
+    "RL101": "rl101_violation",
+    "RL102": "rl102_violation",
+    "RL103": "rl103_violation",
+    "RL104": "rl104_violation",
+    "RL105": "rl105_violation",
+}
+
+#: the chains the chain-rendering rules must spell out, violation tree ->
+#: fragments of the finding message
+CHAIN_FRAGMENTS = {
+    "RL101": ("dispatch", "drain_trace", "→"),
+    "RL102": ("refine", "split_cost", "evaluate_split", "→"),
+    "RL103": ("elapsed_field", "wall_elapsed", "→"),
+}
+
+
+def load_tree(dirname):
+    """Return (sources, expected) for one fixture tree.
+
+    ``sources`` is the ``lint_sources`` input — (virtual path, text) per
+    file; ``expected`` the sorted (virtual path, line, rule id) markers.
+    """
+    sources, expected = [], []
+    for file in sorted((FIXTURES / dirname).glob("*.py")):
+        text = file.read_text(encoding="utf-8")
+        match = _PATH_RE.search(text)
+        virtual = match.group("path") if match else file.name
+        sources.append((virtual, text))
+        for number, line in enumerate(text.splitlines(), start=1):
+            marker = _EXPECT_RE.search(line)
+            if marker:
+                for rule_id in marker.group("ids").split(","):
+                    expected.append((virtual, number, rule_id.strip()))
+    return sources, sorted(expected)
+
+
+def materialize_tree(dirname, root):
+    """Write a fixture tree to disk at each file's ``lint-path``."""
+    written = []
+    for virtual, text in load_tree(dirname)[0]:
+        target = root / virtual
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(text, encoding="utf-8")
+        written.append(target)
+    return written
+
+
+class TestProjectRuleFixtures:
+    def test_every_project_rule_has_a_fixture_pair(self):
+        project_ids = [rid for rid in rule_ids() if rid >= "RL100"]
+        assert sorted(PROJECT_VIOLATION_TREES) == project_ids
+        for dirname in PROJECT_VIOLATION_TREES.values():
+            assert (FIXTURES / dirname).is_dir()
+            assert (FIXTURES / dirname.replace("violation", "clean")).is_dir()
+
+    @pytest.mark.parametrize("rule_id", sorted(PROJECT_VIOLATION_TREES))
+    def test_violation_tree_fires_at_marked_lines(self, rule_id):
+        sources, expected = load_tree(PROJECT_VIOLATION_TREES[rule_id])
+        assert expected, f"{rule_id} tree carries no # expect: markers"
+        report = lint_sources(sources, rule_ids_filter=[rule_id])
+        got = sorted((f.path, f.line, f.rule_id) for f in report.findings)
+        assert got == expected
+
+    @pytest.mark.parametrize("rule_id", sorted(CHAIN_FRAGMENTS))
+    def test_finding_message_spells_out_the_call_chain(self, rule_id):
+        sources, _ = load_tree(PROJECT_VIOLATION_TREES[rule_id])
+        report = lint_sources(sources, rule_ids_filter=[rule_id])
+        assert report.findings
+        message = report.findings[0].message
+        for fragment in CHAIN_FRAGMENTS[rule_id]:
+            assert fragment in message, f"{rule_id} message lacks {fragment!r}: {message}"
+
+    @pytest.mark.parametrize(
+        "dirname",
+        sorted(d.replace("violation", "clean") for d in PROJECT_VIOLATION_TREES.values()),
+    )
+    def test_clean_twin_passes_every_rule(self, dirname):
+        sources, expected = load_tree(dirname)
+        assert not expected, f"clean twin {dirname} must carry no markers"
+        report = lint_sources(sources)
+        rendered = "\n".join(f.render() for f in report.findings)
+        assert report.ok, f"clean twin {dirname} is not clean:\n{rendered}"
+
+    def test_project_rules_refuse_to_run_per_file(self):
+        with pytest.raises(ConfigurationError, match="whole-program"):
+            make_rule_sets(["RL101"], project=False)
+
+
+class TestDeterminismAndCache:
+    @pytest.fixture()
+    def tree(self, tmp_path):
+        root = tmp_path / "tree"
+        files = materialize_tree("rl101_violation", root)
+        files += materialize_tree("rl103_violation", root)
+        return root, files
+
+    def test_cold_warm_and_shuffled_runs_are_byte_identical(self, tree, tmp_path):
+        root, files = tree
+        cache = AnalysisCache(tmp_path / "cache.jsonl")
+        cold = lint_paths([root], project=True, cache=cache)
+        warm = lint_paths([root], project=True, cache=cache)
+        shuffled = list(files)
+        random.Random(20260808).shuffle(shuffled)
+        reordered = lint_paths(shuffled, project=True, cache=cache)
+        assert render_json(cold) == render_json(warm) == render_json(reordered)
+        assert render_dot(cold.project) == render_dot(warm.project)
+        assert {f.rule_id for f in cold.findings} >= {"RL101", "RL103"}
+
+    def test_warm_run_reanalyzes_only_touched_modules(self, tree, tmp_path):
+        root, _ = tree
+        cache = AnalysisCache(tmp_path / "cache.jsonl")
+        cold = lint_paths([root], project=True, cache=cache)
+        assert cold.reanalyzed == cold.files
+        warm = lint_paths([root], project=True, cache=cache)
+        assert warm.reanalyzed == ()
+        touched = root / "simulation" / "reporting.py"
+        touched.write_text(
+            touched.read_text(encoding="utf-8") + "\n# touched\n", encoding="utf-8"
+        )
+        third = lint_paths([root], project=True, cache=cache)
+        assert third.reanalyzed == (str(touched),)
+        assert render_json(third) == render_json(cold)
+
+    def test_cache_survives_a_torn_tail(self, tree, tmp_path):
+        root, _ = tree
+        cache_path = tmp_path / "cache.jsonl"
+        lint_paths([root], project=True, cache=cache_path)
+        with cache_path.open("a", encoding="utf-8") as handle:
+            handle.write('{"sha256": "deadbeef", "path": "x.py", "trunc')
+        warm = lint_paths([root], project=True, cache=cache_path)
+        assert warm.reanalyzed == ()
+
+    def test_warm_cache_run_is_at_least_3x_faster(self, tmp_path):
+        # the real tree is the only corpus big enough to time reliably; the
+        # 32x ratio observed in development leaves a wide margin over 3x
+        package_root = Path(repro.__file__).resolve().parent
+        cache = AnalysisCache(tmp_path / "cache.jsonl")
+        start = time.perf_counter()
+        cold = lint_paths([package_root], project=True, cache=cache)
+        cold_elapsed = time.perf_counter() - start
+        start = time.perf_counter()
+        warm = lint_paths([package_root], project=True, cache=cache)
+        warm_elapsed = time.perf_counter() - start
+        assert warm.reanalyzed == ()
+        assert render_json(cold) == render_json(warm)
+        assert warm_elapsed * 3 <= cold_elapsed, (
+            f"warm {warm_elapsed:.3f}s vs cold {cold_elapsed:.3f}s"
+        )
+
+
+class TestProjectCli:
+    @pytest.fixture()
+    def violation_dir(self, tmp_path):
+        root = tmp_path / "tree"
+        materialize_tree("rl101_violation", root)
+        return root
+
+    @pytest.fixture()
+    def clean_dir(self, tmp_path):
+        root = tmp_path / "clean"
+        materialize_tree("rl101_clean", root)
+        return root
+
+    @staticmethod
+    def _cache_args(tmp_path):
+        return ["--cache", str(tmp_path / "cli-cache.jsonl")]
+
+    def test_directories_default_to_project_mode(self, violation_dir, tmp_path, capsys):
+        code = cli_main(["lint", str(violation_dir)] + self._cache_args(tmp_path))
+        assert code == 1
+        assert "RL101" in capsys.readouterr().out
+
+    def test_no_project_disables_the_project_rules(self, violation_dir, capsys):
+        assert cli_main(["lint", str(violation_dir), "--no-project"]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_output_writes_json_report_and_keeps_text_on_stdout(
+        self, violation_dir, tmp_path, capsys
+    ):
+        report_path = tmp_path / "report.json"
+        code = cli_main(
+            ["lint", str(violation_dir), "--output", str(report_path)]
+            + self._cache_args(tmp_path)
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "RL101" in out and not out.startswith("{")
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        assert payload["clean"] is False
+        assert {f["rule"] for f in payload["findings"]} == {"RL101"}
+
+    def test_graph_dot_renders_the_call_graph(self, clean_dir, tmp_path, capsys):
+        code = cli_main(
+            ["lint", str(clean_dir), "--graph", "dot"] + self._cache_args(tmp_path)
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "dispatch" in out and "summary_line" in out
+
+    def test_graph_without_project_mode_exits_two(self, clean_dir, capsys):
+        target = clean_dir / "simulation" / "engine.py"
+        assert cli_main(["lint", str(target), "--graph", "dot"]) == 2
+        assert "--project" in capsys.readouterr().err
+
+    def test_project_rule_on_single_file_exits_two(self, clean_dir, capsys):
+        target = clean_dir / "simulation" / "engine.py"
+        assert cli_main(["lint", str(target), "--rule", "RL101"]) == 2
+        assert "whole-program" in capsys.readouterr().err
