@@ -148,22 +148,27 @@ class WorkUnitContractRule(Rule):
 
 @register
 class CheckpointHygieneRule(Rule):
-    """RL004 — append-mode JSON writes in ``experiments/`` go through stores.
+    """RL004 — append-mode JSON writes in ``experiments/``/``service/`` go through stores.
 
     The checkpoint guarantees (fsynced lines, fingerprint headers,
     torn-tail repair, resume-by-skipping) live in
-    :class:`~repro.experiments.store.JsonlCheckpointStore`.  An ad-hoc
-    ``open(path, "a")`` or direct ``append_jsonl`` elsewhere in
-    ``experiments/`` produces files that *look* like checkpoints but carry
-    none of those guarantees.
+    :class:`~repro.experiments.store.JsonlCheckpointStore`; the service's
+    job journal (``JobJournalStore``) owns the same guarantees for its
+    recovery log.  An ad-hoc ``open(path, "a")`` or direct ``append_jsonl``
+    elsewhere in ``experiments/`` or ``service/`` produces files that *look*
+    like checkpoints but carry none of those guarantees.
     """
 
     id = "RL004"
     name = "checkpoint-hygiene"
-    summary = "append-mode JSONL writes in experiments/ only inside CheckpointStore classes"
+    summary = (
+        "append-mode JSONL writes in experiments//service/ only inside "
+        "CheckpointStore/JournalStore classes"
+    )
 
     def applies_to(self, ctx: ModuleContext) -> bool:
-        return "experiments" in ctx.module_parts and not _in_tests(ctx)
+        in_scope = "experiments" in ctx.module_parts or "service" in ctx.module_parts
+        return in_scope and not _in_tests(ctx)
 
     def check(self, ctx: ModuleContext) -> Iterable[Finding]:
         for node in walk_nodes(ctx, ast.Call):
@@ -207,16 +212,23 @@ class CheckpointHygieneRule(Rule):
             return f"append-mode open({mode.value!r})"
         return None
 
-    @staticmethod
-    def _inside_checkpoint_store(ctx: ModuleContext, node: ast.AST) -> bool:
-        cls = ctx.enclosing_class(node)
-        if cls is None:
+    # the sanctioned writer classes: the checkpoint-store hierarchy, plus the
+    # service's append-only job journal (its recovery log follows the same
+    # fsync/header/torn-tail discipline)
+    _WRITER_MARKERS = ("CheckpointStore", "JournalStore")
+
+    @classmethod
+    def _inside_checkpoint_store(cls, ctx: ModuleContext, node: ast.AST) -> bool:
+        enclosing = ctx.enclosing_class(node)
+        if enclosing is None:
             return False
-        if "CheckpointStore" in cls.name:
+        if any(marker in enclosing.name for marker in cls._WRITER_MARKERS):
             return True
-        for base in cls.bases:
+        for base in enclosing.bases:
             qual = ctx.resolve(base)
-            if qual is not None and "CheckpointStore" in qual.split(".")[-1]:
+            if qual is not None and any(
+                marker in qual.split(".")[-1] for marker in cls._WRITER_MARKERS
+            ):
                 return True
         return False
 

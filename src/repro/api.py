@@ -56,7 +56,8 @@ from .experiments.spec import (
     WorkloadSpec,
     study_fingerprint,
 )
-from .experiments.validation import CampaignResult, run_validation
+from .experiments.store import ShardedStore, shard_paths
+from .experiments.validation import CampaignResult, ValidationStore, run_validation
 from .simulation.scenarios import ScenarioSpec
 
 __all__ = ["Study", "StudyBuilder", "StudyResult"]
@@ -164,6 +165,17 @@ class Study:
             sweep_store = self.sweep_store_path
         if validation_store is None:
             validation_store = self.validation_store_path
+        if execution.validation_shards is not None and isinstance(
+            validation_store, (str, Path)
+        ):
+            # the spec asks for a multi-writer campaign checkpoint: one
+            # store file per shard under the derived directory, merged on
+            # load byte-identically to a single-store run
+            validation_store = ShardedStore(
+                validation_store,
+                store_type=ValidationStore,
+                shards=execution.validation_shards,
+            )
         if resume and sweep is None and sweep_store is None and validation_store is None:
             raise ConfigurationError(
                 "resume=True requires a checkpoint location (store_dir, "
@@ -241,9 +253,13 @@ class Study:
 
 
 def _existing(store) -> bool:
-    """Whether a store argument points at an existing checkpoint file."""
+    """Whether a store argument points at an existing checkpoint."""
     if store is None:
         return False
+    if isinstance(store, ShardedStore):
+        # the root directory existing is not enough — resume needs at least
+        # one shard checkpoint to pick up from
+        return bool(shard_paths(store.path))
     if isinstance(store, (str, Path)):
         return Path(store).exists()
     path = getattr(store, "path", None)
@@ -337,6 +353,7 @@ class StudyBuilder:
         store_dir=None,
         sweep_store=None,
         validation_store=None,
+        validation_shards: int | None = None,
         resume: bool = False,
         capture_allocations: bool = False,
         memo: bool = False,
@@ -349,6 +366,7 @@ class StudyBuilder:
             store_dir=store_dir,
             sweep_store=sweep_store,
             validation_store=validation_store,
+            validation_shards=validation_shards,
             resume=resume,
             capture_allocations=capture_allocations,
             memo=memo,

@@ -166,6 +166,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "exact DES (default: 0.85)")
     p_val.add_argument("--workers", type=int, default=None,
                        help="worker processes for the campaign (default: run serially)")
+    p_val.add_argument("--chunk-policy", type=str, default=None, metavar="POLICY",
+                       help="shard the validation campaign adaptively: 'adaptive' "
+                            "(~1.5 s of measured work per shard), 'target:SECONDS' "
+                            "or 'cells:N'")
+    p_val.add_argument("--memo", action="store_true",
+                       help="serve previously-computed cells from the result memo "
+                            "cache and write fresh cells back to it")
+    p_val.add_argument("--memo-path", type=Path, default=None, metavar="FILE",
+                       help="memo cache file (default: $REPRO_MEMO_PATH or "
+                            "~/.cache/repro-cloud/result-memo.jsonl; implies --memo)")
     p_val.add_argument("--out", type=Path, default=None,
                        help="JSONL checkpoint file; every completed work unit is appended "
                             "so an interrupted campaign can be resumed")
@@ -187,6 +197,35 @@ def build_parser() -> argparse.ArgumentParser:
                          help="validate the allocation with the stream simulator")
 
     sub.add_parser("settings", help="list workload settings and registered algorithms")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the study-execution HTTP service (submit StudySpec JSON, "
+             "poll status, fetch results; see the README's 'Service mode')",
+    )
+    p_serve.add_argument("--store-root", type=Path, required=True,
+                         help="directory holding the job journal, per-study "
+                              "checkpoint stores and the shared memo cache")
+    p_serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    p_serve.add_argument("--port", type=int, default=8080,
+                         help="TCP port (0 binds a free port; the bound port is "
+                              "printed on startup)")
+    p_serve.add_argument("--jobs", type=int, default=2,
+                         help="concurrent study executions (each may fan out "
+                              "over --workers processes)")
+    p_serve.add_argument("--workers", type=int, default=None,
+                         help="process-pool width per job (default: serial)")
+    p_serve.add_argument("--chunk-policy", type=str, default=None, metavar="POLICY",
+                         help="campaign sharding policy per job: 'adaptive', "
+                              "'target:SECONDS' or 'cells:N'")
+    p_serve.add_argument("--validation-shards", type=int, default=None, metavar="N",
+                         help="checkpoint each campaign into N writer-safe shard "
+                              "stores (merged byte-identically on load)")
+    p_serve.add_argument("--memo-path", type=Path, default=None, metavar="FILE",
+                         help="shared result-memo cache "
+                              "(default: <store-root>/result-memo.jsonl)")
+    p_serve.add_argument("--request-timeout", type=float, default=30.0,
+                         help="per-request socket timeout in seconds")
 
     p_lint = sub.add_parser(
         "lint",
@@ -452,6 +491,9 @@ def validation_study_spec(
     screen_threshold: float = 0.85,
     workers: int | None = None,
     validation_store=None,
+    chunk_policy: str | None = None,
+    memo: bool = False,
+    memo_path=None,
 ):
     """The :class:`StudySpec` equivalent of one ``repro-cloud validate`` invocation.
 
@@ -475,9 +517,12 @@ def validation_study_spec(
         algorithms=sweep_plan.algorithms,
         execution=ExecutionSpec(
             workers=workers,
+            chunk_policy=chunk_policy,
             sweep_store=str(sweep_store),
             validation_store=None if validation_store is None else str(validation_store),
             resume=True,
+            memo=memo or memo_path is not None,
+            memo_path=None if memo_path is None else str(memo_path),
         ),
         validation=ValidationSpec(
             horizons=tuple(horizons),
@@ -535,6 +580,9 @@ def _cmd_validate(args: argparse.Namespace) -> int:
             screen_threshold=args.screen_threshold,
             workers=args.workers,
             validation_store=args.out,
+            chunk_policy=args.chunk_policy,
+            memo=args.memo,
+            memo_path=args.memo_path,
         )
         # the sweep is passed in pre-loaded (partial checkpoints included), so
         # the sweep stage is skipped and only the campaign runs
@@ -631,6 +679,26 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.server import serve
+
+    try:
+        return serve(
+            store_root=args.store_root,
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs,
+            workers=args.workers,
+            chunk_policy=args.chunk_policy,
+            validation_shards=args.validation_shards,
+            memo_path=args.memo_path,
+            request_timeout=args.request_timeout,
+        )
+    except (ConfigurationError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
 def _cmd_settings(_args: argparse.Namespace) -> int:
     print("Workload settings (Section VIII):")
     for name, setting in PAPER_SETTINGS.items():
@@ -656,6 +724,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "validate": _cmd_validate,
         "solve": _cmd_solve,
         "settings": _cmd_settings,
+        "serve": _cmd_serve,
         "lint": _cmd_lint,
     }
     return handlers[args.command](args)

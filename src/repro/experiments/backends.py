@@ -47,6 +47,7 @@ __all__ = [
     "execute_work_unit",
     "execute_unit",
     "parse_chunk_policy",
+    "backend_width",
     "ExecutionBackend",
     "SerialBackend",
     "ProcessPoolBackend",
@@ -117,6 +118,17 @@ def make_backend(
     if workers == 1:
         return SerialBackend()
     return ProcessPoolBackend(workers, mp_context=mp_context)
+
+
+def backend_width(backend) -> int:
+    """How many units a backend executes concurrently (1 for serial/None).
+
+    The single place that inspects a backend's parallelism — the chunking
+    driver caps shard spans with it and the sharded store sizes its default
+    shard count from it, so a backend that spells its width differently only
+    has to be taught about here.
+    """
+    return int(getattr(backend, "workers", 1) or 1)
 
 
 @dataclass(frozen=True, slots=True)

@@ -30,18 +30,27 @@ interpreter runs, worker processes and machines.
 The file format is the repo's usual append-only JSONL: a header line
 ``{"kind": "header", "store": "memo", "version": 1}`` followed by one fsynced
 ``{"kind": "memo", "study": ..., "cell": ..., "records": [...]}`` line per
-cached cell.  Appends are durable (:func:`repro.io.append_jsonl`), a torn
-final line is dropped on load, and duplicate keys are tolerated (last write
-wins) so concurrent campaigns may share one cache file without coordination.
+cached cell.  Appends are durable (:func:`repro.io.append_jsonl`) and
+serialised by an advisory ``fcntl`` lock on a ``.lock`` sidecar, so service
+job threads, pool workers and concurrent CLI runs may share one cache file
+without interleaved torn lines; a torn final line (a writer killed
+mid-append) is dropped on load, and duplicate keys are tolerated (last
+write wins — cached records are deterministic, so duplicates are identical).
 """
 
 from __future__ import annotations
 
 import json
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Mapping
+from typing import Any, Iterator, Mapping
+
+try:
+    import fcntl
+except ImportError:  # non-POSIX platform: appends stay unlocked, as before
+    fcntl = None  # type: ignore[assignment]
 
 from ..core.exceptions import ConfigurationError
 from ..io import append_jsonl, read_jsonl
@@ -83,6 +92,32 @@ def default_memo_path() -> Path:
     cache_root = os.environ.get("XDG_CACHE_HOME")
     base = Path(cache_root) if cache_root else Path.home() / ".cache"
     return base / "repro-cloud" / "result-memo.jsonl"
+
+
+@contextmanager
+def _advisory_lock(path: Path) -> Iterator[None]:
+    """Hold an exclusive ``flock`` on ``<path>.lock`` for the block's duration.
+
+    Serialises appends when several processes — service job threads, pool
+    workers, concurrent CLI runs — share one memo file: each writer's
+    header-check + append happens atomically, so the file gains exactly one
+    header and no interleaved (torn) entry lines.  The lock lives in a
+    sidecar file so lock acquisition never touches the cache file itself;
+    closing the descriptor releases the lock even if the process dies
+    mid-append.  On platforms without ``fcntl`` the block simply runs
+    unlocked (single-writer behaviour is unchanged).
+    """
+    if fcntl is None:
+        yield
+        return
+    lock_file = os.open(
+        path.with_name(path.name + ".lock"), os.O_CREAT | os.O_RDWR, 0o644
+    )
+    try:
+        fcntl.flock(lock_file, fcntl.LOCK_EX)
+        yield
+    finally:
+        os.close(lock_file)
 
 
 @dataclass
@@ -165,19 +200,27 @@ class ResultMemoStore:
         key = (study_key, cell_key)
         if key in entries:
             return
-        if not self.path.exists():
-            self.path.parent.mkdir(parents=True, exist_ok=True)
-            # RL004 pragmas: ResultMemoStore is itself an append-only JSONL
-            # store (idempotent first-write-wins cache, not a campaign
-            # checkpoint); it uses io.append_jsonl's fsync durability directly
-            append_jsonl(  # repro-lint: disable=RL004 -- memo store IS the append-only store
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with _advisory_lock(self.path):
+            # the existence check runs under the lock: of two processes
+            # racing to create the cache, the second sees the first's header
+            if not self.path.exists():
+                # RL004 pragmas: ResultMemoStore is itself an append-only JSONL
+                # store (idempotent first-write-wins cache, not a campaign
+                # checkpoint); it uses io.append_jsonl's fsync durability directly
+                append_jsonl(  # repro-lint: disable=RL004 -- memo store IS the append-only store
+                    self.path,
+                    {"kind": "header", "store": "memo", "version": _MEMO_VERSION},
+                )
+            append_jsonl(  # repro-lint: disable=RL004 -- memo entry write, see above
                 self.path,
-                {"kind": "header", "store": "memo", "version": _MEMO_VERSION},
+                {
+                    "kind": "memo",
+                    "study": study_key,
+                    "cell": cell_key,
+                    "records": records,
+                },
             )
-        append_jsonl(  # repro-lint: disable=RL004 -- memo entry write, see above
-            self.path,
-            {"kind": "memo", "study": study_key, "cell": cell_key, "records": records},
-        )
         entries[key] = list(records)
 
     def __len__(self) -> int:

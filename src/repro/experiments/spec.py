@@ -193,6 +193,7 @@ class ExecutionSpec:
     store_dir: str | None = None
     sweep_store: str | None = None
     validation_store: str | None = None
+    validation_shards: int | None = None
     resume: bool = False
     capture_allocations: bool = False
     memo: bool = False
@@ -205,6 +206,7 @@ class ExecutionSpec:
         "store_dir",
         "sweep_store",
         "validation_store",
+        "validation_shards",
         "resume",
         "capture_allocations",
         "memo",
@@ -219,6 +221,7 @@ class ExecutionSpec:
         "store_dir",
         "sweep_store",
         "validation_store",
+        "validation_shards",
         "resume",
         "capture_allocations",
         "memo",
@@ -248,6 +251,17 @@ class ExecutionSpec:
                 )
         for field_name in ("store_dir", "sweep_store", "validation_store", "memo_path"):
             object.__setattr__(self, field_name, _as_path_text(getattr(self, field_name)))
+        if self.validation_shards is not None:
+            object.__setattr__(self, "validation_shards", int(self.validation_shards))
+            if self.validation_shards < 1:
+                raise ConfigurationError(
+                    f"validation_shards must be >= 1, got {self.validation_shards}"
+                )
+            if not (self.store_dir or self.validation_store):
+                raise ConfigurationError(
+                    "validation_shards requires a validation store location "
+                    "(store_dir or validation_store) to shard into"
+                )
         object.__setattr__(self, "resume", bool(self.resume))
         object.__setattr__(self, "capture_allocations", bool(self.capture_allocations))
         object.__setattr__(self, "memo", bool(self.memo))
@@ -285,6 +299,10 @@ class ExecutionSpec:
         if self.validation_store is not None:
             return Path(self.validation_store)
         if self.store_dir is not None:
+            if self.validation_shards is not None:
+                # a sharded campaign checkpoints into a directory of
+                # shard-*.jsonl files, not a single store file
+                return Path(self.store_dir) / f"{study_name}-validation"
             return Path(self.store_dir) / f"{study_name}-validation.jsonl"
         return None
 

@@ -34,9 +34,11 @@ from .runner import RunRecord, SweepResult
 __all__ = [
     "plan_fingerprint",
     "JsonlCheckpointStore",
+    "ShardedStore",
     "SweepStore",
     "save_sweep_result",
     "load_sweep_result",
+    "shard_paths",
 ]
 
 _STORE_VERSION = 1
@@ -333,6 +335,137 @@ class SweepStore(JsonlCheckpointStore):
                 f"(checkpoints are written by run_plan(store=...)); load it with "
                 f"SweepResult.load instead"
             )
+
+
+_SHARD_PATTERN = "shard-*.jsonl"
+
+
+def shard_paths(root: Path) -> list[Path]:
+    """The shard checkpoint files under ``root``, in canonical (sorted) order."""
+    return sorted(Path(root).glob(_SHARD_PATTERN))
+
+
+class ShardedStore:
+    """A directory of per-shard checkpoint stores behind the single-store API.
+
+    Campaigns that fan out across processes or nodes cannot share one
+    append-only file (interleaved writers would tear lines); instead each
+    writer appends to its own :class:`JsonlCheckpointStore` under a common
+    directory — ``<root>/shard-0000.jsonl``, ``shard-0001.jsonl``, ... —
+    and the shards are merged on load.  Every shard carries the full
+    fingerprinted header, so each file is independently resumable and a
+    foreign shard dropped into the directory is refused exactly like a
+    foreign single-store checkpoint.
+
+    The class duck-types the store interface the drivers use
+    (:meth:`initialize` / :meth:`peek_units` / :meth:`append`, plus a
+    ``path`` attribute for messages), so :func:`run_validation` and
+    :func:`~repro.experiments.runner.run_plan` take a ``ShardedStore``
+    anywhere they take a single store.  Units are routed to shards by
+    ``unit.index % shards``; merging is keyed by unit index with
+    first-shard-wins on duplicates, and the driver reassembles records in
+    canonical unit order — so a sharded run is byte-identical to a
+    single-store run of the same plan.
+
+    ``store_type`` is the single-store class to instantiate per shard
+    (:class:`SweepStore`, ``ValidationStore``); it is a constructor argument
+    rather than an import so this module never depends on the stores defined
+    elsewhere.
+    """
+
+    def __init__(
+        self,
+        root: str | Path,
+        *,
+        store_type: type[JsonlCheckpointStore],
+        shards: int | None = None,
+    ) -> None:
+        self.path = Path(root)
+        self.store_type = store_type
+        if shards is not None:
+            shards = int(shards)
+            if shards < 1:
+                raise ConfigurationError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+
+    # ------------------------------------------------------------------ #
+    def _shard_path(self, shard: int) -> Path:
+        return self.path / f"shard-{shard:04d}.jsonl"
+
+    def _existing_shards(self) -> list[JsonlCheckpointStore]:
+        return [self.store_type(path) for path in shard_paths(self.path)]
+
+    def shard_for(self, index: int) -> JsonlCheckpointStore:
+        """The shard store a unit index routes to (``index % shards``)."""
+        if self.shards is None:
+            raise ConfigurationError(
+                f"{self.path}: shard count not yet resolved; initialize() the "
+                f"store before appending to it"
+            )
+        return self.store_type(self._shard_path(index % self.shards))
+
+    # -- the store interface the drivers use ---------------------------- #
+    def initialize(self, plan, *, resume: bool = False, units: list | None = None) -> dict:
+        """Prepare every shard for a run of ``plan``; return merged completed units.
+
+        Fresh: the directory is created and each of the ``shards`` files gets
+        a fingerprinted header (populated shard files are refused by the
+        underlying store, exactly like a populated single-store path).
+        Resume: every existing ``shard-*.jsonl`` is resumed through the
+        underlying store — fingerprint check, sharding check and torn-tail
+        repair per shard — their completed units merged first-shard-wins,
+        and any shard files the current shard count calls for but the
+        directory lacks are created fresh, so a run resumed with a wider
+        shard count just starts routing to the new files.
+        """
+        if resume:
+            existing = self._existing_shards()
+            if not existing:
+                raise ConfigurationError(
+                    f"{self.path} holds no shard checkpoints ({_SHARD_PATTERN}); "
+                    f"nothing to resume (check the path, or drop resume to start fresh)"
+                )
+            if self.shards is None:
+                self.shards = len(existing)
+            completed: dict[int, list] = {}
+            for shard in existing:
+                for index, records in shard.initialize(
+                    plan, resume=True, units=units
+                ).items():
+                    completed.setdefault(index, records)
+            for number in range(self.shards):
+                if not self._shard_path(number).exists():
+                    self.store_type(self._shard_path(number)).initialize(plan)
+            return completed
+        if self.shards is None:
+            raise ConfigurationError(
+                f"{self.path}: a fresh sharded checkpoint needs an explicit "
+                f"shard count (pass shards=N)"
+            )
+        stale = [path for path in shard_paths(self.path) if path not in
+                 {self._shard_path(number) for number in range(self.shards)}]
+        if stale:
+            raise ConfigurationError(
+                f"{self.path} already holds shard files beyond the requested "
+                f"{self.shards} shard(s) ({stale[0].name}, ...); resume the "
+                f"checkpoint, or delete the directory to start over"
+            )
+        self.path.mkdir(parents=True, exist_ok=True)
+        for number in range(self.shards):
+            self.store_type(self._shard_path(number)).initialize(plan)
+        return {}
+
+    def peek_units(self) -> dict[int, dict]:
+        """Stored unit dicts merged across shards (first-shard-wins), ``{}`` if none."""
+        merged: dict[int, dict] = {}
+        for shard in self._existing_shards():
+            for index, data in shard.peek_units().items():
+                merged.setdefault(index, data)
+        return merged
+
+    def append(self, unit, records: list) -> None:
+        """Checkpoint one completed unit into its shard (durable append)."""
+        self.shard_for(unit.index).append(unit, records)
 
 
 def _ends_with_newline(path: Path) -> bool:

@@ -58,12 +58,12 @@ from ..simulation.scenarios import DEFAULT_SCENARIO, ScenarioSpec
 from ..solvers.registry import ensure_default_solvers
 from ..utils.rng import derive_seed, stable_text_digest
 from ..utils.timing import timed
-from .backends import SerialBackend, parse_chunk_policy
+from .backends import SerialBackend, backend_width, parse_chunk_policy
 from .config import ExperimentPlan, plan_from_dict, plan_to_dict
 from .memo import MemoStats, ResultMemoStore, memo_key
 from .metrics import SeriesByAlgorithm
 from .runner import RHO_ABS_TOL, RHO_REL_TOL, AllocationPayload, SweepResult
-from .store import JsonlCheckpointStore
+from .store import JsonlCheckpointStore, ShardedStore, shard_paths
 
 __all__ = [
     "AllocationSource",
@@ -1153,13 +1153,22 @@ class ValidationStore(JsonlCheckpointStore):
 def load_campaign(path: str | Path, *, allow_partial: bool = False) -> CampaignResult:
     """Load a campaign checkpoint, merging unit lines in canonical order.
 
-    A file holding fewer units than its plan calls for (an interrupted,
-    never-resumed campaign) is refused unless ``allow_partial``.
+    ``path`` may be a single checkpoint file or a :class:`ShardedStore`
+    directory (``shard-*.jsonl`` files written by concurrent writers); shard
+    stores are merged under the plan fingerprint of the first shard —
+    first-shard-wins on duplicate units, a foreign-fingerprint shard refused
+    — and because reassembly is in canonical unit order either way, a merged
+    sharded campaign is byte-identical to a single-store one.
+
+    A checkpoint holding fewer units than its plan calls for (an
+    interrupted, never-resumed campaign) is refused unless ``allow_partial``.
     """
-    store = ValidationStore(path)
     if not Path(path).exists():
         raise ConfigurationError(f"{path} does not exist")
-    plan, completed, _ = store._load_checkpoint(None)
+    if Path(path).is_dir():
+        plan, completed = _load_campaign_shards(Path(path))
+    else:
+        plan, completed, _ = ValidationStore(path)._load_checkpoint(None)
     result = CampaignResult(plan=plan)
     for index in sorted(completed):
         result.extend(completed[index])
@@ -1173,6 +1182,28 @@ def load_campaign(path: str | Path, *, allow_partial: bool = False) -> CampaignR
             f"allow_partial=True to load it anyway"
         )
     return result
+
+
+def _load_campaign_shards(root: Path) -> tuple[ValidationPlan, dict[int, list]]:
+    """Merge every ``shard-*.jsonl`` under ``root`` (first-shard-wins)."""
+    paths = shard_paths(root)
+    if not paths:
+        raise ConfigurationError(
+            f"{root} is a directory holding no shard checkpoints "
+            f"(shard-*.jsonl); not a sharded campaign store"
+        )
+    plan: ValidationPlan | None = None
+    completed: dict[int, list] = {}
+    for path in paths:
+        # passing the first shard's plan makes _load_checkpoint refuse any
+        # shard with a foreign fingerprint — one directory, one campaign
+        shard_plan, shard_completed, _ = ValidationStore(path)._load_checkpoint(plan)
+        if plan is None:
+            plan = shard_plan
+        for index, records in shard_completed.items():
+            completed.setdefault(index, records)
+    assert plan is not None
+    return plan, completed
 
 
 # --------------------------------------------------------------------------- #
@@ -1279,7 +1310,7 @@ def _chunked_cells_per_unit(
     else:
         per_cell = _probe_cell_seconds(plan, cells)
         cells_per_unit = max(1, int(value / per_cell))
-    workers = int(getattr(backend, "workers", 1) or 1)
+    workers = backend_width(backend)
     if workers > 1:
         cells_per_unit = min(
             cells_per_unit, max(1, math.ceil(len(cells) / (4 * workers)))
@@ -1329,7 +1360,7 @@ def run_validation(
     plan: ValidationPlan,
     *,
     backend=None,
-    store: "ValidationStore | str | Path | None" = None,
+    store: "ValidationStore | ShardedStore | str | Path | None" = None,
     resume: bool = False,
     progress: Callable[[str], None] | None = None,
     chunk_size: int | None = None,
@@ -1360,7 +1391,11 @@ def run_validation(
     if resume and store is None:
         raise ConfigurationError("resume=True requires a store (the checkpoint to resume from)")
     if isinstance(store, (str, Path)):
-        store = ValidationStore(store)
+        # a directory is a sharded store root; a file path a single store
+        if Path(store).is_dir():
+            store = ShardedStore(store, store_type=ValidationStore)
+        else:
+            store = ValidationStore(store)
     if isinstance(memo, (str, Path)):
         memo = ResultMemoStore(memo)
     if backend is None:

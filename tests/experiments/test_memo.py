@@ -6,6 +6,7 @@ cache, and any spec change that changes what a cell computes — a different
 scenario, screen threshold, warm-up fraction, algorithm line-up — must miss.
 """
 
+import concurrent.futures
 import json
 from dataclasses import replace
 
@@ -117,6 +118,41 @@ class TestResultMemoStore:
         reloaded = ResultMemoStore(path)
         assert reloaded.lookup("s", "c1") == [{"a": 1}]
         assert reloaded.lookup("s", "c2") is None
+
+
+def _memo_writer(path, worker, cells):
+    """One concurrent writer: caches every cell (overlapping with its peers)."""
+    store = ResultMemoStore(path)
+    for cell in cells:
+        # the payload depends only on the key, so whichever racing writer
+        # lands first caches exactly what the others would have
+        store.put("study", cell, [{"cell": cell, "value": float(len(cell))}])
+    return worker
+
+
+class TestConcurrentWriters:
+    def test_racing_processes_produce_a_clean_cache(self, tmp_path):
+        # several processes append overlapping keys under the advisory lock:
+        # every line must stay whole, the header must stay unique, and every
+        # key must resolve to the canonical payload
+        path = tmp_path / "memo.jsonl"
+        cells = [f"cell-{number:03d}" for number in range(40)]
+        with concurrent.futures.ProcessPoolExecutor(max_workers=4) as pool:
+            futures = [
+                # staggered, overlapping slices so writers collide on keys
+                pool.submit(_memo_writer, path, worker, cells[worker * 5 :])
+                for worker in range(4)
+            ]
+            assert sorted(f.result() for f in futures) == [0, 1, 2, 3]
+        lines = path.read_text().splitlines()
+        rows = [json.loads(line) for line in lines]  # no torn interior lines
+        assert rows[0] == {"kind": "header", "store": "memo", "version": 1}
+        assert all(row["kind"] == "memo" for row in rows[1:])
+        reloaded = ResultMemoStore(path)
+        for cell in cells:
+            assert reloaded.lookup("study", cell) == [
+                {"cell": cell, "value": float(len(cell))}
+            ]
 
 
 class TestValidationMemo:

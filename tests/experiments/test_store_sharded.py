@@ -1,0 +1,183 @@
+"""Tests for the sharded checkpoint store (experiments.store.ShardedStore).
+
+The contract under test: a campaign checkpointed across ``shard-*.jsonl``
+files by concurrent writers merges — first-shard-wins, foreign shards
+refused — to the byte-identical result of a single-store serial run.
+"""
+
+import json
+import shutil
+from dataclasses import replace
+
+import pytest
+
+from repro.core import ConfigurationError
+from repro.experiments.config import default_plan
+from repro.experiments.runner import run_plan
+from repro.experiments.store import ShardedStore, shard_paths
+from repro.experiments.validation import (
+    CampaignResult,
+    ValidationStore,
+    load_campaign,
+    plan_from_sweep,
+    run_validation,
+)
+
+
+def small_plan(num_configurations=2, throughputs=(50, 100), algorithms=("ILP", "H1")):
+    plan = default_plan(
+        "small",
+        num_configurations=num_configurations,
+        target_throughputs=throughputs,
+        iterations=100,
+    )
+    return replace(plan, algorithms=tuple(a for a in plan.algorithms if a.name in algorithms))
+
+
+def record_lines(campaign: CampaignResult) -> list[str]:
+    """Canonical JSONL serialisation of every record (the byte-identity probe)."""
+    return [
+        json.dumps(record.as_dict(), sort_keys=True, separators=(",", ":"))
+        for record in campaign.records
+    ]
+
+
+@pytest.fixture(scope="module")
+def campaign_plan():
+    sweep = run_plan(small_plan(), capture_allocations=True)
+    return plan_from_sweep(sweep, horizons=(8.0,), rate_multipliers=(1.0, 1.05))
+
+
+@pytest.fixture(scope="module")
+def serial_campaign(campaign_plan) -> CampaignResult:
+    return run_validation(campaign_plan)
+
+
+def sharded_store(root, shards=None) -> ShardedStore:
+    return ShardedStore(root, store_type=ValidationStore, shards=shards)
+
+
+class TestShardedRun:
+    def test_sharded_run_byte_identical_to_single_store(
+        self, tmp_path, campaign_plan, serial_campaign
+    ):
+        single = tmp_path / "single.jsonl"
+        run_validation(campaign_plan, store=ValidationStore(single))
+        sharded = run_validation(campaign_plan, store=sharded_store(tmp_path / "shards", 3))
+        assert record_lines(sharded) == record_lines(serial_campaign)
+        assert record_lines(load_campaign(single)) == record_lines(serial_campaign)
+        assert len(shard_paths(tmp_path / "shards")) == 3
+
+    def test_load_campaign_merges_shard_directory(
+        self, tmp_path, campaign_plan, serial_campaign
+    ):
+        root = tmp_path / "shards"
+        run_validation(campaign_plan, store=sharded_store(root, 2))
+        assert record_lines(load_campaign(root)) == record_lines(serial_campaign)
+
+    def test_directory_path_selects_sharded_store(
+        self, tmp_path, campaign_plan, serial_campaign
+    ):
+        # an existing directory passed as a plain path resumes as a shard root
+        root = tmp_path / "shards"
+        run_validation(campaign_plan, store=sharded_store(root, 2))
+        resumed = run_validation(campaign_plan, store=str(root), resume=True)
+        assert record_lines(resumed) == record_lines(serial_campaign)
+
+    def test_resume_infers_shard_count_from_directory(self, tmp_path, campaign_plan):
+        root = tmp_path / "shards"
+        run_validation(campaign_plan, store=sharded_store(root, 2))
+        store = sharded_store(root)  # no explicit count
+        store.initialize(campaign_plan, resume=True)
+        assert store.shards == 2
+
+    def test_fresh_run_requires_explicit_shard_count(self, tmp_path, campaign_plan):
+        with pytest.raises(ConfigurationError, match="explicit"):
+            sharded_store(tmp_path / "shards").initialize(campaign_plan)
+
+    def test_invalid_shard_count_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError, match="shards"):
+            sharded_store(tmp_path / "shards", 0)
+
+    def test_stale_extra_shard_files_refused_on_fresh_init(self, tmp_path, campaign_plan):
+        root = tmp_path / "shards"
+        run_validation(campaign_plan, store=sharded_store(root, 3))
+        with pytest.raises(ConfigurationError, match="beyond the requested"):
+            sharded_store(root, 2).initialize(campaign_plan)
+
+
+class TestShardedEdgeCases:
+    def test_empty_shard_directory_refused_on_load(self, tmp_path):
+        root = tmp_path / "empty"
+        root.mkdir()
+        with pytest.raises(ConfigurationError, match="no shard checkpoints"):
+            load_campaign(root)
+
+    def test_empty_shard_directory_refused_on_resume(self, tmp_path, campaign_plan):
+        root = tmp_path / "empty"
+        root.mkdir()
+        with pytest.raises(ConfigurationError, match="nothing to resume"):
+            run_validation(campaign_plan, store=str(root), resume=True)
+
+    def test_torn_final_line_in_one_shard_repaired_on_resume(
+        self, tmp_path, campaign_plan, serial_campaign
+    ):
+        class _Interrupt(Exception):
+            pass
+
+        root = tmp_path / "shards"
+        done = 0
+
+        def tripwire(_msg):
+            nonlocal done
+            done += 1
+            if done >= 2:
+                raise _Interrupt
+
+        with pytest.raises(_Interrupt):
+            run_validation(campaign_plan, store=sharded_store(root, 2), progress=tripwire)
+        # one writer killed mid-append: a torn trailing line in one shard only
+        with shard_paths(root)[0].open("a") as handle:
+            handle.write('{"kind": "unit", "unit": {"index"')
+        resumed = run_validation(campaign_plan, store=sharded_store(root, 2), resume=True)
+        assert record_lines(resumed) == record_lines(serial_campaign)
+        # the resume repaired the torn shard in place: the merged load agrees
+        assert record_lines(load_campaign(root)) == record_lines(serial_campaign)
+
+    def test_duplicate_unit_across_shards_first_shard_wins(
+        self, tmp_path, campaign_plan, serial_campaign
+    ):
+        root = tmp_path / "shards"
+        run_validation(campaign_plan, store=sharded_store(root, 2))
+        first, second = shard_paths(root)[:2]
+        # replay a unit line from the first shard into the second, with its
+        # records tampered — the merge must keep the first shard's copy
+        unit_line = next(
+            line
+            for line in first.read_text().splitlines()
+            if json.loads(line).get("kind") == "unit"
+        )
+        data = json.loads(unit_line)
+        assert data["records"], "expected a populated unit line"
+        tampered = json.loads(json.dumps(data))
+        for record in tampered["records"]:
+            record["mean_latency"] = -1.0
+        with second.open("a") as handle:
+            handle.write(json.dumps(tampered, sort_keys=True) + "\n")
+        merged = load_campaign(root)
+        assert record_lines(merged) == record_lines(serial_campaign)
+        assert all(record.mean_latency != -1.0 for record in merged.records)
+
+    def test_foreign_fingerprint_shard_refused(self, tmp_path, campaign_plan):
+        root = tmp_path / "shards"
+        run_validation(campaign_plan, store=sharded_store(root, 2))
+        # a shard of a *different* campaign dropped into the directory
+        other_sweep = run_plan(
+            small_plan(num_configurations=1, throughputs=(50,)), capture_allocations=True
+        )
+        other_plan = plan_from_sweep(other_sweep, horizons=(8.0,), rate_multipliers=(1.0,))
+        foreign_root = tmp_path / "foreign"
+        run_validation(other_plan, store=sharded_store(foreign_root, 1))
+        shutil.copy(shard_paths(foreign_root)[0], root / "shard-0002.jsonl")
+        with pytest.raises(ConfigurationError):
+            load_campaign(root)

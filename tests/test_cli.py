@@ -12,8 +12,35 @@ class TestParser:
 
     def test_known_subcommands(self):
         parser = build_parser()
-        for args in (["settings"], ["table3"], ["figure", "figure3"], ["solve"]):
+        for args in (
+            ["settings"],
+            ["table3"],
+            ["figure", "figure3"],
+            ["solve"],
+            ["serve", "--store-root", "state"],
+        ):
             parser.parse_args(args)
+
+    def test_serve_parser_defaults_and_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["serve", "--store-root", "state"])
+        assert (args.host, args.port, args.jobs) == ("127.0.0.1", 8080, 2)
+        assert args.workers is None and args.chunk_policy is None
+        assert args.validation_shards is None and args.memo_path is None
+        assert args.request_timeout == 30.0
+        args = parser.parse_args(
+            ["serve", "--store-root", "state", "--port", "0", "--jobs", "4",
+             "--workers", "2", "--chunk-policy", "cells:4",
+             "--validation-shards", "3", "--memo-path", "memo.jsonl",
+             "--request-timeout", "5"]
+        )
+        assert (args.port, args.jobs, args.workers) == (0, 4, 2)
+        assert args.chunk_policy == "cells:4" and args.validation_shards == 3
+        assert str(args.memo_path) == "memo.jsonl" and args.request_timeout == 5.0
+
+    def test_serve_requires_store_root(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve"])
 
     def test_unknown_figure_rejected(self):
         with pytest.raises(SystemExit):
@@ -559,6 +586,60 @@ class TestArgToSpecParity:
         from_json = StudySpec.from_dict(data)
         assert from_args == from_json
         assert from_args.fingerprint() == from_json.fingerprint()
+
+    def test_validate_memo_and_chunk_args_build_the_study_json_spec(self, tmp_path):
+        """`validate --memo/--memo-path/--chunk-policy` land in the spec's
+        execution section exactly as a hand-written study.json would spell
+        them — the CLI parity the run command already has."""
+        from repro.cli import validation_study_spec
+        from repro.experiments import SweepResult
+        from repro.experiments.spec import StudySpec
+
+        sweep_file = tmp_path / "sweep.jsonl"
+        assert main(_tiny_figure_args(sweep_file)) == 0
+        sweep = SweepResult.load(sweep_file)
+
+        memo_file = tmp_path / "memo.jsonl"
+        from_args = validation_study_spec(
+            sweep.plan,
+            sweep_store=sweep_file,
+            horizons=(8.0,),
+            rate_multipliers=(1.0, 1.05),
+            validation_store=tmp_path / "campaign.jsonl",
+            chunk_policy="cells:4",
+            memo_path=memo_file,  # --memo-path alone implies memo=True
+        )
+        data = _tiny_study_dict(sweep_file, tmp_path / "campaign.jsonl")
+        data["name"] = "validate-small"
+        data["description"] = ""
+        data["execution"] = {"sweep_store": str(sweep_file),
+                             "validation_store": str(tmp_path / "campaign.jsonl"),
+                             "resume": True, "chunk_policy": "cells:4",
+                             "memo": True, "memo_path": str(memo_file)}
+        from_json = StudySpec.from_dict(data)
+        assert from_args == from_json
+        assert from_args.fingerprint() == from_json.fingerprint()
+
+    def test_validate_memo_repeat_serves_from_cache(self, capsys, tmp_path):
+        """A repeated `validate --memo` recomputes nothing and stays
+        byte-identical (campaign checkpoints compared whole)."""
+        sweep_file = tmp_path / "sweep.jsonl"
+        assert main(_tiny_figure_args(sweep_file)) == 0
+        memo = tmp_path / "memo.jsonl"
+        first_out = tmp_path / "campaign-a.jsonl"
+        second_out = tmp_path / "campaign-b.jsonl"
+        base = ["validate", str(sweep_file), "--horizons", "8",
+                "--chunk-policy", "cells:2", "--memo", "--memo-path", str(memo)]
+        capsys.readouterr()
+        assert main(base + ["--out", str(first_out), "--quiet"]) == 0
+        first_summary = capsys.readouterr().out
+        assert "[memo: 0 hit" in first_summary
+        assert main(base + ["--out", str(second_out), "--quiet"]) == 0
+        second_summary = capsys.readouterr().out
+        assert "/ 0 miss]" in second_summary
+        assert memo.exists()
+        # a memo-served campaign is byte-identical to the computed one
+        assert first_out.read_bytes() == second_out.read_bytes()
 
     def test_figure8_spec_carries_the_paper_time_limit(self):
         from repro.experiments.figures import figure_spec
